@@ -1,0 +1,217 @@
+#include "analysis/dwell_wait_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace cps::analysis {
+
+bool DwellWaitModel::dominates(const sim::DwellWaitCurve& curve, double tol) const {
+  return max_violation(curve) <= tol;
+}
+
+double DwellWaitModel::max_violation(const sim::DwellWaitCurve& curve) const {
+  double worst = 0.0;
+  for (const auto& p : curve.points())
+    worst = std::max(worst, p.dwell_s - dwell(p.wait_s));
+  return worst;
+}
+
+std::vector<std::pair<double, double>> concave_hull(const sim::DwellWaitCurve& curve) {
+  const auto& pts = curve.points();
+  CPS_ENSURE(!pts.empty(), "concave_hull: empty curve");
+
+  // Upper hull via the monotone chain: keep only clockwise (right) turns.
+  // A terminal zero one sample past the sweep lets every envelope reach 0.
+  std::vector<std::pair<double, double>> points;
+  points.reserve(pts.size() + 1);
+  for (const auto& p : pts) points.emplace_back(p.wait_s, p.dwell_s);
+  points.emplace_back(curve.xi_et() + curve.sampling_period(), 0.0);
+
+  std::vector<std::pair<double, double>> hull;
+  for (const auto& p : points) {
+    while (hull.size() >= 2) {
+      const auto& a = hull[hull.size() - 2];
+      const auto& b = hull[hull.size() - 1];
+      const double cross = (b.first - a.first) * (p.second - a.second) -
+                           (b.second - a.second) * (p.first - a.first);
+      if (cross < 0.0) break;  // right turn: still concave
+      hull.pop_back();
+    }
+    hull.push_back(p);
+  }
+  return hull;
+}
+
+namespace {
+
+/// Index of the LAST maximum-dwell vertex of a hull.  Using the last one
+/// guarantees the edge to its right has strictly negative slope even when
+/// the hull has a flat top (two vertices at the maximum).
+std::size_t hull_peak_index(const std::vector<std::pair<double, double>>& hull) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < hull.size(); ++i)
+    if (hull[i].second >= hull[best].second) best = i;
+  return best;
+}
+
+/// Line through two points (distinct abscissae required).
+EnvelopeLine line_through(const std::pair<double, double>& a,
+                          const std::pair<double, double>& b) {
+  CPS_ENSURE(b.first != a.first, "line_through: coincident abscissae");
+  EnvelopeLine l;
+  l.slope = (b.second - a.second) / (b.first - a.first);
+  l.intercept = a.second - l.slope * a.first;
+  return l;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NonMonotonicModel
+
+NonMonotonicModel::NonMonotonicModel(EnvelopeLine rising, EnvelopeLine falling)
+    : rising_(rising), falling_(falling) {
+  CPS_ENSURE(rising_.slope >= 0.0, "NonMonotonicModel: rising slope must be >= 0");
+  CPS_ENSURE(falling_.slope < 0.0, "NonMonotonicModel: falling slope must be < 0");
+  // Peak of min(rising, falling): at their intersection when the rising
+  // line starts below the falling one, else at wait 0.
+  if (rising_.intercept <= falling_.intercept) {
+    k_p_ = (falling_.intercept - rising_.intercept) / (rising_.slope - falling_.slope);
+    xi_m_ = rising_.at(k_p_);
+  } else {
+    k_p_ = 0.0;
+    xi_m_ = falling_.intercept;
+  }
+  zero_wait_ = -falling_.intercept / falling_.slope;
+  CPS_ENSURE(zero_wait_ > 0.0, "NonMonotonicModel: envelope never reaches zero");
+}
+
+NonMonotonicModel::NonMonotonicModel(double xi_tt, double xi_m, double k_p, double xi_et)
+    : NonMonotonicModel(
+          k_p > 0.0 ? EnvelopeLine{xi_tt, (xi_m - xi_tt) / k_p} : EnvelopeLine{xi_m, 0.0},
+          EnvelopeLine{xi_m * xi_et / (xi_et - k_p), -xi_m / (xi_et - k_p)}) {
+  CPS_ENSURE(xi_tt >= 0.0, "NonMonotonicModel: xi_tt must be >= 0");
+  CPS_ENSURE(xi_m >= xi_tt, "NonMonotonicModel: xi_m must be >= xi_tt");
+  CPS_ENSURE(k_p >= 0.0, "NonMonotonicModel: k_p must be >= 0");
+  CPS_ENSURE(xi_et > k_p, "NonMonotonicModel: xi_et must exceed k_p");
+}
+
+NonMonotonicModel NonMonotonicModel::fit(const sim::DwellWaitCurve& curve) {
+  const auto hull = concave_hull(curve);
+  const std::size_t peak = hull_peak_index(hull);
+
+  // Every hull edge, extended to a full line, is a support line of the
+  // concave majorant and therefore dominates the measured curve globally.
+  // The tent of the two edges incident to the peak vertex is the tightest
+  // two-piece envelope with the measured (k_p, xi_m) as its apex.
+  EnvelopeLine rising;
+  if (peak == 0) {
+    rising = EnvelopeLine{hull[0].second, 0.0};  // peak at wait 0: flat cap
+  } else {
+    rising = line_through(hull[peak - 1], hull[peak]);
+    if (rising.slope < 0.0) rising = EnvelopeLine{hull[peak].second, 0.0};
+  }
+
+  CPS_ENSURE(peak + 1 < hull.size(),
+             "NonMonotonicModel::fit: degenerate curve (no falling side)");
+  EnvelopeLine falling = line_through(hull[peak], hull[peak + 1]);
+  if (falling.slope >= 0.0)
+    throw NumericalError("NonMonotonicModel::fit: hull edge right of the peak is not falling");
+  return NonMonotonicModel(rising, falling);
+}
+
+double NonMonotonicModel::dwell(double wait) const {
+  CPS_ENSURE(wait >= 0.0, "dwell: wait must be >= 0");
+  return std::max(0.0, std::min(rising_.at(wait), falling_.at(wait)));
+}
+
+// ---------------------------------------------------------------------------
+// ConservativeMonotonicModel
+
+ConservativeMonotonicModel::ConservativeMonotonicModel(double xi_m_prime, double xi_et)
+    : xi_m_prime_(xi_m_prime), xi_et_(xi_et) {
+  CPS_ENSURE(xi_m_prime > 0.0, "ConservativeMonotonicModel: xi'_m must be positive");
+  CPS_ENSURE(xi_et > 0.0, "ConservativeMonotonicModel: xi_et must be positive");
+}
+
+ConservativeMonotonicModel ConservativeMonotonicModel::from_non_monotonic(double xi_m,
+                                                                          double k_p,
+                                                                          double xi_et) {
+  CPS_ENSURE(xi_et > k_p, "from_non_monotonic requires xi_et > k_p");
+  return ConservativeMonotonicModel(xi_m * xi_et / (xi_et - k_p), xi_et);
+}
+
+ConservativeMonotonicModel ConservativeMonotonicModel::fit(const sim::DwellWaitCurve& curve) {
+  const auto hull = concave_hull(curve);
+  const std::size_t peak = hull_peak_index(hull);
+  CPS_ENSURE(peak + 1 < hull.size(),
+             "ConservativeMonotonicModel::fit: degenerate curve (no falling side)");
+  const EnvelopeLine falling = line_through(hull[peak], hull[peak + 1]);
+  if (falling.slope >= 0.0)
+    throw NumericalError(
+        "ConservativeMonotonicModel::fit: hull edge right of the peak is not falling");
+  return ConservativeMonotonicModel(falling.intercept, -falling.intercept / falling.slope);
+}
+
+double ConservativeMonotonicModel::dwell(double wait) const {
+  CPS_ENSURE(wait >= 0.0, "dwell: wait must be >= 0");
+  if (wait >= xi_et_) return 0.0;
+  return xi_m_prime_ * (1.0 - wait / xi_et_);
+}
+
+// ---------------------------------------------------------------------------
+// SimpleMonotonicModel
+
+SimpleMonotonicModel::SimpleMonotonicModel(double xi_tt, double xi_et)
+    : xi_tt_(xi_tt), xi_et_(xi_et) {
+  CPS_ENSURE(xi_tt >= 0.0, "SimpleMonotonicModel: xi_tt must be >= 0");
+  CPS_ENSURE(xi_et > 0.0, "SimpleMonotonicModel: xi_et must be positive");
+}
+
+SimpleMonotonicModel SimpleMonotonicModel::fit(const sim::DwellWaitCurve& curve) {
+  return SimpleMonotonicModel(curve.xi_tt(), curve.xi_et());
+}
+
+double SimpleMonotonicModel::dwell(double wait) const {
+  CPS_ENSURE(wait >= 0.0, "dwell: wait must be >= 0");
+  if (wait >= xi_et_) return 0.0;
+  return xi_tt_ * (1.0 - wait / xi_et_);
+}
+
+// ---------------------------------------------------------------------------
+// ConcaveEnvelopeModel
+
+ConcaveEnvelopeModel::ConcaveEnvelopeModel(const sim::DwellWaitCurve& curve)
+    : hull_(concave_hull(curve)) {}
+
+double ConcaveEnvelopeModel::dwell(double wait) const {
+  CPS_ENSURE(wait >= 0.0, "dwell: wait must be >= 0");
+  if (wait >= hull_.back().first) return 0.0;
+  if (wait <= hull_.front().first) return hull_.front().second;
+  for (std::size_t i = 1; i < hull_.size(); ++i) {
+    if (wait <= hull_[i].first) {
+      const auto& a = hull_[i - 1];
+      const auto& b = hull_[i];
+      const double t = (wait - a.first) / (b.first - a.first);
+      return a.second + t * (b.second - a.second);
+    }
+  }
+  return 0.0;
+}
+
+double ConcaveEnvelopeModel::max_dwell() const {
+  double best = 0.0;
+  for (const auto& [w, d] : hull_) best = std::max(best, d);
+  return best;
+}
+
+double ConcaveEnvelopeModel::zero_wait() const { return hull_.back().first; }
+
+std::size_t ConcaveEnvelopeModel::piece_count() const {
+  return hull_.size() < 2 ? 0 : hull_.size() - 1;
+}
+
+}  // namespace cps::analysis

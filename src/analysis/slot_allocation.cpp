@@ -1,0 +1,163 @@
+#include "analysis/slot_allocation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cps::analysis {
+
+namespace {
+
+/// Package a set of slots (each already in priority order) as Allocation.
+Allocation finalize(std::vector<std::vector<AppSchedParams>> slots,
+                    const AllocationOptions& options) {
+  Allocation out;
+  out.slots.reserve(slots.size());
+  out.analyses.reserve(slots.size());
+  for (auto& slot : slots) {
+    std::vector<std::string> names;
+    names.reserve(slot.size());
+    for (const auto& a : slot) names.push_back(a.name);
+    out.slots.push_back(std::move(names));
+    out.analyses.push_back(analyze_slot(slot, options.method));
+  }
+  return out;
+}
+
+/// Check the dedicated-slot feasibility of one application, throwing the
+/// shared diagnostic otherwise.
+void require_alone_feasible(const AppSchedParams& app, const AllocationOptions& options) {
+  if (!analyze_slot({app}, options.method).all_schedulable)
+    throw InfeasibleError("application '" + app.name +
+                          "' cannot meet its deadline even on a dedicated TT slot");
+}
+
+}  // namespace
+
+Allocation first_fit_allocate(std::vector<AppSchedParams> apps,
+                              const AllocationOptions& options) {
+  CPS_ENSURE(!apps.empty(), "first_fit_allocate: need at least one application");
+  sort_by_priority(apps);
+
+  std::vector<std::vector<AppSchedParams>> slots;
+
+  for (const auto& app : apps) {
+    bool placed = false;
+    for (auto& slot : slots) {
+      std::vector<AppSchedParams> candidate = slot;
+      candidate.push_back(app);
+      if (analyze_slot(candidate, options.method).all_schedulable) {
+        slot = std::move(candidate);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // A new slot always accepts a single application provided it can
+      // meet its deadline alone; verify to fail loudly otherwise.
+      require_alone_feasible(app, options);
+      slots.push_back({app});
+      if (options.max_slots != 0 && slots.size() > options.max_slots)
+        throw InfeasibleError("slot allocation exceeds the available " +
+                              std::to_string(options.max_slots) + " TT slots");
+    }
+  }
+  return finalize(std::move(slots), options);
+}
+
+Allocation best_fit_allocate(std::vector<AppSchedParams> apps,
+                             const AllocationOptions& options) {
+  CPS_ENSURE(!apps.empty(), "best_fit_allocate: need at least one application");
+  sort_by_priority(apps);
+
+  auto slot_load = [](const std::vector<AppSchedParams>& slot) {
+    double load = 0.0;
+    for (const auto& a : slot) load += a.model->max_dwell() / a.min_inter_arrival;
+    return load;
+  };
+
+  std::vector<std::vector<AppSchedParams>> slots;
+  for (const auto& app : apps) {
+    double best_load = -1.0;
+    std::size_t best_slot = slots.size();
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      std::vector<AppSchedParams> candidate = slots[s];
+      candidate.push_back(app);
+      if (!analyze_slot(candidate, options.method).all_schedulable) continue;
+      const double load = slot_load(candidate);
+      if (load > best_load) {
+        best_load = load;
+        best_slot = s;
+      }
+    }
+    if (best_slot < slots.size()) {
+      slots[best_slot].push_back(app);
+      sort_by_priority(slots[best_slot]);
+    } else {
+      require_alone_feasible(app, options);
+      slots.push_back({app});
+      if (options.max_slots != 0 && slots.size() > options.max_slots)
+        throw InfeasibleError("slot allocation exceeds the available " +
+                              std::to_string(options.max_slots) + " TT slots");
+    }
+  }
+  return finalize(std::move(slots), options);
+}
+
+Allocation optimal_allocate(std::vector<AppSchedParams> apps, const AllocationOptions& options,
+                            std::size_t max_apps_for_exact) {
+  CPS_ENSURE(!apps.empty(), "optimal_allocate: need at least one application");
+  CPS_ENSURE(apps.size() <= max_apps_for_exact,
+             "optimal_allocate: exact search limited to max_apps_for_exact applications");
+  sort_by_priority(apps);
+  for (const auto& app : apps) require_alone_feasible(app, options);
+
+  // Branch and bound over set partitions: place applications one by one
+  // into an existing block or a new one, pruning branches that already
+  // use >= the best-known number of slots.  The upper bound from the
+  // paper's first-fit heuristic seeds the search.
+  std::vector<std::vector<AppSchedParams>> best;
+  std::size_t best_count;
+  {
+    const Allocation seed = first_fit_allocate(apps, AllocationOptions{options.method, 0});
+    best_count = seed.slot_count();
+    best.clear();
+    for (const auto& names : seed.slots) {
+      std::vector<AppSchedParams> block;
+      for (const auto& name : names)
+        for (const auto& app : apps)
+          if (app.name == name) block.push_back(app);
+      best.push_back(std::move(block));
+    }
+  }
+
+  std::vector<std::vector<AppSchedParams>> current;
+  auto recurse = [&](auto&& self, std::size_t index) -> void {
+    if (current.size() >= best_count) return;  // cannot improve
+    if (index == apps.size()) {
+      best = current;
+      best_count = current.size();
+      return;
+    }
+    const AppSchedParams& app = apps[index];
+    for (std::size_t s = 0; s < current.size(); ++s) {
+      current[s].push_back(app);
+      if (analyze_slot(current[s], options.method).all_schedulable) self(self, index + 1);
+      current[s].pop_back();
+    }
+    if (current.size() + 1 < best_count) {
+      current.push_back({app});
+      self(self, index + 1);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+
+  if (options.max_slots != 0 && best_count > options.max_slots)
+    throw InfeasibleError("optimal allocation still exceeds the available " +
+                          std::to_string(options.max_slots) + " TT slots");
+  for (auto& slot : best) sort_by_priority(slot);
+  return finalize(std::move(best), options);
+}
+
+}  // namespace cps::analysis

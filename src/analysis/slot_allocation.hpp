@@ -1,0 +1,56 @@
+// TT-slot allocation (paper Section IV, last paragraph).
+//
+// Finding the minimum number of slots is NP-hard, so the paper uses a
+// first-fit heuristic over priority-ordered applications: place each
+// application in the first existing slot on which EVERY application of
+// that slot (including the newcomer — adding C_i changes the blocking of
+// higher-priority apps and the interference of lower-priority ones)
+// remains schedulable; open a new slot when none fits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/schedulability.hpp"
+
+namespace cps::analysis {
+
+/// Result of allocating a set of applications to shared TT slots.
+struct Allocation {
+  /// Application names per slot, in priority order within the slot.
+  std::vector<std::vector<std::string>> slots;
+  /// Final per-slot analysis (same indexing as `slots`).
+  std::vector<SlotAnalysis> analyses;
+
+  std::size_t slot_count() const { return slots.size(); }
+};
+
+struct AllocationOptions {
+  MaxWaitMethod method = MaxWaitMethod::kClosedFormBound;
+  /// Upper bound on slots (the paper's m); throws InfeasibleError when
+  /// exceeded.  0 = unlimited.
+  std::size_t max_slots = 0;
+};
+
+/// First-fit allocation (the paper's heuristic).  Applications may be
+/// passed in any order; they are processed by decreasing priority
+/// (increasing deadline).
+Allocation first_fit_allocate(std::vector<AppSchedParams> apps,
+                              const AllocationOptions& options = {});
+
+/// Best-fit variant: among the feasible slots, place the application on
+/// the one whose resulting interference utilization (sum of xi_M / r) is
+/// highest — packing slots tighter before opening new ones.  Same
+/// worst-case slot count class as first-fit, sometimes one slot better.
+Allocation best_fit_allocate(std::vector<AppSchedParams> apps,
+                             const AllocationOptions& options = {});
+
+/// Exact minimum-slot allocation by exhaustive set-partition search with
+/// branch-and-bound pruning (the problem the paper calls NP-hard; feasible
+/// here for the case-study sizes).  Throws InvalidArgument for more than
+/// `max_apps_for_exact` applications.
+Allocation optimal_allocate(std::vector<AppSchedParams> apps,
+                            const AllocationOptions& options = {},
+                            std::size_t max_apps_for_exact = 12);
+
+}  // namespace cps::analysis

@@ -1,0 +1,62 @@
+#include "control/discretize.hpp"
+
+#include "linalg/expm.hpp"
+#include "util/error.hpp"
+
+namespace cps::control {
+
+DiscreteSystem::DiscreteSystem(linalg::Matrix phi, linalg::Matrix gamma0, linalg::Matrix gamma1,
+                               linalg::Matrix c, double sampling_period, double delay)
+    : phi_(std::move(phi)),
+      gamma0_(std::move(gamma0)),
+      gamma1_(std::move(gamma1)),
+      c_(std::move(c)),
+      h_(sampling_period),
+      d_(delay) {
+  CPS_ENSURE(phi_.is_square(), "DiscreteSystem: Phi must be square");
+  CPS_ENSURE(gamma0_.rows() == phi_.rows(), "DiscreteSystem: Gamma0 row count mismatch");
+  CPS_ENSURE(gamma1_.rows() == phi_.rows(), "DiscreteSystem: Gamma1 row count mismatch");
+  CPS_ENSURE(gamma0_.cols() == gamma1_.cols(), "DiscreteSystem: Gamma0/Gamma1 width mismatch");
+  CPS_ENSURE(c_.cols() == phi_.rows(), "DiscreteSystem: C column count mismatch");
+  CPS_ENSURE(h_ > 0.0, "DiscreteSystem: sampling period must be positive");
+  CPS_ENSURE(d_ >= 0.0 && d_ <= h_, "DiscreteSystem: delay must satisfy 0 <= d <= h");
+}
+
+bool DiscreteSystem::has_input_delay() const { return gamma1_.max_abs() > 1e-12; }
+
+DiscreteSystem::Augmented DiscreteSystem::augmented() const {
+  const std::size_t n = state_dim();
+  const std::size_t m = input_dim();
+  linalg::Matrix abar(n + m, n + m);
+  abar.set_block(0, 0, phi_);
+  abar.set_block(0, n, gamma1_);
+  linalg::Matrix bbar(n + m, m);
+  bbar.set_block(0, 0, gamma0_);
+  bbar.set_block(n, 0, linalg::Matrix::identity(m));
+  return Augmented{std::move(abar), std::move(bbar)};
+}
+
+DiscreteSystem c2d(const StateSpace& plant, double h, double d) {
+  CPS_ENSURE(h > 0.0, "c2d: sampling period must be positive");
+  CPS_ENSURE(d >= 0.0 && d <= h, "c2d: delay must satisfy 0 <= d <= h");
+
+  const linalg::Matrix& a = plant.a();
+  const linalg::Matrix& b = plant.b();
+
+  // Phi = e^{Ah}; Gamma0 = int_0^{h-d} e^{As} ds B;
+  // Gamma1 = e^{A(h-d)} int_0^d e^{As} ds B.
+  const auto [phi_full, gamma_h] = linalg::zoh_integrals(a, b, h);
+
+  if (d == 0.0) {
+    return DiscreteSystem(phi_full, gamma_h, linalg::Matrix::zero(a.rows(), b.cols()),
+                          plant.c(), h, d);
+  }
+
+  const auto [phi_hd, gamma0] = linalg::zoh_integrals(a, b, h - d);
+  const auto [phi_d, gamma_d] = linalg::zoh_integrals(a, b, d);
+  (void)phi_d;
+  const linalg::Matrix gamma1 = phi_hd * gamma_d;
+  return DiscreteSystem(phi_full, gamma0, gamma1, plant.c(), h, d);
+}
+
+}  // namespace cps::control

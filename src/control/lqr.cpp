@@ -1,0 +1,23 @@
+#include "control/lqr.hpp"
+
+#include "linalg/eigen.hpp"
+#include "linalg/riccati.hpp"
+#include "util/error.hpp"
+
+namespace cps::control {
+
+LqrDesign dlqr(const linalg::Matrix& a, const linalg::Matrix& b, const linalg::Matrix& q,
+               const linalg::Matrix& r) {
+  const linalg::DareResult dare = linalg::solve_dare(a, b, q, r);
+  LqrDesign design;
+  design.cost_to_go = dare.x;
+  design.dare_residual = dare.residual;
+  design.gain = linalg::lqr_gain_from_dare(a, b, r, dare.x);
+  design.closed_loop = a - b * design.gain;
+  if (!linalg::is_schur_stable(design.closed_loop, 0.0))
+    throw NumericalError(
+        "dlqr: closed loop is not Schur stable — (A,B) may not be stabilizable");
+  return design;
+}
+
+}  // namespace cps::control

@@ -1,0 +1,25 @@
+// Infinite-horizon discrete-time LQR design (the paper's "optimal control
+// principles" [9], [10] for computing the TT- and ET-mode feedback gains).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace cps::control {
+
+/// Result of an LQR synthesis.
+struct LqrDesign {
+  linalg::Matrix gain;         ///< K such that u = -K x
+  linalg::Matrix cost_to_go;   ///< DARE solution X (quadratic cost matrix)
+  linalg::Matrix closed_loop;  ///< A - B K
+  double dare_residual = 0.0;  ///< consistency check, ~0 for a good solve
+};
+
+/// Compute the discrete LQR gain minimizing
+///   sum_k  x' Q x + u' R u   subject to  x[k+1] = A x[k] + B u[k].
+/// Requires (A, B) stabilizable, Q >= 0 symmetric, R > 0 symmetric.
+/// Throws NumericalError if the closed loop is not Schur stable (which
+/// indicates a non-stabilizable pair or a degenerate weight choice).
+LqrDesign dlqr(const linalg::Matrix& a, const linalg::Matrix& b, const linalg::Matrix& q,
+               const linalg::Matrix& r);
+
+}  // namespace cps::control

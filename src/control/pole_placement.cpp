@@ -1,0 +1,65 @@
+#include "control/pole_placement.hpp"
+
+#include <cmath>
+
+#include "control/state_space.hpp"
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace cps::control {
+
+std::vector<double> characteristic_polynomial(const std::vector<std::complex<double>>& roots) {
+  // Multiply out prod (z - r_i) keeping complex coefficients, then verify
+  // the imaginary parts vanish (conjugation-closed root set).
+  std::vector<std::complex<double>> coeff{1.0};  // leading first
+  for (const auto& r : roots) {
+    std::vector<std::complex<double>> next(coeff.size() + 1, 0.0);
+    for (std::size_t i = 0; i < coeff.size(); ++i) {
+      next[i] += coeff[i];
+      next[i + 1] -= coeff[i] * r;
+    }
+    coeff = std::move(next);
+  }
+  std::vector<double> out(roots.size());
+  for (std::size_t i = 1; i < coeff.size(); ++i) {
+    if (std::fabs(coeff[i].imag()) > 1e-9)
+      throw InvalidArgument("characteristic_polynomial: pole set not closed under conjugation");
+    // coeff[i] multiplies z^{n-i}; store ascending by power: out[j] is the
+    // coefficient of z^j.
+    out[roots.size() - i] = coeff[i].real();
+  }
+  return out;
+}
+
+linalg::Matrix place_poles(const linalg::Matrix& a, const linalg::Matrix& b,
+                           const std::vector<std::complex<double>>& poles) {
+  CPS_ENSURE(a.is_square(), "place_poles: A must be square");
+  CPS_ENSURE(b.cols() == 1, "place_poles (Ackermann) supports single-input systems only");
+  CPS_ENSURE(b.rows() == a.rows(), "place_poles: B row count mismatch");
+  CPS_ENSURE(poles.size() == a.rows(), "place_poles: need exactly n poles");
+
+  const std::size_t n = a.rows();
+  const linalg::Matrix ctrb = controllability_matrix(a, b);
+
+  // alpha(A) = A^n + c_{n-1} A^{n-1} + ... + c_0 I.
+  const std::vector<double> c = characteristic_polynomial(poles);
+  linalg::Matrix alpha = a.pow(static_cast<unsigned>(n));
+  linalg::Matrix ak = linalg::Matrix::identity(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    alpha += ak * c[j];
+    ak = ak * a;
+  }
+
+  // K = e_n^T Ctrb^{-1} alpha(A).
+  linalg::Matrix en(1, n);
+  en(0, n - 1) = 1.0;
+  linalg::Matrix ctrb_inv;
+  try {
+    ctrb_inv = linalg::inverse(ctrb);
+  } catch (const NumericalError&) {
+    throw NumericalError("place_poles: (A, B) is not controllable");
+  }
+  return en * ctrb_inv * alpha;
+}
+
+}  // namespace cps::control

@@ -1,0 +1,25 @@
+// Single-input pole placement via Ackermann's formula.
+//
+// Provided as an alternative gain-synthesis path to LQR; useful in tests
+// (gains with known closed-loop spectra) and for the ablation bench that
+// compares controller aggressiveness against TT-slot demand.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cps::control {
+
+/// Compute K (1 x n) such that eig(A - B K) equal `poles` (up to ordering).
+/// Requirements: B has exactly one column, (A, B) controllable, and the
+/// desired pole set is closed under conjugation (so the polynomial is real).
+linalg::Matrix place_poles(const linalg::Matrix& a, const linalg::Matrix& b,
+                           const std::vector<std::complex<double>>& poles);
+
+/// Real monic polynomial coefficients from a conjugation-closed root set:
+/// returns {c_0, ..., c_{n-1}} of  z^n + c_{n-1} z^{n-1} + ... + c_0.
+std::vector<double> characteristic_polynomial(const std::vector<std::complex<double>>& roots);
+
+}  // namespace cps::control

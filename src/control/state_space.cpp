@@ -1,0 +1,43 @@
+#include "control/state_space.hpp"
+
+#include "linalg/eigen.hpp"
+#include "linalg/qr.hpp"
+#include "util/error.hpp"
+
+namespace cps::control {
+
+StateSpace::StateSpace(linalg::Matrix a, linalg::Matrix b, linalg::Matrix c, linalg::Matrix d)
+    : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)), d_(std::move(d)) {
+  CPS_ENSURE(a_.is_square(), "StateSpace: A must be square");
+  CPS_ENSURE(b_.rows() == a_.rows(), "StateSpace: B row count must match A");
+  CPS_ENSURE(c_.cols() == a_.rows(), "StateSpace: C column count must match A");
+  CPS_ENSURE(d_.rows() == c_.rows() && d_.cols() == b_.cols(),
+             "StateSpace: D must be output_dim x input_dim");
+}
+
+StateSpace::StateSpace(linalg::Matrix a, linalg::Matrix b)
+    : StateSpace(a, b, linalg::Matrix::identity(a.rows()),
+                 linalg::Matrix::zero(a.rows(), b.cols())) {}
+
+bool StateSpace::is_stable() const { return linalg::is_hurwitz_stable(a_); }
+
+linalg::Matrix controllability_matrix(const linalg::Matrix& a, const linalg::Matrix& b) {
+  CPS_ENSURE(a.is_square() && b.rows() == a.rows(), "controllability: dimension mismatch");
+  const std::size_t n = a.rows();
+  linalg::Matrix ctrb = b;
+  linalg::Matrix akb = b;
+  for (std::size_t k = 1; k < n; ++k) {
+    akb = a * akb;
+    ctrb = linalg::Matrix::hstack(ctrb, akb);
+  }
+  return ctrb;
+}
+
+bool is_controllable(const linalg::Matrix& a, const linalg::Matrix& b, double tol) {
+  const linalg::Matrix ctrb = controllability_matrix(a, b);
+  // Rank via QR on the transpose (rows >= cols needed by our QR).
+  const linalg::QrDecomposition qr(ctrb.cols() >= ctrb.rows() ? ctrb.transpose() : ctrb);
+  return qr.rank(tol) == a.rows();
+}
+
+}  // namespace cps::control

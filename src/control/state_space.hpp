@@ -1,0 +1,39 @@
+// Continuous-time linear time-invariant state-space model
+//   x'(t) = A x(t) + B u(t),   y(t) = C x(t) + D u(t).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace cps::control {
+
+/// Continuous-time LTI system. Dimensions are validated on construction.
+class StateSpace {
+ public:
+  StateSpace(linalg::Matrix a, linalg::Matrix b, linalg::Matrix c, linalg::Matrix d);
+
+  /// Convenience: C = I, D = 0 (full state output).
+  StateSpace(linalg::Matrix a, linalg::Matrix b);
+
+  const linalg::Matrix& a() const { return a_; }
+  const linalg::Matrix& b() const { return b_; }
+  const linalg::Matrix& c() const { return c_; }
+  const linalg::Matrix& d() const { return d_; }
+
+  std::size_t state_dim() const { return a_.rows(); }
+  std::size_t input_dim() const { return b_.cols(); }
+  std::size_t output_dim() const { return c_.rows(); }
+
+  /// Continuous-time (Hurwitz) stability of the open loop.
+  bool is_stable() const;
+
+ private:
+  linalg::Matrix a_, b_, c_, d_;
+};
+
+/// Controllability matrix [B, AB, ..., A^{n-1}B].
+linalg::Matrix controllability_matrix(const linalg::Matrix& a, const linalg::Matrix& b);
+
+/// True iff (A, B) is controllable (full-rank controllability matrix).
+bool is_controllable(const linalg::Matrix& a, const linalg::Matrix& b, double tol = 1e-9);
+
+}  // namespace cps::control

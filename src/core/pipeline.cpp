@@ -1,0 +1,69 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cps::core {
+
+std::size_t HybridCommDesign::add_application(ControlApplication app) {
+  apps_.push_back(std::move(app));
+  return apps_.size() - 1;
+}
+
+PipelineResult HybridCommDesign::run(const PipelineOptions& options) {
+  CPS_ENSURE(!apps_.empty(), "HybridCommDesign: no applications added");
+
+  // Measure curves and fit models.
+  std::vector<analysis::AppSchedParams> sched;
+  sched.reserve(apps_.size());
+  PipelineResult result;
+  result.summaries.reserve(apps_.size());
+
+  for (auto& app : apps_) {
+    const auto model = app.fit_model(options.model_kind);
+    const sim::DwellWaitCurve& curve = *app.curve();
+
+    AppSummary s;
+    s.name = app.name();
+    s.xi_tt = curve.xi_tt();
+    s.xi_et = curve.xi_et();
+    s.xi_m = curve.xi_m();
+    s.k_p = curve.k_p();
+    s.model_max_dwell = model->max_dwell();
+    s.model_name = model->name();
+    s.curve_non_monotonic = curve.is_non_monotonic();
+    result.summaries.push_back(std::move(s));
+
+    sched.push_back(app.sched_params());
+  }
+
+  // Allocate TT slots.
+  result.allocation = analysis::first_fit_allocate(sched, options.allocation);
+
+  // Verify by co-simulation: every application disturbed at t = 0.
+  if (options.verify) {
+    CoSimulationOptions cosim_options = options.cosim;
+    if (cosim_options.horizon <= 0.0) cosim_options.horizon = 12.0;
+
+    CoSimulator cosim(cosim_options);
+    for (auto& app : apps_) {
+      // Find the slot this app landed in.
+      std::size_t slot = 0;
+      bool found = false;
+      for (std::size_t si = 0; si < result.allocation.slots.size() && !found; ++si)
+        for (const auto& name : result.allocation.slots[si])
+          if (name == app.name()) {
+            slot = si;
+            found = true;
+            break;
+          }
+      CPS_ENSURE(found, "pipeline: application missing from the allocation");
+      cosim.add_application(app, slot, {0.0});
+    }
+    result.verification = cosim.run();
+  }
+  return result;
+}
+
+}  // namespace cps::core

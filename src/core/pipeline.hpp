@@ -1,0 +1,73 @@
+// HybridCommDesign: the end-to-end co-design pipeline of the paper.
+//
+//   plants + requirements
+//     -> two-mode controller design            (control/)
+//     -> dwell/wait curve measurement          (sim/)
+//     -> envelope model fit                    (analysis/dwell_wait_model)
+//     -> schedulability + TT-slot allocation   (analysis/schedulability, slot_allocation)
+//     -> co-simulation verification on FlexRay (core/co_simulation)
+//
+// One call to run() executes everything after controller design (which the
+// caller does when constructing the ControlApplications, since weights /
+// poles are domain decisions).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/slot_allocation.hpp"
+#include "core/application.hpp"
+#include "core/co_simulation.hpp"
+
+namespace cps::core {
+
+struct PipelineOptions {
+  /// Envelope family used for schedulability (the paper's contribution is
+  /// kNonMonotonic; kConservativeMonotonic reproduces the baseline).
+  ControlApplication::ModelKind model_kind = ControlApplication::ModelKind::kNonMonotonic;
+  analysis::AllocationOptions allocation;
+  /// Verify the allocation by co-simulating all applications with
+  /// disturbances at t = 0 (paper Fig. 5).
+  bool verify = true;
+  CoSimulationOptions cosim;
+};
+
+/// Measured characteristics of one application, reported alongside results.
+struct AppSummary {
+  std::string name;
+  double xi_tt = 0.0;   ///< measured pure-TT settling time [s]
+  double xi_et = 0.0;   ///< measured pure-ET settling time [s]
+  double xi_m = 0.0;    ///< measured maximum dwell [s]
+  double k_p = 0.0;     ///< measured peak wait [s]
+  double model_max_dwell = 0.0;  ///< the fitted model's interference term
+  std::string model_name;
+  bool curve_non_monotonic = false;
+};
+
+struct PipelineResult {
+  std::vector<AppSummary> summaries;
+  analysis::Allocation allocation;
+  std::optional<CoSimulationResult> verification;
+
+  std::size_t slot_count() const { return allocation.slot_count(); }
+};
+
+class HybridCommDesign {
+ public:
+  HybridCommDesign() = default;
+
+  /// Take ownership of an application.  Returns its index.
+  std::size_t add_application(ControlApplication app);
+
+  std::vector<ControlApplication>& applications() { return apps_; }
+  const std::vector<ControlApplication>& applications() const { return apps_; }
+
+  /// Execute measure -> fit -> allocate -> (optionally) verify.
+  PipelineResult run(const PipelineOptions& options = {});
+
+ private:
+  std::vector<ControlApplication> apps_;
+};
+
+}  // namespace cps::core

@@ -1,0 +1,107 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace cps::core {
+
+std::string render_summaries(const std::vector<AppSummary>& summaries) {
+  TextTable table({"app", "xi_TT [s]", "xi_ET [s]", "xi_M [s]", "k_p [s]", "model", "model xi_M",
+                   "non-monotonic"});
+  for (const auto& s : summaries) {
+    table.add_row({s.name, format_fixed(s.xi_tt, 2), format_fixed(s.xi_et, 2),
+                   format_fixed(s.xi_m, 2), format_fixed(s.k_p, 2), s.model_name,
+                   format_fixed(s.model_max_dwell, 2), s.curve_non_monotonic ? "yes" : "no"});
+  }
+  return table.render();
+}
+
+std::string render_allocation(const analysis::Allocation& allocation) {
+  std::string out = "TT slots required: " + std::to_string(allocation.slot_count()) + "\n";
+  TextTable table({"slot", "app", "a [s]", "m", "k_hat [s]", "xi_hat [s]", "deadline [s]",
+                   "schedulable"});
+  for (std::size_t s = 0; s < allocation.slots.size(); ++s) {
+    for (const auto& r : allocation.analyses[s].results) {
+      table.add_row({"S" + std::to_string(s + 1), r.name, format_fixed(r.blocking, 3),
+                     format_fixed(r.interference_util, 4), format_fixed(r.max_wait, 3),
+                     format_fixed(r.response, 3), format_fixed(r.deadline, 2),
+                     r.schedulable ? "yes" : "NO"});
+    }
+  }
+  return out + table.render();
+}
+
+std::string render_cosim(const CoSimulationResult& result) {
+  TextTable table({"app", "slot", "disturbances", "worst response [s]", "max TT delay [ms]",
+                   "max ET delay [ms]", "deadlines met"});
+  for (const auto& a : result.apps) {
+    table.add_row({a.name, "S" + std::to_string(a.slot + 1),
+                   std::to_string(a.disturbance_times.size()),
+                   std::isfinite(a.worst_response) ? format_fixed(a.worst_response, 3) : "inf",
+                   format_fixed(a.max_tt_delay * 1e3, 3), format_fixed(a.max_et_delay * 1e3, 3),
+                   a.all_deadlines_met ? "yes" : "NO"});
+  }
+  return table.render();
+}
+
+std::string render_response_ascii(const AppCoSimResult& app, double threshold,
+                                  std::size_t width, std::size_t height) {
+  const auto& traj = app.trajectory;
+  if (traj.length() == 0 || width < 8 || height < 4) return "(empty trajectory)\n";
+
+  const double t_end = traj.time_at(traj.length() - 1);
+  double peak = threshold;
+  for (const auto& s : traj.samples()) peak = std::max(peak, s.norm);
+
+  // Row 0 is the top (norm = peak); the threshold line is drawn with '-'.
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  const auto row_of = [&](double norm) {
+    const double frac = std::clamp(norm / peak, 0.0, 1.0);
+    return height - 1 - static_cast<std::size_t>(std::llround(frac * static_cast<double>(height - 1)));
+  };
+  const std::size_t threshold_row = row_of(threshold);
+  for (std::size_t c = 0; c < width; ++c) canvas[threshold_row][c] = '-';
+
+  for (std::size_t c = 0; c < width; ++c) {
+    const std::size_t k = c * (traj.length() - 1) / (width - 1);
+    const auto& s = traj.at(k);
+    // 'T' = TT communication, 'e' = ET communication (Fig. 5 colors).
+    canvas[row_of(s.norm)][c] = s.mode == sim::Mode::kTimeTriggered ? 'T' : 'e';
+  }
+
+  std::string out = app.name + "  (peak " + format_fixed(peak, 2) + ", threshold " +
+                    format_fixed(threshold, 2) + ", horizon " + format_fixed(t_end, 1) + " s; " +
+                    "T = TT slot, e = ET segment)\n";
+  for (const auto& line : canvas) out += "|" + line + "\n";
+  out += "+" + repeat("-", width) + "  t ->\n";
+  return out;
+}
+
+std::string render_slot_gantt(const CoSimulationResult& result, std::size_t width) {
+  if (result.slots.empty()) return "(no TT slots)\n";
+  std::string out = "TT slot occupancy (digit = holding app index, '.' = free):\n";
+  for (std::size_t s = 0; s < result.slots.size(); ++s) {
+    const SlotTimeline& tl = result.slots[s];
+    std::string strip(width, '.');
+    if (!tl.owner.empty()) {
+      for (std::size_t c = 0; c < width; ++c) {
+        const std::size_t k = c * (tl.owner.size() - 1) / (width > 1 ? width - 1 : 1);
+        const std::size_t o = tl.owner[k];
+        if (o != SlotTimeline::npos) strip[c] = static_cast<char>('0' + (o % 10));
+      }
+    }
+    out += "  S" + std::to_string(s + 1) + " |" + strip + "|  occupancy " +
+           format_fixed(100.0 * tl.occupancy(), 1) + "%, " +
+           std::to_string(tl.grant_count()) + " grants\n";
+  }
+  out += "  legend:";
+  for (std::size_t i = 0; i < result.apps.size(); ++i)
+    out += " " + std::to_string(i % 10) + "=" + result.apps[i].name;
+  out += "\n";
+  return out;
+}
+
+}  // namespace cps::core

@@ -1,0 +1,33 @@
+// Plain-text report rendering for pipeline results — the same tables the
+// benches print when regenerating the paper's tables and figures.
+#pragma once
+
+#include <string>
+
+#include "analysis/slot_allocation.hpp"
+#include "core/co_simulation.hpp"
+#include "core/pipeline.hpp"
+
+namespace cps::core {
+
+/// Table of per-application measured curve characteristics (Table I shape).
+std::string render_summaries(const std::vector<AppSummary>& summaries);
+
+/// Slot allocation with per-app worst-case analysis (Section V narrative).
+std::string render_allocation(const analysis::Allocation& allocation);
+
+/// Co-simulation verdicts (Fig. 5 companion table).
+std::string render_cosim(const CoSimulationResult& result);
+
+/// ASCII rendering of one response trajectory: norm vs time with the mode
+/// (TT/ET) markers and the threshold line — a terminal stand-in for one
+/// panel of Fig. 5.
+std::string render_response_ascii(const AppCoSimResult& app, double threshold,
+                                  std::size_t width = 72, std::size_t height = 16);
+
+/// Gantt strip of TT-slot occupancy over time (Fig. 5's "Slot 1/2/3"
+/// bars): one row per slot, the holding application's index digit per
+/// column, '.' when free.  Also prints occupancy and grant counts.
+std::string render_slot_gantt(const CoSimulationResult& result, std::size_t width = 72);
+
+}  // namespace cps::core

@@ -1,0 +1,47 @@
+#include "flexray/config.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cps::flexray {
+
+double FlexRayConfig::static_segment_length() const {
+  return static_cast<double>(static_slot_count) * static_slot_length;
+}
+
+double FlexRayConfig::dynamic_segment_length() const {
+  return cycle_length - static_segment_length();
+}
+
+std::size_t FlexRayConfig::minislot_count() const {
+  return static_cast<std::size_t>(std::floor(dynamic_segment_length() / minislot_length));
+}
+
+double FlexRayConfig::static_slot_offset(std::size_t index) const {
+  CPS_ENSURE(index < static_slot_count, "static slot index out of range");
+  return static_cast<double>(index) * static_slot_length;
+}
+
+double FlexRayConfig::cycle_start(std::size_t k) const {
+  return static_cast<double>(k) * cycle_length;
+}
+
+std::size_t FlexRayConfig::cycle_of(double t) const {
+  CPS_ENSURE(t >= 0.0, "cycle_of: time must be non-negative");
+  return static_cast<std::size_t>(std::floor(t / cycle_length));
+}
+
+void FlexRayConfig::validate() const {
+  CPS_ENSURE(cycle_length > 0.0, "FlexRay: cycle length must be positive");
+  CPS_ENSURE(static_slot_count > 0, "FlexRay: need at least one static slot");
+  CPS_ENSURE(static_slot_length > 0.0, "FlexRay: static slot length must be positive");
+  CPS_ENSURE(minislot_length > 0.0, "FlexRay: minislot length must be positive");
+  CPS_ENSURE(static_segment_length() < cycle_length,
+             "FlexRay: static segment must fit inside the cycle");
+  CPS_ENSURE(minislot_length < static_slot_length,
+             "FlexRay: minislots must be shorter than static slots (psi << Psi)");
+  CPS_ENSURE(minislot_count() >= 1, "FlexRay: dynamic segment must hold at least one minislot");
+}
+
+}  // namespace cps::flexray

@@ -1,0 +1,47 @@
+// FlexRay communication-cycle configuration (Section II-A of the paper).
+//
+// Each cycle consists of a static segment — `static_slot_count` TDMA slots
+// of equal length Psi — followed by a dynamic segment partitioned into
+// minislots of length psi (psi << Psi).  A static-slot message is sent in
+// its reserved window regardless of readiness (an empty slot is wasted);
+// dynamic-segment messages arbitrate by frame identifier and may span
+// multiple minislots.
+//
+// The case study (Section V) uses a 5 ms cycle with a 2 ms static segment
+// of 10 slots, which these defaults mirror.
+#pragma once
+
+#include <cstddef>
+
+namespace cps::flexray {
+
+struct FlexRayConfig {
+  double cycle_length = 0.005;        ///< full communication cycle [s]
+  std::size_t static_slot_count = 10; ///< slots in the static segment
+  double static_slot_length = 0.0002; ///< Psi [s] (10 x 0.2 ms = 2 ms segment)
+  double minislot_length = 0.00005;   ///< psi [s]
+
+  /// Duration of the static segment [s].
+  double static_segment_length() const;
+
+  /// Duration of the dynamic segment [s].
+  double dynamic_segment_length() const;
+
+  /// Number of whole minislots in the dynamic segment.
+  std::size_t minislot_count() const;
+
+  /// Offset of static slot `index` from the cycle start [s].
+  double static_slot_offset(std::size_t index) const;
+
+  /// Start time of cycle `k` on the global time axis [s].
+  double cycle_start(std::size_t k) const;
+
+  /// Index of the cycle containing (or starting after) time t.
+  std::size_t cycle_of(double t) const;
+
+  /// Validate internal consistency; throws InvalidArgument on bad configs
+  /// (zero slots, segments exceeding the cycle, non-positive lengths).
+  void validate() const;
+};
+
+}  // namespace cps::flexray

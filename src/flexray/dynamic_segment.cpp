@@ -1,0 +1,106 @@
+#include "flexray/dynamic_segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cps::flexray {
+
+DynamicSegmentArbiter::DynamicSegmentArbiter(FlexRayConfig config) : config_(config) {
+  config_.validate();
+}
+
+void DynamicSegmentArbiter::register_frame(const FrameSpec& spec) {
+  CPS_ENSURE(spec.payload_minislots >= 1, "dynamic frame needs at least one minislot");
+  CPS_ENSURE(spec.payload_minislots <= config_.minislot_count(),
+             "dynamic frame payload exceeds the dynamic segment");
+  for (const auto& f : frames_)
+    if (f.frame_id == spec.frame_id)
+      throw InvalidArgument("dynamic frame id " + std::to_string(spec.frame_id) +
+                            " already registered");
+  frames_.push_back(spec);
+  std::sort(frames_.begin(), frames_.end(),
+            [](const FrameSpec& a, const FrameSpec& b) { return a.frame_id < b.frame_id; });
+}
+
+const FrameSpec& DynamicSegmentArbiter::spec_of(std::size_t frame_id) const {
+  for (const auto& f : frames_)
+    if (f.frame_id == frame_id) return f;
+  throw InvalidArgument("dynamic frame id " + std::to_string(frame_id) + " not registered");
+}
+
+std::vector<TransmissionResult> DynamicSegmentArbiter::arbitrate(
+    std::vector<TransmissionRequest> requests) const {
+  for (const auto& r : requests) {
+    CPS_ENSURE(r.release_time >= 0.0, "arbitrate: release time must be non-negative");
+    spec_of(r.frame_id);  // validates registration
+  }
+
+  std::vector<TransmissionResult> results(requests.size());
+  std::vector<bool> done(requests.size(), false);
+  std::size_t remaining = requests.size();
+
+  // Cycle-by-cycle simulation.  Within a cycle the dynamic segment starts
+  // after the static segment; pending requests are served in frame-id
+  // order while their payload fits into the minislots left.
+  for (std::size_t cycle = 0; remaining > 0; ++cycle) {
+    const double dyn_start = config_.cycle_start(cycle) + config_.static_segment_length();
+    const std::size_t total_minislots = config_.minislot_count();
+    std::size_t counter = 0;  // consumed minislots in this cycle
+
+    // Requests eligible this cycle, ordered by priority then release.
+    std::vector<std::size_t> eligible;
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      if (!done[i] && requests[i].release_time <= dyn_start) eligible.push_back(i);
+    std::sort(eligible.begin(), eligible.end(), [&](std::size_t a, std::size_t b) {
+      if (requests[a].frame_id != requests[b].frame_id)
+        return requests[a].frame_id < requests[b].frame_id;
+      return requests[a].release_time < requests[b].release_time;
+    });
+
+    for (std::size_t i : eligible) {
+      const FrameSpec& spec = spec_of(requests[i].frame_id);
+      if (counter + spec.payload_minislots > total_minislots) {
+        // Does not fit any more this cycle: one empty minislot elapses for
+        // the passed-over identifier (if any room remains).
+        if (counter < total_minislots) ++counter;
+        continue;
+      }
+      counter += spec.payload_minislots;
+      results[i].frame_id = requests[i].frame_id;
+      results[i].release_time = requests[i].release_time;
+      results[i].completion_time =
+          dyn_start + static_cast<double>(counter) * config_.minislot_length;
+      results[i].segment = Segment::kDynamic;
+      done[i] = true;
+      --remaining;
+    }
+  }
+  return results;
+}
+
+double DynamicSegmentArbiter::worst_case_delay(std::size_t frame_id) const {
+  const FrameSpec& self = spec_of(frame_id);
+
+  // Higher-priority (smaller id) payload per cycle.
+  std::size_t hp_minislots = 0;
+  for (const auto& f : frames_)
+    if (f.frame_id < frame_id) hp_minislots += f.payload_minislots;
+
+  const std::size_t capacity = config_.minislot_count();
+  if (hp_minislots + self.payload_minislots > capacity)
+    throw InfeasibleError(
+        "dynamic segment overload: frame " + std::to_string(frame_id) +
+        " plus higher-priority load does not fit in one dynamic segment");
+
+  // Released just after its opportunity: wait for the next cycle's dynamic
+  // segment (at most one full cycle), then behind all higher-priority
+  // payloads, then transmit.
+  const double wait_for_segment = config_.cycle_length;
+  const double blocking =
+      static_cast<double>(hp_minislots + self.payload_minislots) * config_.minislot_length;
+  return wait_for_segment + blocking;
+}
+
+}  // namespace cps::flexray

@@ -1,0 +1,42 @@
+// FlexRay message/frame descriptors shared by the static and dynamic
+// segment models.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace cps::flexray {
+
+/// Identifies the transmission path a message took.
+enum class Segment { kStatic, kDynamic };
+
+/// A message type registered on the bus.  `frame_id` doubles as the
+/// dynamic-segment priority: lower id wins arbitration earlier (FlexRay
+/// transmits dynamic frames in increasing frame-id order).
+struct FrameSpec {
+  std::size_t frame_id = 0;
+  std::string name;
+  /// Transmission duration in the dynamic segment, expressed in minislots
+  /// (>= 1).  Static-slot transmissions always occupy one full slot.
+  std::size_t payload_minislots = 1;
+};
+
+/// A concrete transmission request: frame `frame_id` became ready at
+/// `release_time` (seconds, global axis).
+struct TransmissionRequest {
+  std::size_t frame_id = 0;
+  double release_time = 0.0;
+};
+
+/// The outcome of a transmission: when it completed and over which segment.
+struct TransmissionResult {
+  std::size_t frame_id = 0;
+  double release_time = 0.0;
+  double completion_time = 0.0;
+  Segment segment = Segment::kDynamic;
+
+  /// End-to-end communication delay [s].
+  double delay() const { return completion_time - release_time; }
+};
+
+}  // namespace cps::flexray

@@ -1,0 +1,80 @@
+#include "flexray/static_segment.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cps::flexray {
+
+StaticSchedule::StaticSchedule(FlexRayConfig config)
+    : config_(config), owners_(config.static_slot_count) {
+  config_.validate();
+}
+
+void StaticSchedule::assign(std::size_t slot, std::size_t frame_id) {
+  assign_multiplexed(slot, frame_id, 1, 0);
+}
+
+void StaticSchedule::assign_multiplexed(std::size_t slot, std::size_t frame_id,
+                                        std::size_t repetition, std::size_t base_cycle) {
+  CPS_ENSURE(slot < owners_.size(), "StaticSchedule: slot index out of range");
+  CPS_ENSURE(repetition >= 1, "StaticSchedule: repetition must be >= 1");
+  CPS_ENSURE(base_cycle < repetition, "StaticSchedule: base cycle must be < repetition");
+  if (owners_[slot].has_value() && owners_[slot]->frame_id != frame_id)
+    throw InvalidArgument("StaticSchedule: slot " + std::to_string(slot) +
+                          " already owned by frame " + std::to_string(owners_[slot]->frame_id));
+  owners_[slot] = SlotAssignment{frame_id, repetition, base_cycle};
+}
+
+void StaticSchedule::release(std::size_t slot) {
+  CPS_ENSURE(slot < owners_.size(), "StaticSchedule: slot index out of range");
+  owners_[slot].reset();
+}
+
+std::optional<std::size_t> StaticSchedule::owner(std::size_t slot) const {
+  CPS_ENSURE(slot < owners_.size(), "StaticSchedule: slot index out of range");
+  if (!owners_[slot].has_value()) return std::nullopt;
+  return owners_[slot]->frame_id;
+}
+
+std::optional<SlotAssignment> StaticSchedule::assignment(std::size_t slot) const {
+  CPS_ENSURE(slot < owners_.size(), "StaticSchedule: slot index out of range");
+  return owners_[slot];
+}
+
+std::optional<std::size_t> StaticSchedule::slot_of(std::size_t frame_id) const {
+  for (std::size_t s = 0; s < owners_.size(); ++s)
+    if (owners_[s].has_value() && owners_[s]->frame_id == frame_id) return s;
+  return std::nullopt;
+}
+
+double StaticSchedule::completion_time(std::size_t slot, double release_time) const {
+  CPS_ENSURE(slot < owners_.size(), "StaticSchedule: slot index out of range");
+  CPS_ENSURE(release_time >= 0.0, "StaticSchedule: release time must be non-negative");
+
+  const SlotAssignment assignment_or_default =
+      owners_[slot].value_or(SlotAssignment{0, 1, 0});
+  const std::size_t rep = assignment_or_default.repetition;
+  const std::size_t base = assignment_or_default.base_cycle;
+
+  const double offset = config_.static_slot_offset(slot);
+  // First cycle whose slot start >= release_time.
+  const double raw = std::ceil((release_time - offset) / config_.cycle_length);
+  std::size_t cycle = raw <= 0.0 ? 0 : static_cast<std::size_t>(raw);
+  // Advance to the next owned cycle (cycle % rep == base).
+  while (cycle % rep != base) ++cycle;
+  const double slot_start = static_cast<double>(cycle) * config_.cycle_length + offset;
+  return slot_start + config_.static_slot_length;
+}
+
+double StaticSchedule::worst_case_delay(std::size_t slot) const {
+  CPS_ENSURE(slot < owners_.size(), "StaticSchedule: slot index out of range");
+  const std::size_t rep = owners_[slot].has_value() ? owners_[slot]->repetition : 1;
+  return static_cast<double>(rep) * config_.cycle_length + config_.static_slot_length;
+}
+
+double StaticSchedule::worst_case_delay() const {
+  return config_.cycle_length + config_.static_slot_length;
+}
+
+}  // namespace cps::flexray

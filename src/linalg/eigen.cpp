@@ -1,0 +1,196 @@
+#include "linalg/eigen.hpp"
+
+#include <cmath>
+
+#include "linalg/vector.hpp"
+#include "util/error.hpp"
+
+namespace cps::linalg {
+
+namespace {
+
+/// Eigenvalues of a real 2x2 matrix [[a,b],[c,d]].
+std::pair<std::complex<double>, std::complex<double>> eig2x2(double a, double b, double c,
+                                                             double d) {
+  const double tr = a + d;
+  const double det = a * d - b * c;
+  const double disc = tr * tr / 4.0 - det;
+  if (disc >= 0.0) {
+    const double root = std::sqrt(disc);
+    return {std::complex<double>(tr / 2.0 + root, 0.0),
+            std::complex<double>(tr / 2.0 - root, 0.0)};
+  }
+  const double imag = std::sqrt(-disc);
+  return {std::complex<double>(tr / 2.0, imag), std::complex<double>(tr / 2.0, -imag)};
+}
+
+}  // namespace
+
+Matrix hessenberg(const Matrix& a) {
+  if (!a.is_square()) throw DimensionMismatch("hessenberg requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix h = a;
+  if (n < 3) return h;
+
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector zeroing h(k+2..n-1, k).
+    double norm = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) norm += h(i, k) * h(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+
+    const double alpha = h(k + 1, k) >= 0.0 ? -norm : norm;
+    Vector v(n);
+    for (std::size_t i = k + 1; i < n; ++i) v[i] = h(i, k);
+    v[k + 1] -= alpha;
+    const double vtv = v.dot(v);
+    if (vtv == 0.0) continue;
+
+    // Similarity transform: h <- P h P with P = I - 2 v v^T / v^T v.
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) dot += v[i] * h(i, j);
+      const double f = 2.0 * dot / vtv;
+      for (std::size_t i = k + 1; i < n; ++i) h(i, j) -= f * v[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double dot = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) dot += h(i, j) * v[j];
+      const double f = 2.0 * dot / vtv;
+      for (std::size_t j = k + 1; j < n; ++j) h(i, j) -= f * v[j];
+    }
+  }
+  // Zero out the (numerically tiny) entries below the first subdiagonal.
+  for (std::size_t i = 2; i < n; ++i)
+    for (std::size_t j = 0; j + 1 < i; ++j) h(i, j) = 0.0;
+  return h;
+}
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
+  if (!a.is_square()) throw DimensionMismatch("eigenvalues requires a square matrix");
+  const std::size_t n0 = a.rows();
+  std::vector<std::complex<double>> eigs;
+  eigs.reserve(n0);
+  if (n0 == 0) return eigs;
+
+  Matrix h = hessenberg(a);
+  std::size_t n = n0;  // active trailing dimension
+  const double scale = std::max(h.max_abs(), 1.0);
+  const double eps = 1e-14 * scale;
+
+  int total_iters = 0;
+  const int max_iters = 100 * static_cast<int>(n0) + 200;
+
+  while (n > 0) {
+    if (n == 1) {
+      eigs.emplace_back(h(0, 0), 0.0);
+      break;
+    }
+
+    // Look for a negligible subdiagonal entry to deflate at.
+    std::size_t l = n - 1;
+    while (l > 0) {
+      const double sub = std::fabs(h(l, l - 1));
+      const double diag_sum = std::fabs(h(l - 1, l - 1)) + std::fabs(h(l, l));
+      if (sub <= eps || sub <= 1e-14 * diag_sum) {
+        h(l, l - 1) = 0.0;
+        break;
+      }
+      --l;
+    }
+
+    if (l == n - 1) {
+      // 1x1 block deflated at the bottom.
+      eigs.emplace_back(h(n - 1, n - 1), 0.0);
+      --n;
+      continue;
+    }
+    if (l == n - 2) {
+      // 2x2 trailing block — real pair or complex-conjugate pair.
+      auto [e1, e2] = eig2x2(h(n - 2, n - 2), h(n - 2, n - 1), h(n - 1, n - 2), h(n - 1, n - 1));
+      eigs.push_back(e1);
+      eigs.push_back(e2);
+      n -= 2;
+      continue;
+    }
+
+    if (++total_iters > max_iters)
+      throw NumericalError("eigenvalues: QR iteration failed to converge");
+
+    // Wilkinson shift from the trailing 2x2 of the active block [l, n).
+    const double am = h(n - 2, n - 2), bm = h(n - 2, n - 1);
+    const double cm = h(n - 1, n - 2), dm = h(n - 1, n - 1);
+    auto [s1, s2] = eig2x2(am, bm, cm, dm);
+    double shift;
+    if (s1.imag() == 0.0) {
+      // Pick the real shift closer to the bottom-right entry.
+      shift = std::fabs(s1.real() - dm) < std::fabs(s2.real() - dm) ? s1.real() : s2.real();
+    } else {
+      // Complex pair: use its real part (ad-hoc exceptional shift also mixed
+      // in occasionally to break symmetry cycles).
+      shift = s1.real();
+      if (total_iters % 17 == 0) shift += 0.5 * std::fabs(h(n - 1, n - 2));
+    }
+
+    // Implicit shifted QR step on the active window via Givens rotations:
+    // factorize (H - shift I) = Q R, then H <- R Q + shift I.
+    for (std::size_t i = l; i < n; ++i) h(i, i) -= shift;
+
+    // Store rotation (c, s) per column for the RQ recombination.
+    std::vector<double> cs(n, 1.0), sn(n, 0.0);
+    for (std::size_t k = l; k + 1 < n; ++k) {
+      const double x = h(k, k), y = h(k + 1, k);
+      const double r = std::hypot(x, y);
+      if (r == 0.0) {
+        cs[k] = 1.0;
+        sn[k] = 0.0;
+        continue;
+      }
+      const double c = x / r, s = y / r;
+      cs[k] = c;
+      sn[k] = s;
+      // Apply G^T to rows k, k+1 (columns k..n-1).
+      for (std::size_t j = k; j < n; ++j) {
+        const double t1 = h(k, j), t2 = h(k + 1, j);
+        h(k, j) = c * t1 + s * t2;
+        h(k + 1, j) = -s * t1 + c * t2;
+      }
+    }
+    // H <- R Q: apply rotations on the right.
+    for (std::size_t k = l; k + 1 < n; ++k) {
+      const double c = cs[k], s = sn[k];
+      const std::size_t top = l;
+      for (std::size_t i = top; i <= std::min(k + 1, n - 1); ++i) {
+        const double t1 = h(i, k), t2 = h(i, k + 1);
+        h(i, k) = c * t1 + s * t2;
+        h(i, k + 1) = -s * t1 + c * t2;
+      }
+      // Row k+2 may have picked up a bulge entry h(k+2, k+1) only — within
+      // Hessenberg structure this stays banded, nothing more to do.
+      if (k + 2 < n) {
+        const double t1 = h(k + 2, k), t2 = h(k + 2, k + 1);
+        h(k + 2, k) = c * t1 + s * t2;
+        h(k + 2, k + 1) = -s * t1 + c * t2;
+      }
+    }
+    for (std::size_t i = l; i < n; ++i) h(i, i) += shift;
+  }
+
+  return eigs;
+}
+
+double spectral_radius(const Matrix& a) {
+  double best = 0.0;
+  for (const auto& e : eigenvalues(a)) best = std::max(best, std::abs(e));
+  return best;
+}
+
+bool is_schur_stable(const Matrix& a, double tol) { return spectral_radius(a) < 1.0 - tol; }
+
+bool is_hurwitz_stable(const Matrix& a, double tol) {
+  for (const auto& e : eigenvalues(a))
+    if (e.real() >= -tol) return false;
+  return true;
+}
+
+}  // namespace cps::linalg

@@ -1,0 +1,39 @@
+// Eigenvalue computation for general real square matrices.
+//
+// Implementation: Householder reduction to upper Hessenberg form followed
+// by the shifted QR iteration (Wilkinson shift, Givens rotations) with 1x1
+// and 2x2 deflation; 2x2 trailing blocks yield complex-conjugate pairs via
+// the quadratic formula.  This is the textbook dense real-Schur approach,
+// adequate for the <= ~20-state systems in this library.
+//
+// The control layer uses these routines for stability predicates (spectral
+// radius of closed-loop matrices) — the heart of the paper's switched-system
+// analysis.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cps::linalg {
+
+/// All eigenvalues of a real square matrix, in unspecified order.
+/// Throws NumericalError if the QR iteration fails to converge.
+std::vector<std::complex<double>> eigenvalues(const Matrix& a);
+
+/// Spectral radius max_i |lambda_i(a)|.
+double spectral_radius(const Matrix& a);
+
+/// True iff all eigenvalues lie strictly inside the unit circle
+/// (discrete-time asymptotic stability), with margin `tol`.
+bool is_schur_stable(const Matrix& a, double tol = 1e-9);
+
+/// True iff all eigenvalues have real part < -tol (continuous-time
+/// asymptotic stability).
+bool is_hurwitz_stable(const Matrix& a, double tol = 1e-9);
+
+/// Householder reduction to upper Hessenberg form (similar to `a`).
+Matrix hessenberg(const Matrix& a);
+
+}  // namespace cps::linalg

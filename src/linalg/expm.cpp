@@ -1,0 +1,63 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace cps::linalg {
+
+Matrix expm(const Matrix& a) {
+  if (!a.is_square()) throw DimensionMismatch("expm requires a square matrix");
+  const std::size_t n = a.rows();
+  if (n == 0) return a;
+
+  // Scale so that ||A / 2^s||_inf <= 0.5.
+  const double norm = a.norm_inf();
+  int s = 0;
+  if (norm > 0.5) {
+    s = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+    s = std::max(s, 0);
+  }
+  const double scale = std::ldexp(1.0, -s);  // 2^-s
+  const Matrix x = a * scale;
+
+  // [6/6] Padé approximant: N(x) / D(x) with
+  // N = sum c_k x^k, D = sum c_k (-x)^k, c_k = (2m-k)! m! / ((2m)! k! (m-k)!).
+  constexpr double c[7] = {1.0,         1.0 / 2.0,    5.0 / 44.0,  1.0 / 66.0,
+                           1.0 / 792.0, 1.0 / 15840.0, 1.0 / 665280.0};
+  const Matrix eye = Matrix::identity(n);
+  Matrix xk = eye;  // x^k
+  Matrix num = eye * c[0];
+  Matrix den = eye * c[0];
+  double sign = 1.0;
+  for (int k = 1; k <= 6; ++k) {
+    xk = xk * x;
+    sign = -sign;
+    num += xk * c[k];
+    den += xk * (c[k] * sign);
+  }
+  Matrix result = solve(den, num);
+
+  // Undo the scaling by repeated squaring.
+  for (int i = 0; i < s; ++i) result = result * result;
+  if (!result.all_finite()) throw NumericalError("expm produced non-finite entries");
+  return result;
+}
+
+ZohPair zoh_integrals(const Matrix& a, const Matrix& b, double t) {
+  if (!a.is_square()) throw DimensionMismatch("zoh_integrals: A must be square");
+  if (b.rows() != a.rows()) throw DimensionMismatch("zoh_integrals: B row count mismatch");
+  CPS_ENSURE(t >= 0.0, "zoh_integrals: horizon must be non-negative");
+
+  // Van Loan block trick: expm([[A, B], [0, 0]] t) = [[Phi, Gamma], [0, I]].
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  Matrix block(n + m, n + m);
+  block.set_block(0, 0, a * t);
+  block.set_block(0, n, b * t);
+  const Matrix e = expm(block);
+  return ZohPair{e.block(0, 0, n, n), e.block(0, n, n, m)};
+}
+
+}  // namespace cps::linalg

@@ -1,0 +1,26 @@
+// Matrix exponential via scaling-and-squaring with a diagonal Padé
+// approximant.  Needed for exact zero-order-hold discretization of
+// continuous-time plants (control/discretize.hpp).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace cps::linalg {
+
+/// e^A for a square matrix.  Scaling & squaring with the [6/6] Padé
+/// approximant; relative accuracy ~1e-12 for the well-scaled matrices that
+/// arise from A*h with sampling periods in the millisecond range.
+Matrix expm(const Matrix& a);
+
+/// Convenience pair for ZOH discretization: given continuous (A, B) and a
+/// horizon t, returns (Phi, Gamma) with
+///   Phi   = e^{A t},
+///   Gamma = Integral_0^t e^{A s} ds * B,
+/// computed in one augmented exponential (exact also for singular A).
+struct ZohPair {
+  Matrix phi;
+  Matrix gamma;
+};
+ZohPair zoh_integrals(const Matrix& a, const Matrix& b, double t);
+
+}  // namespace cps::linalg

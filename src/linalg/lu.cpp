@@ -1,0 +1,102 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cps::linalg {
+
+namespace {
+constexpr double kSingularTol = 1e-13;
+}
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a), perm_(a.rows()) {
+  if (!a.is_square()) throw DimensionMismatch("LU requires a square matrix");
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  // Scale factors for scaled partial pivoting improve robustness on badly
+  // row-scaled systems (common for mixed-unit state-space models).
+  std::vector<double> scale(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double big = 0.0;
+    for (std::size_t j = 0; j < n; ++j) big = std::max(big, std::fabs(lu_(i, j)));
+    if (big == 0.0) throw NumericalError("LU: matrix has an all-zero row (singular)");
+    scale[i] = 1.0 / big;
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot selection.
+    double best = -1.0;
+    std::size_t piv = k;
+    for (std::size_t i = k; i < n; ++i) {
+      const double candidate = scale[i] * std::fabs(lu_(i, k));
+      if (candidate > best) {
+        best = candidate;
+        piv = i;
+      }
+    }
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(piv, j), lu_(k, j));
+      std::swap(scale[piv], scale[k]);
+      std::swap(perm_[piv], perm_[k]);
+      sign_ = -sign_;
+    }
+    const double pivot = lu_(k, k);
+    if (std::fabs(pivot) < kSingularTol)
+      throw NumericalError("LU: matrix is singular to working precision");
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu_(i, k) / pivot;
+      lu_(i, k) = factor;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= factor * lu_(k, j);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw DimensionMismatch("LU solve: rhs size mismatch");
+
+  // Forward substitution on the permuted rhs.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution.
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.rows() != n) throw DimensionMismatch("LU solve: rhs row count mismatch");
+  Matrix x(n, b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector xc = solve(b.col(c));
+    for (std::size_t i = 0; i < n; ++i) x(i, c) = xc[i];
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Matrix LuDecomposition::inverse() const { return solve(Matrix::identity(lu_.rows())); }
+
+Vector solve(const Matrix& a, const Vector& b) { return LuDecomposition(a).solve(b); }
+Matrix solve(const Matrix& a, const Matrix& b) { return LuDecomposition(a).solve(b); }
+Matrix inverse(const Matrix& a) { return LuDecomposition(a).inverse(); }
+double determinant(const Matrix& a) { return LuDecomposition(a).determinant(); }
+
+}  // namespace cps::linalg

@@ -1,0 +1,52 @@
+// LU decomposition with partial pivoting, plus the linear-solve, inverse and
+// determinant operations built on it.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace cps::linalg {
+
+/// PA = LU factorization of a square matrix with partial (row) pivoting.
+///
+/// The factors are stored compactly: the strictly lower triangle of `lu`
+/// holds L (unit diagonal implied) and the upper triangle holds U.
+class LuDecomposition {
+ public:
+  /// Factorize `a` (must be square). Throws NumericalError if `a` is
+  /// singular to working precision.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// Solve A x = b for a single right-hand side.
+  Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// det(A), including the pivoting sign.
+  double determinant() const;
+
+  /// A^-1 (computed by solving against the identity).
+  Matrix inverse() const;
+
+  std::size_t dimension() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
+  int sign_ = 1;
+};
+
+/// Convenience: solve A x = b (factorizes once).
+Vector solve(const Matrix& a, const Vector& b);
+
+/// Convenience: solve A X = B.
+Matrix solve(const Matrix& a, const Matrix& b);
+
+/// Convenience: A^-1.
+Matrix inverse(const Matrix& a);
+
+/// Convenience: det(A).
+double determinant(const Matrix& a);
+
+}  // namespace cps::linalg

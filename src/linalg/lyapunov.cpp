@@ -1,0 +1,61 @@
+#include "linalg/lyapunov.hpp"
+
+#include "linalg/eigen.hpp"
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace cps::linalg {
+
+Matrix solve_discrete_lyapunov(const Matrix& a, const Matrix& q, double tol, int max_iter) {
+  if (!a.is_square() || !q.is_square() || a.rows() != q.rows())
+    throw DimensionMismatch("discrete Lyapunov: A and Q must be square of equal size");
+  if (!is_schur_stable(a, 0.0))
+    throw NumericalError("discrete Lyapunov (Smith iteration) requires rho(A) < 1");
+
+  // X = sum_k (A^T)^k Q A^k, accumulated with squaring:
+  //   X_{j+1} = X_j + A_j^T X_j A_j,  A_{j+1} = A_j^2.
+  Matrix x = q;
+  Matrix ak = a;
+  for (int it = 0; it < max_iter; ++it) {
+    const Matrix increment = ak.transpose() * x * ak;
+    x += increment;
+    if (increment.max_abs() <= tol * std::max(1.0, x.max_abs())) return x;
+    ak = ak * ak;
+  }
+  throw NumericalError("discrete Lyapunov: Smith iteration did not converge");
+}
+
+Matrix solve_discrete_lyapunov_direct(const Matrix& a, const Matrix& q) {
+  if (!a.is_square() || !q.is_square() || a.rows() != q.rows())
+    throw DimensionMismatch("discrete Lyapunov: A and Q must be square of equal size");
+  const std::size_t n = a.rows();
+
+  // vec(A^T X A) = (A^T kron A^T) vec(X) with column-major vec; build
+  // M = I - (A kron A)^T and solve M vec(X) = vec(Q).
+  const std::size_t n2 = n * n;
+  Matrix m(n2, n2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t l = 0; l < n; ++l) {
+          // Row index corresponds to entry (k, l) of the equation, column
+          // to entry (i, j) of X:  [A^T X A](k,l) = sum_{i,j} A(i,k) X(i,j) A(j,l).
+          const std::size_t row = k * n + l;
+          const std::size_t colIdx = i * n + j;
+          const double coeff = a(i, k) * a(j, l);
+          m(row, colIdx) -= coeff;
+        }
+  for (std::size_t d = 0; d < n2; ++d) m(d, d) += 1.0;
+
+  Vector rhs(n2);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t l = 0; l < n; ++l) rhs[k * n + l] = q(k, l);
+
+  const Vector xv = solve(m, rhs);
+  Matrix x(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) x(i, j) = xv[i * n + j];
+  return x;
+}
+
+}  // namespace cps::linalg

@@ -1,0 +1,21 @@
+// Discrete-time Lyapunov equation solvers.
+//
+// Solves  A^T X A - X + Q = 0  for X (the standard discrete Lyapunov /
+// Stein equation).  Two methods are provided and cross-checked in tests:
+//   * Smith's squaring (doubling) iteration — fast, requires rho(A) < 1;
+//   * direct Kronecker-product linear solve — works for any A without unit
+//     eigenvalue products, O(n^6) but fine for control-sized systems.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace cps::linalg {
+
+/// Smith doubling iteration; requires Schur-stable A (checked).
+Matrix solve_discrete_lyapunov(const Matrix& a, const Matrix& q, double tol = 1e-13,
+                               int max_iter = 200);
+
+/// Direct vectorized solve via (I - A^T (x) A^T) vec(X) = vec(Q).
+Matrix solve_discrete_lyapunov_direct(const Matrix& a, const Matrix& q);
+
+}  // namespace cps::linalg

@@ -1,0 +1,262 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "linalg/vector.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace cps::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw DimensionMismatch("Matrix initializer rows have unequal lengths");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::zero(std::size_t rows, std::size_t cols) { return Matrix(rows, cols, 0.0); }
+
+Matrix Matrix::diagonal(const std::vector<double>& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+std::size_t Matrix::index(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_)
+    throw DimensionMismatch("Matrix index (" + std::to_string(r) + "," + std::to_string(c) +
+                            ") out of range for " + std::to_string(rows_) + "x" +
+                            std::to_string(cols_));
+  return r * cols_ + c;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) { return data_[index(r, c)]; }
+double Matrix::operator()(std::size_t r, std::size_t c) const { return data_[index(r, c)]; }
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  Matrix out = *this;
+  out -= rhs;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw DimensionMismatch("Matrix addition requires equal dimensions");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw DimensionMismatch("Matrix subtraction requires equal dimensions");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw DimensionMismatch("Matrix product: " + std::to_string(rows_) + "x" +
+                            std::to_string(cols_) + " times " + std::to_string(rhs.rows_) + "x" +
+                            std::to_string(rhs.cols_));
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = data_[i * cols_ + k];
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out.data_[i * rhs.cols_ + j] += aik * rhs.data_[k * rhs.cols_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  if (cols_ != v.size())
+    throw DimensionMismatch("Matrix-vector product: " + std::to_string(rows_) + "x" +
+                            std::to_string(cols_) + " times vector of size " +
+                            std::to_string(v.size()));
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += data_[i * cols_ + j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  out *= s;
+  return out;
+}
+
+Matrix Matrix::operator/(double s) const {
+  if (s == 0.0) throw NumericalError("Matrix division by zero scalar");
+  return *this * (1.0 / s);
+}
+
+Matrix Matrix::operator-() const { return *this * -1.0; }
+
+bool Matrix::operator==(const Matrix& rhs) const {
+  return rows_ == rhs.rows_ && cols_ == rhs.cols_ && data_ == rhs.data_;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = data_[i * cols_ + j];
+  return out;
+}
+
+Matrix Matrix::pow(unsigned k) const {
+  if (!is_square()) throw DimensionMismatch("Matrix::pow requires a square matrix");
+  Matrix result = Matrix::identity(rows_);
+  Matrix base = *this;
+  while (k > 0) {
+    if (k & 1U) result = result * base;
+    base = base * base;
+    k >>= 1U;
+  }
+  return result;
+}
+
+double Matrix::trace() const {
+  if (!is_square()) throw DimensionMismatch("Matrix::trace requires a square matrix");
+  double t = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) t += data_[i * cols_ + i];
+  return t;
+}
+
+double Matrix::norm_frobenius() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::norm_inf() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) row_sum += std::fabs(data_[i * cols_ + j]);
+    best = std::max(best, row_sum);
+  }
+  return best;
+}
+
+double Matrix::norm_one() const {
+  double best = 0.0;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    double col_sum = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) col_sum += std::fabs(data_[i * cols_ + j]);
+    best = std::max(best, col_sum);
+  }
+  return best;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const {
+  if (r0 + nr > rows_ || c0 + nc > cols_)
+    throw DimensionMismatch("Matrix::block out of range");
+  Matrix out(nr, nc);
+  for (std::size_t i = 0; i < nr; ++i)
+    for (std::size_t j = 0; j < nc; ++j) out(i, j) = (*this)(r0 + i, c0 + j);
+  return out;
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& b) {
+  if (r0 + b.rows_ > rows_ || c0 + b.cols_ > cols_)
+    throw DimensionMismatch("Matrix::set_block out of range");
+  for (std::size_t i = 0; i < b.rows_; ++i)
+    for (std::size_t j = 0; j < b.cols_; ++j) (*this)(r0 + i, c0 + j) = b(i, j);
+}
+
+Matrix Matrix::hstack(const Matrix& a, const Matrix& b) {
+  if (a.rows_ != b.rows_) throw DimensionMismatch("hstack requires equal row counts");
+  Matrix out(a.rows_, a.cols_ + b.cols_);
+  out.set_block(0, 0, a);
+  out.set_block(0, a.cols_, b);
+  return out;
+}
+
+Matrix Matrix::vstack(const Matrix& a, const Matrix& b) {
+  if (a.cols_ != b.cols_) throw DimensionMismatch("vstack requires equal column counts");
+  Matrix out(a.rows_ + b.rows_, a.cols_);
+  out.set_block(0, 0, a);
+  out.set_block(a.rows_, 0, b);
+  return out;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, c);
+  return out;
+}
+
+Vector Matrix::row(std::size_t r) const {
+  Vector out(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) out[j] = (*this)(r, j);
+  return out;
+}
+
+bool Matrix::approx_equal(const Matrix& rhs, double tol) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::fabs(data_[i] - rhs.data_[i]) > tol) return false;
+  return true;
+}
+
+bool Matrix::all_finite() const {
+  for (double v : data_)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [\n";
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << "  ";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      os << format_fixed((*this)(i, j), precision);
+      if (j + 1 != cols_) os << ", ";
+    }
+    os << "\n";
+  }
+  os << "]";
+  return os.str();
+}
+
+Matrix operator*(double s, const Matrix& m) { return m * s; }
+
+}  // namespace cps::linalg

@@ -1,0 +1,123 @@
+// Dense, row-major, double-precision matrix.
+//
+// Sized for control-engineering workloads: plant/closed-loop matrices have a
+// handful of states, so the implementation favours clarity and checked
+// access over blocking/vectorization.  All operations validate dimensions
+// and throw cps::DimensionMismatch on incompatibility.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cps::linalg {
+
+class Vector;
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all entries initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construct from nested initializer lists:
+  ///   Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  /// All rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  /// rows x cols of zeros.
+  static Matrix zero(std::size_t rows, std::size_t cols);
+
+  /// Square matrix with `diag` on the main diagonal.
+  static Matrix diagonal(const std::vector<double>& diag);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool is_square() const { return rows_ == cols_; }
+
+  /// Checked element access.
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  // Arithmetic (dimension-checked).
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& v) const;
+  Matrix operator*(double s) const;
+  Matrix operator/(double s) const;
+  Matrix operator-() const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  bool operator==(const Matrix& rhs) const;
+
+  Matrix transpose() const;
+
+  /// Matrix power A^k for integer k >= 0 (A must be square).
+  Matrix pow(unsigned k) const;
+
+  /// Sum of diagonal entries (square only).
+  double trace() const;
+
+  /// Frobenius norm sqrt(sum a_ij^2).
+  double norm_frobenius() const;
+
+  /// Induced infinity norm (max absolute row sum).
+  double norm_inf() const;
+
+  /// Induced 1-norm (max absolute column sum).
+  double norm_one() const;
+
+  /// Largest absolute entry.
+  double max_abs() const;
+
+  /// Submatrix of size (nr x nc) starting at (r0, c0).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const;
+
+  /// Overwrite the block at (r0, c0) with `b` (must fit).
+  void set_block(std::size_t r0, std::size_t c0, const Matrix& b);
+
+  /// Horizontal concatenation [a b] (equal row counts).
+  static Matrix hstack(const Matrix& a, const Matrix& b);
+
+  /// Vertical concatenation [a; b] (equal column counts).
+  static Matrix vstack(const Matrix& a, const Matrix& b);
+
+  /// Column c as a Vector.
+  Vector col(std::size_t c) const;
+
+  /// Row r as a Vector.
+  Vector row(std::size_t r) const;
+
+  /// Entry-wise approximate equality within `tol` (same dimensions required).
+  bool approx_equal(const Matrix& rhs, double tol) const;
+
+  /// True if every entry is finite.
+  bool all_finite() const;
+
+  /// Human-readable multi-line rendering (for diagnostics and tests).
+  std::string to_string(int precision = 6) const;
+
+  /// Raw storage (row-major), primarily for serialization.
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t index(std::size_t r, std::size_t c) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator*(double s, const Matrix& m);
+
+}  // namespace cps::linalg

@@ -1,0 +1,86 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cps::linalg {
+
+QrDecomposition::QrDecomposition(const Matrix& a) : q_(Matrix::identity(a.rows())), r_(a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t steps = std::min(m == 0 ? 0 : m - 1, n);
+
+  for (std::size_t k = 0; k < steps; ++k) {
+    // Householder vector annihilating r_(k+1..m-1, k).
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r_(i, k) * r_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+
+    const double alpha = r_(k, k) >= 0.0 ? -norm : norm;
+    Vector v(m);
+    for (std::size_t i = k; i < m; ++i) v[i] = r_(i, k);
+    v[k] -= alpha;
+    const double vtv = v.dot(v);
+    if (vtv == 0.0) continue;
+
+    // r_ <- (I - 2 v v^T / v^T v) r_
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i] * r_(i, j);
+      const double f = 2.0 * dot / vtv;
+      for (std::size_t i = k; i < m; ++i) r_(i, j) -= f * v[i];
+    }
+    // q_ <- q_ (I - 2 v v^T / v^T v)
+    for (std::size_t i = 0; i < m; ++i) {
+      double dot = 0.0;
+      for (std::size_t j = k; j < m; ++j) dot += q_(i, j) * v[j];
+      const double f = 2.0 * dot / vtv;
+      for (std::size_t j = k; j < m; ++j) q_(i, j) -= f * v[j];
+    }
+  }
+  // Clean tiny subdiagonal noise for a crisp upper-triangular R.
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j + 1; i < m; ++i)
+      if (std::fabs(r_(i, j)) < 1e-14) r_(i, j) = 0.0;
+}
+
+Vector QrDecomposition::solve(const Vector& b) const {
+  const std::size_t m = r_.rows();
+  const std::size_t n = r_.cols();
+  if (b.size() != m) throw DimensionMismatch("QR solve: rhs size mismatch");
+  if (m < n) throw DimensionMismatch("QR solve requires rows >= cols");
+
+  // y = Q^T b, then back-substitute R(0:n,0:n) x = y(0:n).
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < m; ++k) acc += q_(k, i) * b[k];
+    y[i] = acc;
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    const double diag = r_(i, i);
+    if (std::fabs(diag) < 1e-12)
+      throw NumericalError("QR solve: rank-deficient system");
+    double acc = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= r_(i, j) * x[j];
+    x[i] = acc / diag;
+  }
+  return x;
+}
+
+std::size_t QrDecomposition::rank(double tol) const {
+  const std::size_t k = std::min(r_.rows(), r_.cols());
+  std::size_t rank = 0;
+  double scale = std::max(r_.max_abs(), 1.0);
+  for (std::size_t i = 0; i < k; ++i)
+    if (std::fabs(r_(i, i)) > tol * scale) ++rank;
+  return rank;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) { return QrDecomposition(a).solve(b); }
+
+}  // namespace cps::linalg

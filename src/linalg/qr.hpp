@@ -1,0 +1,39 @@
+// Householder QR decomposition and least-squares solve.
+//
+// Used by the analysis layer for piecewise-linear envelope fitting and by
+// the eigenvalue solver's orthogonal transformations.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace cps::linalg {
+
+/// A = Q R with Q orthonormal (m x m) and R upper-trapezoidal (m x n),
+/// computed with Householder reflections. Requires m >= n for solves.
+class QrDecomposition {
+ public:
+  explicit QrDecomposition(const Matrix& a);
+
+  /// Explicit Q factor (m x m).
+  Matrix q() const { return q_; }
+
+  /// Explicit R factor (m x n).
+  Matrix r() const { return r_; }
+
+  /// Minimum-residual solution of A x = b (least squares when m > n).
+  /// Throws NumericalError when A is rank deficient to working precision.
+  Vector solve(const Vector& b) const;
+
+  /// Rank estimate from the diagonal of R.
+  std::size_t rank(double tol = 1e-10) const;
+
+ private:
+  Matrix q_;  // m x m
+  Matrix r_;  // m x n
+};
+
+/// Least-squares fit: returns x minimizing ||A x - b||_2.
+Vector least_squares(const Matrix& a, const Vector& b);
+
+}  // namespace cps::linalg

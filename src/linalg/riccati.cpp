@@ -1,0 +1,119 @@
+#include "linalg/riccati.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace cps::linalg {
+
+namespace {
+
+void check_dare_inputs(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r) {
+  if (!a.is_square()) throw DimensionMismatch("DARE: A must be square");
+  const std::size_t n = a.rows();
+  if (b.rows() != n) throw DimensionMismatch("DARE: B row count must match A");
+  const std::size_t m = b.cols();
+  if (q.rows() != n || q.cols() != n) throw DimensionMismatch("DARE: Q must be n x n");
+  if (r.rows() != m || r.cols() != m) throw DimensionMismatch("DARE: R must be m x m");
+  if (!q.approx_equal(q.transpose(), 1e-9)) throw InvalidArgument("DARE: Q must be symmetric");
+  if (!r.approx_equal(r.transpose(), 1e-9)) throw InvalidArgument("DARE: R must be symmetric");
+}
+
+/// One application of the Riccati map f(X).
+Matrix riccati_map(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
+                   const Matrix& x) {
+  const Matrix btx = b.transpose() * x;
+  const Matrix s = r + btx * b;          // R + B'XB
+  const Matrix k = solve(s, btx * a);    // (R + B'XB)^-1 B'XA
+  return a.transpose() * x * a - (a.transpose() * x * b) * k + q;
+}
+
+Matrix symmetrize(const Matrix& x) { return (x + x.transpose()) * 0.5; }
+
+}  // namespace
+
+double dare_residual(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
+                     const Matrix& x) {
+  return (x - riccati_map(a, b, q, r, x)).max_abs();
+}
+
+DareResult solve_dare(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
+                      const DareOptions& opts) {
+  check_dare_inputs(a, b, q, r);
+  const std::size_t n = a.rows();
+
+  // SDA-1 (Chu, Fan, Lin 2005):
+  //   A_0 = A, G_0 = B R^-1 B^T, H_0 = Q, then iterate
+  //   W     = I + G_k H_k
+  //   A_1   = A_k W^-1 A_k
+  //   G_1   = G_k + A_k W^-1 G_k A_k^T
+  //   H_1   = H_k + A_k^T H_k W^-1 A_k
+  //   (H_k -> X, the stabilizing solution, quadratically).
+  Matrix ak = a;
+  Matrix gk = b * solve(r, b.transpose());
+  Matrix hk = q;
+  const Matrix eye = Matrix::identity(n);
+
+  int it = 0;
+  for (; it < opts.max_iterations; ++it) {
+    const Matrix w = eye + gk * hk;
+    Matrix winv_ak, winv_gk;
+    try {
+      const LuDecomposition lu(w);
+      winv_ak = lu.solve(ak);
+      winv_gk = lu.solve(gk);
+    } catch (const NumericalError&) {
+      throw NumericalError("DARE(SDA): I + G H became singular — problem may not admit a "
+                           "stabilizing solution");
+    }
+    const Matrix a_next = ak * winv_ak;
+    const Matrix g_next = symmetrize(gk + ak * winv_gk * ak.transpose());
+    const Matrix h_next = symmetrize(hk + ak.transpose() * hk * winv_ak);
+
+    const double delta = (h_next - hk).max_abs();
+    ak = a_next;
+    gk = g_next;
+    hk = h_next;
+    if (!hk.all_finite()) throw NumericalError("DARE(SDA): divergence (non-finite iterate)");
+    if (delta <= opts.tolerance * std::max(1.0, hk.max_abs())) break;
+  }
+  if (it >= opts.max_iterations) throw NumericalError("DARE(SDA): did not converge");
+
+  DareResult out;
+  out.x = symmetrize(hk);
+  out.iterations = it + 1;
+  out.residual = dare_residual(a, b, q, r, out.x);
+  if (out.residual > 1e-6 * std::max(1.0, out.x.max_abs()))
+    throw NumericalError("DARE(SDA): converged iterate does not satisfy the Riccati equation");
+  return out;
+}
+
+DareResult solve_dare_iterative(const Matrix& a, const Matrix& b, const Matrix& q,
+                                const Matrix& r, const DareOptions& opts) {
+  check_dare_inputs(a, b, q, r);
+  Matrix x = q;
+  int it = 0;
+  for (; it < opts.max_iterations; ++it) {
+    const Matrix x_next = symmetrize(riccati_map(a, b, q, r, x));
+    const double delta = (x_next - x).max_abs();
+    x = x_next;
+    if (!x.all_finite())
+      throw NumericalError("DARE(iterative): divergence (non-finite iterate)");
+    if (delta <= opts.tolerance * std::max(1.0, x.max_abs())) break;
+  }
+  if (it >= opts.max_iterations) throw NumericalError("DARE(iterative): did not converge");
+
+  DareResult out;
+  out.x = x;
+  out.iterations = it + 1;
+  out.residual = dare_residual(a, b, q, r, x);
+  return out;
+}
+
+Matrix lqr_gain_from_dare(const Matrix& a, const Matrix& b, const Matrix& r, const Matrix& x) {
+  const Matrix btx = b.transpose() * x;
+  return solve(r + btx * b, btx * a);
+}
+
+}  // namespace cps::linalg

@@ -1,0 +1,107 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cps::linalg {
+
+SvdResult svd(const Matrix& a_in) {
+  // One-sided Jacobi: orthogonalize the columns of W = A V by plane
+  // rotations accumulated into V; on convergence the column norms of W are
+  // the singular values and W's normalized columns form U.
+  // Work on A^T when m < n so the "thin" shape always holds.
+  const bool transposed = a_in.rows() < a_in.cols();
+  const Matrix a = transposed ? a_in.transpose() : a_in;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  Matrix w = a;
+  Matrix v = Matrix::identity(n);
+
+  const double eps = 1e-14;
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries of columns p, q.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += w(i, p) * w(i, p);
+          aqq += w(i, q) * w(i, q);
+          apq += w(i, p) * w(i, q);
+        }
+        if (std::fabs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) continue;
+        converged = false;
+
+        // Jacobi rotation annihilating the (p, q) Gram entry.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p), wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Extract singular values (column norms) and sort decreasing.
+  std::vector<std::size_t> order(n);
+  std::vector<double> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += w(i, j) * w(i, j);
+    sigma[j] = std::sqrt(norm);
+    order[j] = j;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.sigma.resize(n);
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    out.sigma[j] = sigma[src];
+    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+    if (sigma[src] > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) out.u(i, j) = w(i, src) / sigma[src];
+    }
+  }
+
+  if (transposed) {
+    // A_in = (U S V^T)^T = V S U^T: swap the factors.
+    std::swap(out.u, out.v);
+  }
+  return out;
+}
+
+std::vector<double> singular_values(const Matrix& a) { return svd(a).sigma; }
+
+double norm_two(const Matrix& a) {
+  if (a.empty()) return 0.0;
+  return singular_values(a).front();
+}
+
+double condition_number(const Matrix& a) {
+  const auto sigma = singular_values(a);
+  CPS_ENSURE(!sigma.empty(), "condition_number: empty matrix");
+  if (sigma.back() <= 1e-14 * std::max(sigma.front(), 1.0))
+    throw NumericalError("condition_number: matrix is singular to working precision");
+  return sigma.front() / sigma.back();
+}
+
+}  // namespace cps::linalg

@@ -1,0 +1,32 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// Small dense matrices only (control-sized); accuracy and robustness over
+// speed.  Used for the induced 2-norm and condition numbers, which the
+// transient-growth analysis (analysis/transient.hpp) builds on.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cps::linalg {
+
+/// Singular values of `a` in decreasing order (all >= 0).
+std::vector<double> singular_values(const Matrix& a);
+
+/// Induced 2-norm ||a||_2 = sigma_max(a).
+double norm_two(const Matrix& a);
+
+/// 2-norm condition number sigma_max / sigma_min.  Throws NumericalError
+/// when the matrix is singular to working precision (sigma_min ~ 0).
+double condition_number(const Matrix& a);
+
+/// Full decomposition A = U diag(sigma) V^T (thin: U is m x n for m >= n).
+struct SvdResult {
+  Matrix u;                      // m x n, orthonormal columns
+  std::vector<double> sigma;     // n, decreasing
+  Matrix v;                      // n x n, orthogonal
+};
+SvdResult svd(const Matrix& a);
+
+}  // namespace cps::linalg

@@ -1,0 +1,75 @@
+// Dense double-precision column vector with checked access.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cps::linalg {
+
+class Matrix;
+
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  static Vector zero(std::size_t n) { return Vector(n, 0.0); }
+
+  /// Unit vector e_i of dimension n.
+  static Vector unit(std::size_t n, std::size_t i);
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i);
+  double operator[](std::size_t i) const;
+
+  Vector operator+(const Vector& rhs) const;
+  Vector operator-(const Vector& rhs) const;
+  Vector operator*(double s) const;
+  Vector operator/(double s) const;
+  Vector operator-() const;
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+
+  bool operator==(const Vector& rhs) const { return data_ == rhs.data_; }
+
+  /// Inner product (sizes must match).
+  double dot(const Vector& rhs) const;
+
+  /// Euclidean norm — this is the ‖x‖ of the paper's threshold test.
+  double norm() const;
+
+  /// Max absolute component.
+  double norm_inf() const;
+
+  /// Outer product: (this) * rhs^T.
+  Matrix outer(const Vector& rhs) const;
+
+  /// View as an n x 1 matrix.
+  Matrix as_column() const;
+
+  /// First `n` components.
+  Vector head(std::size_t n) const;
+
+  /// Concatenate two vectors.
+  static Vector concat(const Vector& a, const Vector& b);
+
+  bool approx_equal(const Vector& rhs, double tol) const;
+  bool all_finite() const;
+
+  std::string to_string(int precision = 6) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator*(double s, const Vector& v);
+
+}  // namespace cps::linalg

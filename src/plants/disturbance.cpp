@@ -1,0 +1,56 @@
+#include "plants/disturbance.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cps::plants {
+
+PeriodicDisturbance::PeriodicDisturbance(double period, double phase)
+    : period_(period), phase_(phase) {
+  CPS_ENSURE(period_ > 0.0, "PeriodicDisturbance: period must be positive");
+  CPS_ENSURE(phase_ >= 0.0, "PeriodicDisturbance: phase must be non-negative");
+}
+
+std::vector<double> PeriodicDisturbance::arrivals(double horizon) {
+  std::vector<double> out;
+  for (double t = phase_; t < horizon; t += period_) out.push_back(t);
+  return out;
+}
+
+SporadicDisturbance::SporadicDisturbance(double min_gap, double mean_extra_gap, cps::Rng rng)
+    : min_gap_(min_gap), mean_extra_gap_(mean_extra_gap), rng_(rng) {
+  CPS_ENSURE(min_gap_ > 0.0, "SporadicDisturbance: min gap must be positive");
+  CPS_ENSURE(mean_extra_gap_ >= 0.0, "SporadicDisturbance: mean extra gap must be >= 0");
+}
+
+std::vector<double> SporadicDisturbance::arrivals(double horizon) {
+  std::vector<double> out;
+  double t = 0.0;
+  while (true) {
+    double gap = min_gap_;
+    if (mean_extra_gap_ > 0.0) {
+      // Inverse-CDF exponential draw keeps the process reproducible.
+      const double u = rng_.uniform(1e-12, 1.0);
+      gap += -mean_extra_gap_ * std::log(u);
+    }
+    t = out.empty() ? 0.0 : t + gap;
+    if (t >= horizon) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+WorstCaseDisturbance::WorstCaseDisturbance(double min_gap, double start)
+    : min_gap_(min_gap), start_(start) {
+  CPS_ENSURE(min_gap_ > 0.0, "WorstCaseDisturbance: min gap must be positive");
+  CPS_ENSURE(start_ >= 0.0, "WorstCaseDisturbance: start must be non-negative");
+}
+
+std::vector<double> WorstCaseDisturbance::arrivals(double horizon) {
+  std::vector<double> out;
+  for (double t = start_; t < horizon; t += min_gap_) out.push_back(t);
+  return out;
+}
+
+}  // namespace cps::plants

@@ -1,0 +1,70 @@
+// Disturbance arrival processes (Section II-C of the paper).
+//
+// Disturbances are independent, periodic or sporadic, with a minimum
+// inter-arrival time r_i, and the deadline satisfies xi_d <= r_i so each
+// disturbance is expected to be rejected before the next one arrives.
+// A disturbance instantaneously displaces the plant state (the paper's
+// servo experiment: a 45 deg offset at zero velocity).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cps::plants {
+
+/// Arrival-time generator interface.
+class DisturbanceProcess {
+ public:
+  virtual ~DisturbanceProcess() = default;
+
+  /// All arrival times in [0, horizon) in increasing order.
+  virtual std::vector<double> arrivals(double horizon) = 0;
+
+  /// The guaranteed minimum spacing between consecutive arrivals.
+  virtual double min_inter_arrival() const = 0;
+};
+
+/// Strictly periodic arrivals: first at `phase`, then every `period`.
+class PeriodicDisturbance final : public DisturbanceProcess {
+ public:
+  PeriodicDisturbance(double period, double phase = 0.0);
+
+  std::vector<double> arrivals(double horizon) override;
+  double min_inter_arrival() const override { return period_; }
+
+ private:
+  double period_;
+  double phase_;
+};
+
+/// Sporadic arrivals: consecutive gaps are min_gap plus an exponential
+/// extra gap with the given mean (deterministic via the seeded Rng).
+class SporadicDisturbance final : public DisturbanceProcess {
+ public:
+  SporadicDisturbance(double min_gap, double mean_extra_gap, cps::Rng rng);
+
+  std::vector<double> arrivals(double horizon) override;
+  double min_inter_arrival() const override { return min_gap_; }
+
+ private:
+  double min_gap_;
+  double mean_extra_gap_;
+  cps::Rng rng_;
+};
+
+/// Worst-case arrivals for schedulability stress: back-to-back at exactly
+/// the minimum inter-arrival time, starting at `start`.
+class WorstCaseDisturbance final : public DisturbanceProcess {
+ public:
+  WorstCaseDisturbance(double min_gap, double start = 0.0);
+
+  std::vector<double> arrivals(double horizon) override;
+  double min_inter_arrival() const override { return min_gap_; }
+
+ private:
+  double min_gap_;
+  double start_;
+};
+
+}  // namespace cps::plants

@@ -1,0 +1,24 @@
+#include "plants/second_order.hpp"
+
+#include "util/error.hpp"
+
+namespace cps::plants {
+
+control::StateSpace make_second_order(const SecondOrderParams& params) {
+  CPS_ENSURE(params.input_gain != 0.0, "second-order plant needs a non-zero input gain");
+  linalg::Matrix a{{0.0, 1.0}, {params.stiffness, -params.damping}};
+  linalg::Matrix b{{0.0}, {params.input_gain}};
+  return control::StateSpace(std::move(a), std::move(b));
+}
+
+control::StateSpace make_oscillator(double omega_n, double zeta, double input_gain) {
+  CPS_ENSURE(omega_n > 0.0, "oscillator: omega_n must be positive");
+  CPS_ENSURE(zeta >= 0.0, "oscillator: zeta must be non-negative");
+  SecondOrderParams p;
+  p.stiffness = -omega_n * omega_n;
+  p.damping = 2.0 * zeta * omega_n;
+  p.input_gain = input_gain;
+  return make_second_order(p);
+}
+
+}  // namespace cps::plants

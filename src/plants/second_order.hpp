@@ -1,0 +1,30 @@
+// Parametrized second-order plant family.
+//
+// Most automotive control loops in the paper's setting (steering assists,
+// suspension, cruise sub-loops, the servo testbed) are dominated by
+// second-order dynamics, so the synthetic fleet is drawn from this family:
+//
+//   x = [position; velocity]
+//   A = [[0, 1], [k_spring, -k_damp]],  B = [[0], [k_input]]
+//
+// k_spring < 0 gives a standard oscillator (omega_n^2 = -k_spring),
+// k_spring > 0 an unstable inverted-pendulum-like plant.
+#pragma once
+
+#include "control/state_space.hpp"
+
+namespace cps::plants {
+
+struct SecondOrderParams {
+  double stiffness = -25.0;  ///< A(1,0): -omega_n^2 for an oscillator
+  double damping = 1.0;      ///< -A(1,1)
+  double input_gain = 25.0;  ///< B(1,0)
+};
+
+/// Build the continuous-time model.
+control::StateSpace make_second_order(const SecondOrderParams& params);
+
+/// Convenience: classic oscillator from natural frequency / damping ratio.
+control::StateSpace make_oscillator(double omega_n, double zeta, double input_gain);
+
+}  // namespace cps::plants

@@ -1,0 +1,70 @@
+// Model of the paper's experimental setup (Fig. 2): a servo motor whose
+// shaft carries a rigid stick with a 300 g weight, to be held upright.
+//
+// The physical rig (Harmonic Drive PMA-5A actuator, Maxon ADS 50/5
+// amplifier, quadrature encoder, DAC) is substituted by its linearized
+// dynamics about the upright equilibrium — an inverted pendulum driven by
+// motor torque:
+//
+//     J theta'' = m g l sin(theta) - b theta' + u
+//  => x' = [[0, 1], [m g l / J, -b / J]] x + [[0], [1 / J]] u    (upright)
+//
+// with x = [theta (rad); theta' (rad/s)].  The paper's timing parameters
+// are kept verbatim: h = 20 ms, TT-mode delay 0.7 ms, worst-case ET-mode
+// delay 20 ms, threshold E_th = 0.1, disturbance = 45 deg offset at zero
+// velocity.  The default LQR weights are calibrated (tests pin this) so
+// the pure-mode settling times land near the paper's xi_TT = 0.68 s and
+// xi_ET = 2.16 s and the dwell/wait curve exhibits the two-phase
+// non-monotonic shape of Fig. 3.
+#pragma once
+
+#include "control/loop_design.hpp"
+#include "control/state_space.hpp"
+#include "linalg/vector.hpp"
+
+namespace cps::plants {
+
+struct ServoMotorParams {
+  /// J [kg m^2]: gear-reflected rotor inertia of the harmonic drive plus
+  /// the stick/weight.  The large gear ratio of the PMA-5A dominates,
+  /// slowing the open-loop unstable pole to ~0.75 rad/s.
+  double inertia = 0.9;
+  double damping = 0.5;       ///< b [N m s/rad], bearings + amplifier + gear friction
+  double mass = 0.3;          ///< m [kg], weight at the stick end (paper: 300 g)
+  double stick_length = 0.3;  ///< l [m]
+  double gravity = 9.81;      ///< g [m/s^2]
+};
+
+/// Continuous-time linearized model about the upright equilibrium.
+control::StateSpace make_servo_motor(const ServoMotorParams& params = {});
+
+/// The paper's experiment constants (Section III).
+struct ServoExperiment {
+  double sampling_period = 0.02;   ///< h = 20 ms
+  double delay_tt = 0.0007;        ///< 0.7 ms over the TT slot
+  double delay_et = 0.02;          ///< worst case over the ET segment
+  double threshold = 0.1;          ///< E_th
+  double disturbance_angle = 0.7853981633974483;  ///< 45 deg [rad]
+};
+
+/// Initial state right after the paper's disturbance: 45 deg offset, zero
+/// angular velocity, zero held input (augmented state [theta, omega, u_prev]).
+linalg::Vector servo_disturbed_state(const ServoExperiment& exp = {});
+
+/// Calibrated pole-placement spec reproducing the paper's measured timing:
+/// the TT poles give xi_TT = 0.68 s exactly; the ET poles are slow and
+/// strongly oscillatory (radius 0.955, angle 0.45 rad) so the transient
+/// overshoot of ||x|| yields the two-phase non-monotonic dwell/wait curve
+/// with xi_ET ~ 2.2 s (paper: 2.16 s).  See EXPERIMENTS.md (Fig. 3).
+control::PolePlacementLoopSpec servo_pole_spec(const ServoExperiment& exp = {});
+
+/// LQR-flavoured alternative spec (used by tests to cross-check that both
+/// synthesis paths produce stable switched loops).
+control::HybridLoopSpec servo_lqr_spec(const ServoExperiment& exp = {});
+
+/// Convenience: full two-mode closed-loop design of the servo experiment
+/// (pole-placement path, the calibrated reproduction).
+control::HybridLoopDesign design_servo_loops(const ServoMotorParams& params = {},
+                                             const ServoExperiment& exp = {});
+
+}  // namespace cps::plants

@@ -1,0 +1,83 @@
+#include "sim/dwell_wait.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cps::sim {
+
+DwellWaitCurve::DwellWaitCurve(double sampling_period, std::vector<DwellWaitPoint> points)
+    : h_(sampling_period), points_(std::move(points)) {
+  CPS_ENSURE(h_ > 0.0, "DwellWaitCurve: sampling period must be positive");
+  CPS_ENSURE(!points_.empty(), "DwellWaitCurve: need at least one point");
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    CPS_ENSURE(points_[i].wait_steps == i, "DwellWaitCurve: points must be dense in wait steps");
+}
+
+double DwellWaitCurve::xi_tt() const { return points_.front().dwell_s; }
+
+double DwellWaitCurve::xi_et() const { return points_.back().wait_s; }
+
+double DwellWaitCurve::xi_m() const {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.dwell_s);
+  return best;
+}
+
+double DwellWaitCurve::k_p() const {
+  std::size_t best_index = 0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].dwell_s > best) {
+      best = points_[i].dwell_s;
+      best_index = i;
+    }
+  }
+  return points_[best_index].wait_s;
+}
+
+double DwellWaitCurve::dwell_at_steps(std::size_t wait_steps) const {
+  CPS_ENSURE(wait_steps < points_.size(), "DwellWaitCurve: wait beyond sweep range");
+  return points_[wait_steps].dwell_s;
+}
+
+double DwellWaitCurve::response_at(std::size_t index) const {
+  CPS_ENSURE(index < points_.size(), "DwellWaitCurve: index out of range");
+  return points_[index].wait_s + points_[index].dwell_s;
+}
+
+bool DwellWaitCurve::is_non_monotonic() const {
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    if (points_[i].dwell_steps > points_[i - 1].dwell_steps) return true;
+  return false;
+}
+
+DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
+                                        const linalg::Vector& x0, double sampling_period,
+                                        const DwellWaitSweepOptions& opts) {
+  CPS_ENSURE(sampling_period > 0.0, "measure_dwell_wait_curve: h must be positive");
+
+  // Pure-ET settling bounds the sweep: waiting longer than xi_et means the
+  // disturbance was already rejected without ever using the TT slot.
+  const auto et_settle = settling_step(sys.a_et(), x0, sys.norm_dim(), opts.settling);
+  if (!et_settle.has_value())
+    throw NumericalError("dwell/wait sweep: ET loop did not settle within the cap");
+  const std::size_t sweep_end = std::min(*et_settle, opts.max_wait_steps);
+
+  std::vector<DwellWaitPoint> points;
+  points.reserve(sweep_end + 1);
+  for (std::size_t w = 0; w <= sweep_end; ++w) {
+    const auto dwell = dwell_steps(sys, x0, w, opts.settling);
+    if (!dwell.has_value())
+      throw NumericalError("dwell/wait sweep: TT loop did not settle within the cap");
+    DwellWaitPoint p;
+    p.wait_steps = w;
+    p.dwell_steps = *dwell;
+    p.wait_s = static_cast<double>(w) * sampling_period;
+    p.dwell_s = static_cast<double>(*dwell) * sampling_period;
+    points.push_back(p);
+  }
+  return DwellWaitCurve(sampling_period, std::move(points));
+}
+
+}  // namespace cps::sim

@@ -1,0 +1,61 @@
+#include "sim/settling.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cps::sim {
+
+namespace {
+
+double partial_norm(const linalg::Vector& x, std::size_t norm_dim) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < norm_dim; ++i) acc += x[i] * x[i];
+  return std::sqrt(acc);
+}
+
+/// Core loop shared by both entry points: evolve x under `a`, track the
+/// last step whose norm exceeded the threshold, stop when the norm decays
+/// to threshold * margin.
+std::optional<std::size_t> settle_under(const linalg::Matrix& a, linalg::Vector x,
+                                        std::size_t norm_dim, const SettlingOptions& opts) {
+  CPS_ENSURE(opts.threshold > 0.0, "settling: threshold must be positive");
+  CPS_ENSURE(opts.decay_margin > 0.0 && opts.decay_margin < 1.0,
+             "settling: decay margin must be in (0, 1)");
+
+  const double stop_level = opts.threshold * opts.decay_margin;
+  std::size_t last_violation = 0;  // step of the last norm > threshold
+  bool ever_violated = false;
+
+  for (std::size_t k = 0; k <= opts.max_steps; ++k) {
+    const double norm = partial_norm(x, norm_dim);
+    if (!std::isfinite(norm)) return std::nullopt;
+    if (norm > opts.threshold) {
+      last_violation = k;
+      ever_violated = true;
+    } else if (norm <= stop_level) {
+      return ever_violated ? last_violation + 1 : 0;
+    }
+    x = a * x;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::size_t> settling_step(const linalg::Matrix& a, const linalg::Vector& x0,
+                                         std::size_t norm_dim, const SettlingOptions& opts) {
+  CPS_ENSURE(a.is_square() && a.rows() == x0.size(), "settling_step: dimension mismatch");
+  CPS_ENSURE(norm_dim >= 1 && norm_dim <= x0.size(), "settling_step: norm_dim out of range");
+  return settle_under(a, x0, norm_dim, opts);
+}
+
+std::optional<std::size_t> dwell_steps(const SwitchedLinearSystem& sys, const linalg::Vector& x0,
+                                       std::size_t wait_steps, const SettlingOptions& opts) {
+  CPS_ENSURE(x0.size() == sys.dimension(), "dwell_steps: x0 dimension mismatch");
+  linalg::Vector x = x0;
+  for (std::size_t k = 0; k < wait_steps; ++k) x = sys.step(x, Mode::kEventTriggered);
+  return settle_under(sys.a_tt(), x, sys.norm_dim(), opts);
+}
+
+}  // namespace cps::sim

@@ -1,0 +1,42 @@
+// Settling-time computation against the paper's steady-state threshold.
+//
+// An application is in steady state when the norm of its (plant) state is
+// at or below E_th; the settling step of a trajectory is the first step
+// after which the norm never exceeds E_th again.  Because a first dip
+// below the threshold may be followed by an excursion above it (oscillatory
+// closed loops), we simulate until the norm has decayed well below the
+// threshold before trusting the "last violation" step.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "sim/switched_system.hpp"
+
+namespace cps::sim {
+
+struct SettlingOptions {
+  double threshold = 0.1;      ///< E_th of the paper
+  std::size_t max_steps = 200000;  ///< simulation cap before giving up
+  /// Stop once the norm falls below threshold * decay_margin — at that
+  /// point a further excursion above the threshold is not credible for an
+  /// asymptotically stable loop.
+  double decay_margin = 1e-3;
+};
+
+/// First step k such that ||x[j]|| <= threshold for all j >= k, where
+/// x[k+1] = a x[k] (single-mode autonomous loop, first `norm_dim`
+/// components in the norm).  Returns std::nullopt if the cap is reached
+/// before the decay criterion is met (e.g. unstable or marginal loop).
+std::optional<std::size_t> settling_step(const linalg::Matrix& a, const linalg::Vector& x0,
+                                         std::size_t norm_dim, const SettlingOptions& opts);
+
+/// Dwell steps of the paper: simulate `wait_steps` of the ET loop from x0,
+/// then switch to the TT loop and count the steps until settled (0 if the
+/// state is already settled at the switch and never re-crosses).
+std::optional<std::size_t> dwell_steps(const SwitchedLinearSystem& sys, const linalg::Vector& x0,
+                                       std::size_t wait_steps, const SettlingOptions& opts);
+
+}  // namespace cps::sim

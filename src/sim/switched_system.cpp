@@ -1,0 +1,63 @@
+#include "sim/switched_system.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cps::sim {
+
+Trajectory::Trajectory(double sampling_period, std::vector<Sample> samples)
+    : h_(sampling_period), samples_(std::move(samples)) {
+  CPS_ENSURE(h_ > 0.0, "Trajectory: sampling period must be positive");
+}
+
+const Sample& Trajectory::at(std::size_t k) const {
+  if (k >= samples_.size()) throw DimensionMismatch("Trajectory: index out of range");
+  return samples_[k];
+}
+
+double Trajectory::peak_norm() const {
+  double best = 0.0;
+  for (const auto& s : samples_) best = std::max(best, s.norm);
+  return best;
+}
+
+SwitchedLinearSystem::SwitchedLinearSystem(linalg::Matrix a_et, linalg::Matrix a_tt,
+                                           std::size_t norm_dim)
+    : a_et_(std::move(a_et)), a_tt_(std::move(a_tt)), norm_dim_(norm_dim) {
+  CPS_ENSURE(a_et_.is_square() && a_tt_.is_square(), "SwitchedLinearSystem: matrices must be square");
+  CPS_ENSURE(a_et_.rows() == a_tt_.rows(),
+             "SwitchedLinearSystem: A1 and A2 must have equal dimension");
+  CPS_ENSURE(norm_dim_ >= 1 && norm_dim_ <= a_et_.rows(),
+             "SwitchedLinearSystem: norm_dim out of range");
+}
+
+double SwitchedLinearSystem::threshold_norm(const linalg::Vector& state) const {
+  CPS_ENSURE(state.size() == dimension(), "threshold_norm: state dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < norm_dim_; ++i) acc += state[i] * state[i];
+  return std::sqrt(acc);
+}
+
+linalg::Vector SwitchedLinearSystem::step(const linalg::Vector& state, Mode mode) const {
+  return mode == Mode::kEventTriggered ? a_et_ * state : a_tt_ * state;
+}
+
+Trajectory SwitchedLinearSystem::simulate(const linalg::Vector& x0, std::size_t switch_step,
+                                          std::size_t total_steps,
+                                          double sampling_period) const {
+  CPS_ENSURE(x0.size() == dimension(), "simulate: x0 dimension mismatch");
+  std::vector<Sample> samples;
+  samples.reserve(total_steps + 1);
+
+  linalg::Vector x = x0;
+  for (std::size_t k = 0; k <= total_steps; ++k) {
+    const Mode mode = k < switch_step ? Mode::kEventTriggered : Mode::kTimeTriggered;
+    samples.push_back(Sample{x, threshold_norm(x), mode});
+    if (k == total_steps) break;
+    x = step(x, mode);
+  }
+  return Trajectory(sampling_period, std::move(samples));
+}
+
+}  // namespace cps::sim

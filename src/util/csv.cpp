@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace cps {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) throw Error("CsvWriter: cannot open '" + path + "' for writing");
+  CPS_ENSURE(!header.empty(), "CSV header must not be empty");
+  write_raw(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  CPS_ENSURE(fields.size() == arity_, "CSV row arity must match the header");
+  write_raw(fields);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format_fixed(v, precision));
+  write_row(fields);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+void CsvWriter::write_raw(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quoting = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace cps

@@ -1,0 +1,39 @@
+// Minimal CSV writer used by benches and examples to export curves and
+// trajectories for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cps {
+
+/// Streaming CSV writer.  Quotes fields containing separators/quotes per
+/// RFC 4180.  Throws cps::Error if the file cannot be opened.
+class CsvWriter {
+ public:
+  /// Open `path` for writing and emit a header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append a row of string fields. Must match the header arity.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Append a row of doubles formatted with `precision` digits.
+  void write_row(const std::vector<double>& values, int precision = 9);
+
+  /// Number of data rows written so far (excluding the header).
+  std::size_t rows_written() const { return rows_; }
+
+  /// Flush and close the underlying stream (also done by the destructor).
+  void close();
+
+ private:
+  void write_raw(const std::vector<std::string>& fields);
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t arity_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace cps

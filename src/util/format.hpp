@@ -1,0 +1,27 @@
+// Small string-formatting helpers used by reports, tables and CSV output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cps {
+
+/// Format a double with `precision` digits after the decimal point.
+std::string format_fixed(double value, int precision = 3);
+
+/// Format a double in the shortest round-trippable general format.
+std::string format_general(double value);
+
+/// Left-pad `s` with spaces to `width` characters (no-op if already wider).
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pad `s` with spaces to `width` characters (no-op if already wider).
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Repeat a string `n` times.
+std::string repeat(const std::string& s, std::size_t n);
+
+}  // namespace cps

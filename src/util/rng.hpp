@@ -1,0 +1,48 @@
+// Deterministic random number generation for tests, property sweeps and
+// workload generators.  A fixed-seed Mersenne twister keeps every run
+// reproducible (paper-reproduction benches must be deterministic).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/error.hpp"
+
+namespace cps {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EED5EEDULL) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    CPS_ENSURE(lo < hi, "uniform: lo must be < hi");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    CPS_ENSURE(lo <= hi, "uniform_int: lo must be <= hi");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw scaled to (mean, stddev).
+  double gaussian(double mean = 0.0, double stddev = 1.0) {
+    CPS_ENSURE(stddev >= 0.0, "gaussian: stddev must be >= 0");
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) {
+    CPS_ENSURE(p >= 0.0 && p <= 1.0, "bernoulli: p must be in [0,1]");
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cps

@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/format.hpp"
+
+namespace cps {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void TextTable::add_row(const std::string& label, const std::vector<double>& values,
+                        int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format_fixed(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+
+  std::vector<std::size_t> widths(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string();
+      line += (c == 0 ? pad_right(cell, widths[c]) : pad_left(cell, widths[c]));
+      if (c + 1 != cols) line += "  ";
+    }
+    // Trim trailing spaces for clean diffs.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < cols; ++c) total += widths[c] + (c + 1 != cols ? 2 : 0);
+  out += repeat("-", total) + "\n";
+  for (const auto& r : rows_) out += render_row(r);
+  return out;
+}
+
+}  // namespace cps

@@ -1,0 +1,32 @@
+// Plain-text table renderer used by the benches to print paper-style tables
+// (e.g. Table I) to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cps {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; shorter rows are padded with empty cells, longer rows
+  /// extend the column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: a row of label + doubles formatted to `precision`.
+  void add_row(const std::string& label, const std::vector<double>& values, int precision = 3);
+
+  /// Render with column alignment and a header separator line.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cps

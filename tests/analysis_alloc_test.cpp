@@ -1,0 +1,141 @@
+// Tests for the first-fit TT-slot allocator, including the paper's
+// headline Section V result: 3 slots with the non-monotonic model versus
+// 5 with the conservative monotonic one (67 % more).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "analysis/slot_allocation.hpp"
+#include "plants/table1.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::analysis;
+
+std::vector<AppSchedParams> paper_apps_non_monotonic() {
+  std::vector<AppSchedParams> apps;
+  for (const auto& row : plants::paper_values()) {
+    AppSchedParams app;
+    app.name = row.name;
+    app.min_inter_arrival = row.r;
+    app.deadline = row.xi_d;
+    app.model = std::make_shared<NonMonotonicModel>(row.xi_tt, row.xi_m, row.k_p, row.xi_et);
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+std::vector<AppSchedParams> paper_apps_monotonic() {
+  std::vector<AppSchedParams> apps;
+  for (const auto& row : plants::paper_values()) {
+    AppSchedParams app;
+    app.name = row.name;
+    app.min_inter_arrival = row.r;
+    app.deadline = row.xi_d;
+    app.model = std::make_shared<ConservativeMonotonicModel>(row.xi_m_mono, row.xi_et);
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+TEST(PaperAllocationTest, NonMonotonicNeedsThreeSlots) {
+  const Allocation alloc = first_fit_allocate(paper_apps_non_monotonic());
+  ASSERT_EQ(alloc.slot_count(), 3u);
+  // S1 = {C3, C6}, S2 = {C2, C4}, S3 = {C5, C1} (priority order inside).
+  EXPECT_EQ(alloc.slots[0], (std::vector<std::string>{"C3", "C6"}));
+  EXPECT_EQ(alloc.slots[1], (std::vector<std::string>{"C2", "C4"}));
+  EXPECT_EQ(alloc.slots[2], (std::vector<std::string>{"C5", "C1"}));
+  for (const auto& analysis : alloc.analyses) EXPECT_TRUE(analysis.all_schedulable);
+}
+
+TEST(PaperAllocationTest, MonotonicNeedsFiveSlots) {
+  const Allocation alloc = first_fit_allocate(paper_apps_monotonic());
+  ASSERT_EQ(alloc.slot_count(), 5u);
+  // "C3 and C6 can still share S1"; everyone else gets a dedicated slot.
+  EXPECT_EQ(alloc.slots[0], (std::vector<std::string>{"C3", "C6"}));
+  for (std::size_t s = 1; s < 5; ++s) EXPECT_EQ(alloc.slots[s].size(), 1u);
+}
+
+TEST(PaperAllocationTest, SixtySevenPercentMoreResources) {
+  const auto non_mono = first_fit_allocate(paper_apps_non_monotonic()).slot_count();
+  const auto mono = first_fit_allocate(paper_apps_monotonic()).slot_count();
+  const double overhead =
+      100.0 * (static_cast<double>(mono) - static_cast<double>(non_mono)) /
+      static_cast<double>(non_mono);
+  EXPECT_NEAR(overhead, 66.7, 1.0);
+}
+
+TEST(AllocationTest, EveryAppPlacedExactlyOnce) {
+  const Allocation alloc = first_fit_allocate(paper_apps_non_monotonic());
+  std::vector<std::string> seen;
+  for (const auto& slot : alloc.slots)
+    for (const auto& name : slot) seen.push_back(name);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::string>{"C1", "C2", "C3", "C4", "C5", "C6"}));
+}
+
+TEST(AllocationTest, SingleAppGetsOneSlot) {
+  auto apps = paper_apps_non_monotonic();
+  const Allocation alloc = first_fit_allocate({apps[0]});
+  EXPECT_EQ(alloc.slot_count(), 1u);
+  EXPECT_TRUE(alloc.analyses[0].all_schedulable);
+}
+
+TEST(AllocationTest, InfeasibleDeadlineThrows) {
+  AppSchedParams app;
+  app.name = "impossible";
+  app.min_inter_arrival = 10.0;
+  app.deadline = 0.5;  // below xi_tt: cannot be met even alone
+  app.model = std::make_shared<NonMonotonicModel>(1.0, 1.5, 0.3, 5.0);
+  EXPECT_THROW(first_fit_allocate({app}), InfeasibleError);
+}
+
+TEST(AllocationTest, MaxSlotsCapEnforced) {
+  AllocationOptions options;
+  options.max_slots = 2;
+  EXPECT_THROW(first_fit_allocate(paper_apps_non_monotonic(), options), InfeasibleError);
+  options.max_slots = 3;
+  EXPECT_NO_THROW(first_fit_allocate(paper_apps_non_monotonic(), options));
+}
+
+TEST(AllocationTest, FixedPointMethodNeverNeedsMoreSlots) {
+  // The exact fixed point is tighter than the closed-form bound, so the
+  // allocation can only improve (or stay the same).
+  AllocationOptions bound_opts;  // default: closed-form bound
+  AllocationOptions fp_opts;
+  fp_opts.method = MaxWaitMethod::kFixedPoint;
+  const auto by_bound = first_fit_allocate(paper_apps_non_monotonic(), bound_opts).slot_count();
+  const auto by_fp = first_fit_allocate(paper_apps_non_monotonic(), fp_opts).slot_count();
+  EXPECT_LE(by_fp, by_bound);
+}
+
+TEST(AllocationTest, IndependentOfInputOrder) {
+  auto apps = paper_apps_non_monotonic();
+  std::reverse(apps.begin(), apps.end());
+  const Allocation alloc = first_fit_allocate(apps);
+  EXPECT_EQ(alloc.slot_count(), 3u);
+  EXPECT_EQ(alloc.slots[0], (std::vector<std::string>{"C3", "C6"}));
+}
+
+TEST(AllocationTest, DedicatedSlotsAlwaysWorkWhenDeadlineAboveXiTt) {
+  // With one app per slot (max interference zero), any deadline above
+  // xi_tt is met; the heuristic should find at most n slots.
+  auto apps = paper_apps_non_monotonic();
+  const Allocation alloc = first_fit_allocate(apps);
+  EXPECT_LE(alloc.slot_count(), apps.size());
+}
+
+TEST(AllocationTest, ReportedAnalysesMatchSlotContents) {
+  const Allocation alloc = first_fit_allocate(paper_apps_non_monotonic());
+  ASSERT_EQ(alloc.analyses.size(), alloc.slots.size());
+  for (std::size_t s = 0; s < alloc.slots.size(); ++s) {
+    ASSERT_EQ(alloc.analyses[s].results.size(), alloc.slots[s].size());
+    for (std::size_t i = 0; i < alloc.slots[s].size(); ++i)
+      EXPECT_EQ(alloc.analyses[s].results[i].name, alloc.slots[s][i]);
+  }
+}
+
+}  // namespace

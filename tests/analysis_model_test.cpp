@@ -1,0 +1,215 @@
+// Unit and property tests for the dwell/wait envelope models (Fig. 4):
+// tent geometry from Table I parameters, soundness of fitted envelopes on
+// random switched systems, the xi'_m relation, and the demonstrated
+// unsafety of the simple monotonic model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/dwell_wait_model.hpp"
+#include "linalg/eigen.hpp"
+#include "plants/table1.hpp"
+#include "sim/dwell_wait.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::analysis;
+using linalg::Matrix;
+using linalg::Vector;
+
+// ---------------------------------------------------------------------------
+// Tent geometry from explicit (Table I style) parameters.
+
+TEST(NonMonotonicModelTest, TentGeometryFromParameters) {
+  // C6's row: xi_tt = 0.71, xi_m = 0.92, k_p = 0.67, xi_et = 7.94.
+  const NonMonotonicModel m(0.71, 0.92, 0.67, 7.94);
+  EXPECT_NEAR(m.dwell(0.0), 0.71, 1e-12);
+  EXPECT_NEAR(m.dwell(0.67), 0.92, 1e-12);
+  EXPECT_NEAR(m.dwell(7.94), 0.0, 1e-12);
+  EXPECT_NEAR(m.max_dwell(), 0.92, 1e-12);
+  EXPECT_NEAR(m.k_p(), 0.67, 1e-9);
+  EXPECT_NEAR(m.zero_wait(), 7.94, 1e-9);
+  // Linear interpolation on both pieces.
+  EXPECT_NEAR(m.dwell(0.335), (0.71 + 0.92) / 2.0, 1e-12);
+  const double mid_fall = 0.67 + (7.94 - 0.67) / 2.0;
+  EXPECT_NEAR(m.dwell(mid_fall), 0.92 / 2.0, 1e-12);
+  // Clipped to zero past xi_et.
+  EXPECT_DOUBLE_EQ(m.dwell(100.0), 0.0);
+}
+
+TEST(NonMonotonicModelTest, PaperCaseStudyDwellValues) {
+  // Section V uses dwell(k_hat) on the falling piece:
+  //   C6: dwell(0.669) with (0.71, 0.92, 0.67, 7.94) -> xi_hat = 1.589.
+  const NonMonotonicModel c6(0.71, 0.92, 0.67, 7.94);
+  EXPECT_NEAR(c6.response(0.669), 1.589, 1e-3);
+  //   C3: dwell(0.92) with (0.39, 0.64, 0.69, 3.97) -> xi_hat = 1.515.
+  const NonMonotonicModel c3(0.39, 0.64, 0.69, 3.97);
+  EXPECT_NEAR(c3.response(0.92), 1.515, 1e-3);
+}
+
+TEST(NonMonotonicModelTest, DegenerateZeroPeakWait) {
+  const NonMonotonicModel m(0.0, 0.5, 0.0, 2.0);
+  EXPECT_NEAR(m.dwell(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(m.dwell(1.0), 0.25, 1e-12);
+  EXPECT_NEAR(m.k_p(), 0.0, 1e-12);
+}
+
+TEST(NonMonotonicModelTest, ParameterValidation) {
+  EXPECT_THROW(NonMonotonicModel(0.5, 0.4, 0.1, 2.0), Error);   // xi_m < xi_tt
+  EXPECT_THROW(NonMonotonicModel(0.5, 0.6, 2.5, 2.0), Error);   // k_p >= xi_et
+  EXPECT_THROW(NonMonotonicModel(-0.1, 0.6, 0.1, 2.0), Error);  // negative xi_tt
+}
+
+TEST(NonMonotonicModelTest, ResponseIncreasesWithWait) {
+  // Section III: gradient of the falling piece is between 0 and -1, so the
+  // total response time increases with the wait time.
+  for (const auto& row : plants::paper_values()) {
+    const NonMonotonicModel m(row.xi_tt, row.xi_m, row.k_p, row.xi_et);
+    double prev = m.response(0.0);
+    for (double w = 0.05; w <= row.xi_et; w += 0.05) {
+      const double r = m.response(w);
+      EXPECT_GE(r, prev - 1e-9) << row.name << " w=" << w;
+      prev = r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The conservative monotonic model and the xi'_m column.
+
+TEST(ConservativeModelTest, XiMPrimeMatchesPublishedColumn) {
+  // The paper's xi'^M column equals xi_m * xi_et / (xi_et - k_p) for every
+  // row, to the published rounding.
+  for (const auto& row : plants::paper_values()) {
+    const double computed = plants::conservative_max_dwell(row.xi_m, row.k_p, row.xi_et);
+    EXPECT_NEAR(computed, row.xi_m_mono, 0.006) << row.name;
+    const auto model = ConservativeMonotonicModel::from_non_monotonic(row.xi_m, row.k_p, row.xi_et);
+    EXPECT_NEAR(model.max_dwell(), row.xi_m_mono, 0.006) << row.name;
+  }
+}
+
+TEST(ConservativeModelTest, DominatesTheTentEverywhere) {
+  for (const auto& row : plants::paper_values()) {
+    const NonMonotonicModel tent(row.xi_tt, row.xi_m, row.k_p, row.xi_et);
+    const auto mono =
+        ConservativeMonotonicModel::from_non_monotonic(row.xi_m, row.k_p, row.xi_et);
+    for (double w = 0.0; w <= row.xi_et; w += row.xi_et / 200.0)
+      EXPECT_GE(mono.dwell(w) + 1e-9, tent.dwell(w)) << row.name << " w=" << w;
+  }
+}
+
+TEST(SimpleModelTest, UnderestimatesTheTentBetweenEndpoints) {
+  // The paper's Figure 4 argument: the simple monotonic line is below the
+  // actual relation except at the two ends -> deadlines may be violated.
+  const auto row = plants::paper_values()[5];  // C6
+  const NonMonotonicModel tent(row.xi_tt, row.xi_m, row.k_p, row.xi_et);
+  const SimpleMonotonicModel simple(row.xi_tt, row.xi_et);
+  EXPECT_LT(simple.dwell(row.k_p), tent.dwell(row.k_p));
+  EXPECT_NEAR(simple.dwell(0.0), tent.dwell(0.0), 1e-12);
+  EXPECT_NEAR(simple.dwell(row.xi_et), tent.dwell(row.xi_et), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Fitting on measured curves: soundness properties over random systems.
+
+sim::DwellWaitCurve random_curve(Rng& rng) {
+  // Random stable pair with a non-normal ET loop (transient growth).
+  for (;;) {
+    const double rho_et = rng.uniform(0.85, 0.97);
+    const double growth = rng.uniform(0.0, 1.2);
+    Matrix a1{{rho_et, growth}, {0.0, rho_et}};
+    const double rho_tt = rng.uniform(0.4, 0.8);
+    Matrix a2{{rho_tt, 0.0}, {0.1, rho_tt * 0.9}};
+    sim::SwitchedLinearSystem sys(a1, a2, 2);
+    sim::DwellWaitSweepOptions opts;
+    opts.settling.threshold = 0.1;
+    const double angle = rng.uniform(0.0, 6.28);
+    const Vector x0{std::cos(angle), std::sin(angle)};
+    try {
+      return measure_dwell_wait_curve(sys, x0, 0.02, opts);
+    } catch (const Error&) {
+      continue;  // degenerate draw; retry
+    }
+  }
+}
+
+class EnvelopeSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnvelopeSoundness, FittedModelsDominateTheMeasuredCurve) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 3u);
+  const sim::DwellWaitCurve curve = random_curve(rng);
+
+  const NonMonotonicModel tent = NonMonotonicModel::fit(curve);
+  EXPECT_TRUE(tent.dominates(curve, 1e-9)) << "violation " << tent.max_violation(curve);
+
+  const ConservativeMonotonicModel mono = ConservativeMonotonicModel::fit(curve);
+  EXPECT_TRUE(mono.dominates(curve, 1e-9)) << "violation " << mono.max_violation(curve);
+
+  const ConcaveEnvelopeModel hull(curve);
+  EXPECT_TRUE(hull.dominates(curve, 1e-9)) << "violation " << hull.max_violation(curve);
+
+  // Tightness ordering: hull <= tent <= conservative, pointwise.
+  for (const auto& p : curve.points()) {
+    EXPECT_LE(hull.dwell(p.wait_s), tent.dwell(p.wait_s) + 1e-9);
+    EXPECT_LE(tent.dwell(p.wait_s), mono.dwell(p.wait_s) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, EnvelopeSoundness, ::testing::Range(0, 25));
+
+TEST(FitTest, TentPeakMatchesMeasuredPeak) {
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    const sim::DwellWaitCurve curve = random_curve(rng);
+    const NonMonotonicModel tent = NonMonotonicModel::fit(curve);
+    EXPECT_NEAR(tent.max_dwell(), curve.xi_m(), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(FitTest, ConcaveHullIsConcave) {
+  Rng rng(103);
+  const sim::DwellWaitCurve curve = random_curve(rng);
+  const auto hull = concave_hull(curve);
+  ASSERT_GE(hull.size(), 2u);
+  // Slopes strictly decreasing along the hull.
+  for (std::size_t i = 2; i < hull.size(); ++i) {
+    const double s1 =
+        (hull[i - 1].second - hull[i - 2].second) / (hull[i - 1].first - hull[i - 2].first);
+    const double s2 = (hull[i].second - hull[i - 1].second) / (hull[i].first - hull[i - 1].first);
+    EXPECT_LT(s2, s1 + 1e-12);
+  }
+  // Hull ends at zero dwell.
+  EXPECT_DOUBLE_EQ(hull.back().second, 0.0);
+}
+
+TEST(FitTest, SimpleMonotonicCanViolateMeasuredCurves) {
+  // Find at least one random system where the simple monotonic model
+  // under-approximates — the unsafety the paper warns about.
+  Rng rng(107);
+  bool found_violation = false;
+  for (int trial = 0; trial < 40 && !found_violation; ++trial) {
+    const sim::DwellWaitCurve curve = random_curve(rng);
+    const SimpleMonotonicModel simple = SimpleMonotonicModel::fit(curve);
+    if (curve.is_non_monotonic() && simple.max_violation(curve) > 1e-6) found_violation = true;
+  }
+  EXPECT_TRUE(found_violation);
+}
+
+TEST(FitTest, ConcaveHullTighterOrEqualPieceCount) {
+  Rng rng(109);
+  const sim::DwellWaitCurve curve = random_curve(rng);
+  const ConcaveEnvelopeModel hull(curve);
+  EXPECT_GE(hull.piece_count(), 1u);
+  EXPECT_GT(hull.zero_wait(), 0.0);
+  EXPECT_GT(hull.max_dwell(), 0.0);
+}
+
+TEST(ModelInterfaceTest, NegativeWaitRejected) {
+  const NonMonotonicModel m(0.5, 0.8, 0.3, 3.0);
+  EXPECT_THROW(m.dwell(-0.1), InvalidArgument);
+}
+
+}  // namespace

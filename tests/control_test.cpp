@@ -1,0 +1,224 @@
+// Unit tests for the control module: discretization with intra-sample
+// delay, LQR, pole placement, and the two-mode hybrid loop design.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "control/discretize.hpp"
+#include "control/loop_design.hpp"
+#include "control/lqr.hpp"
+#include "control/pole_placement.hpp"
+#include "control/state_space.hpp"
+#include "linalg/eigen.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::control;
+using cps::linalg::Matrix;
+using cps::linalg::Vector;
+
+StateSpace double_integrator() {
+  return StateSpace(Matrix{{0.0, 1.0}, {0.0, 0.0}}, Matrix{{0.0}, {1.0}});
+}
+
+StateSpace servo_like() {
+  return StateSpace(Matrix{{0.0, 1.0}, {0.98, -0.55}}, Matrix{{0.0}, {1.1}});
+}
+
+TEST(StateSpaceTest, DimensionValidation) {
+  EXPECT_THROW(StateSpace(Matrix(2, 3), Matrix(2, 1)), InvalidArgument);
+  EXPECT_THROW(StateSpace(Matrix::identity(2), Matrix(3, 1)), InvalidArgument);
+  const StateSpace ok(Matrix::identity(2), Matrix(2, 1));
+  EXPECT_EQ(ok.state_dim(), 2u);
+  EXPECT_EQ(ok.input_dim(), 1u);
+  EXPECT_EQ(ok.output_dim(), 2u);
+}
+
+TEST(StateSpaceTest, StabilityPredicate) {
+  EXPECT_FALSE(servo_like().is_stable());  // has a positive eigenvalue
+  StateSpace stable(Matrix{{-1.0, 0.0}, {0.0, -2.0}}, Matrix{{1.0}, {1.0}});
+  EXPECT_TRUE(stable.is_stable());
+}
+
+TEST(ControllabilityTest, DoubleIntegratorControllable) {
+  const StateSpace sys = double_integrator();
+  EXPECT_TRUE(is_controllable(sys.a(), sys.b()));
+}
+
+TEST(ControllabilityTest, DisconnectedStateNotControllable) {
+  Matrix a{{-1.0, 0.0}, {0.0, -2.0}};
+  Matrix b{{1.0}, {0.0}};  // second state unreachable
+  EXPECT_FALSE(is_controllable(a, b));
+}
+
+TEST(DiscretizeTest, DoubleIntegratorClosedForm) {
+  // Phi = [[1, h], [0, 1]], Gamma = [[h^2/2], [h]].
+  const double h = 0.1;
+  const DiscreteSystem d = c2d(double_integrator(), h, 0.0);
+  EXPECT_NEAR(d.phi()(0, 1), h, 1e-13);
+  EXPECT_NEAR(d.gamma_total()(0, 0), h * h / 2.0, 1e-13);
+  EXPECT_NEAR(d.gamma_total()(1, 0), h, 1e-13);
+  EXPECT_FALSE(d.has_input_delay());
+  EXPECT_NEAR(d.gamma1().max_abs(), 0.0, 1e-15);
+}
+
+TEST(DiscretizeTest, DelaySplitsGammaConsistently) {
+  // For any delay d, Gamma0 + Gamma1 equals the ZOH Gamma (the same total
+  // input energy enters per period).
+  const double h = 0.02;
+  const StateSpace sys = servo_like();
+  const DiscreteSystem zoh = c2d(sys, h, 0.0);
+  for (double d : {0.003, 0.01, 0.02}) {
+    const DiscreteSystem delayed = c2d(sys, h, d);
+    EXPECT_TRUE(delayed.gamma_total().approx_equal(zoh.gamma_total(), 1e-11)) << "d=" << d;
+    EXPECT_TRUE(delayed.phi().approx_equal(zoh.phi(), 1e-12));
+  }
+}
+
+TEST(DiscretizeTest, FullDelayMovesAllInputToGamma1) {
+  const DiscreteSystem d = c2d(servo_like(), 0.02, 0.02);
+  EXPECT_NEAR(d.gamma0().max_abs(), 0.0, 1e-12);
+  EXPECT_TRUE(d.has_input_delay());
+}
+
+TEST(DiscretizeTest, InvalidDelayThrows) {
+  EXPECT_THROW(c2d(servo_like(), 0.02, 0.03), InvalidArgument);
+  EXPECT_THROW(c2d(servo_like(), 0.0, 0.0), InvalidArgument);
+  EXPECT_THROW(c2d(servo_like(), 0.02, -0.001), InvalidArgument);
+}
+
+TEST(DiscretizeTest, AugmentedRealizationShape) {
+  const DiscreteSystem d = c2d(servo_like(), 0.02, 0.01);
+  const auto aug = d.augmented();
+  ASSERT_EQ(aug.a.rows(), 3u);
+  ASSERT_EQ(aug.b.rows(), 3u);
+  // Top-left block is Phi, top-right is Gamma1, bottom row zero.
+  EXPECT_TRUE(aug.a.block(0, 0, 2, 2).approx_equal(d.phi(), 0.0));
+  EXPECT_TRUE(aug.a.block(0, 2, 2, 1).approx_equal(d.gamma1(), 0.0));
+  EXPECT_NEAR(aug.a.block(2, 0, 1, 3).max_abs(), 0.0, 0.0);
+  EXPECT_TRUE(aug.b.block(0, 0, 2, 1).approx_equal(d.gamma0(), 0.0));
+  EXPECT_NEAR(aug.b(2, 0), 1.0, 0.0);
+}
+
+TEST(DlqrTest, StabilizesUnstableDiscretePlant) {
+  const DiscreteSystem d = c2d(servo_like(), 0.02, 0.0);
+  ASSERT_FALSE(linalg::is_schur_stable(d.phi(), 0.0));
+  const LqrDesign design = dlqr(d.phi(), d.gamma_total(), Matrix::identity(2), Matrix{{1.0}});
+  EXPECT_TRUE(linalg::is_schur_stable(design.closed_loop, 0.0));
+  EXPECT_LT(design.dare_residual, 1e-8);
+}
+
+TEST(DlqrTest, CheaperControlGivesFasterLoop) {
+  const DiscreteSystem d = c2d(servo_like(), 0.02, 0.0);
+  const auto slow = dlqr(d.phi(), d.gamma_total(), Matrix::identity(2), Matrix{{10.0}});
+  const auto fast = dlqr(d.phi(), d.gamma_total(), Matrix::identity(2), Matrix{{0.01}});
+  EXPECT_LT(linalg::spectral_radius(fast.closed_loop),
+            linalg::spectral_radius(slow.closed_loop));
+}
+
+TEST(PolePlacementTest, CharacteristicPolynomialFromRoots) {
+  // (z - 1)(z + 2) = z^2 + z - 2 -> coefficients {-2, 1} ascending.
+  const auto c = characteristic_polynomial({{1.0, 0.0}, {-2.0, 0.0}});
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], -2.0, 1e-12);
+  EXPECT_NEAR(c[1], 1.0, 1e-12);
+}
+
+TEST(PolePlacementTest, ConjugatePairGivesRealPolynomial) {
+  const auto c = characteristic_polynomial({{0.5, 0.3}, {0.5, -0.3}});
+  // (z - 0.5)^2 + 0.09 = z^2 - z + 0.34.
+  EXPECT_NEAR(c[0], 0.34, 1e-12);
+  EXPECT_NEAR(c[1], -1.0, 1e-12);
+}
+
+TEST(PolePlacementTest, NonConjugateSetThrows) {
+  EXPECT_THROW(characteristic_polynomial({{0.5, 0.3}, {0.5, 0.3}}), InvalidArgument);
+}
+
+TEST(PolePlacementTest, PlacesRequestedPoles) {
+  const DiscreteSystem d = c2d(servo_like(), 0.02, 0.0);
+  const std::vector<std::complex<double>> want{{0.8, 0.1}, {0.8, -0.1}};
+  const Matrix k = place_poles(d.phi(), d.gamma_total(), want);
+  const auto got = linalg::eigenvalues(d.phi() - d.gamma_total() * k);
+  ASSERT_EQ(got.size(), 2u);
+  for (const auto& e : got) {
+    EXPECT_NEAR(std::abs(e), std::abs(std::complex<double>(0.8, 0.1)), 1e-8);
+    EXPECT_NEAR(std::fabs(e.imag()), 0.1, 1e-8);
+  }
+}
+
+TEST(PolePlacementTest, MultiInputRejected) {
+  EXPECT_THROW(place_poles(Matrix::identity(2), Matrix(2, 2), {{0.1, 0.0}, {0.2, 0.0}}),
+               InvalidArgument);
+}
+
+TEST(PolePlacementTest, UncontrollablePairThrows) {
+  Matrix a{{0.5, 0.0}, {0.0, 0.6}};
+  Matrix b{{1.0}, {0.0}};
+  EXPECT_THROW(place_poles(a, b, {{0.1, 0.0}, {0.2, 0.0}}), NumericalError);
+}
+
+TEST(LoopDesignTest, LqrFlavourBothLoopsStable) {
+  HybridLoopSpec spec;
+  spec.sampling_period = 0.02;
+  spec.delay_tt = 0.0;
+  spec.delay_et = 0.02;
+  spec.q_tt = Matrix::identity(2);
+  spec.r_tt = Matrix{{0.1}};
+  spec.q_et = Matrix::identity(2);
+  spec.r_et = Matrix{{5.0}};
+  const HybridLoopDesign design = design_hybrid_loops(servo_like(), spec);
+  EXPECT_LT(design.rho_tt, 1.0);
+  EXPECT_LT(design.rho_et, 1.0);
+  EXPECT_EQ(design.state_dim, 2u);
+  EXPECT_EQ(design.a_tt.rows(), 3u);  // augmented
+  EXPECT_EQ(design.a_et.rows(), 3u);
+}
+
+TEST(LoopDesignTest, PolePlacementFlavourHitsRequestedRadii) {
+  PolePlacementLoopSpec spec;
+  spec.sampling_period = 0.02;
+  spec.delay_tt = 0.0;
+  spec.delay_et = 0.02;
+  spec.poles_tt = oscillatory_pole_set(0.85, 0.05, 3);
+  spec.poles_et = oscillatory_pole_set(0.96, 0.4, 3);
+  const HybridLoopDesign design = design_hybrid_loops(servo_like(), spec);
+  EXPECT_NEAR(design.rho_tt, 0.85, 1e-6);
+  EXPECT_NEAR(design.rho_et, 0.96, 1e-6);
+}
+
+TEST(LoopDesignTest, PoleCountValidation) {
+  PolePlacementLoopSpec spec;
+  spec.poles_tt = oscillatory_pole_set(0.8, 0.1, 2);  // too few for n+1 = 3
+  spec.poles_et = oscillatory_pole_set(0.9, 0.1, 3);
+  EXPECT_THROW(design_hybrid_loops(servo_like(), spec), InvalidArgument);
+}
+
+TEST(LoopDesignTest, UnstablePoleRequestRejected) {
+  PolePlacementLoopSpec spec;
+  spec.poles_tt = {{1.05, 0.0}, {0.5, 0.0}, {0.1, 0.0}};
+  spec.poles_et = oscillatory_pole_set(0.9, 0.1, 3);
+  EXPECT_THROW(design_hybrid_loops(servo_like(), spec), InvalidArgument);
+}
+
+TEST(LoopDesignTest, OscillatoryPoleSetShape) {
+  const auto poles = oscillatory_pole_set(0.9, 0.3, 4, 0.05);
+  ASSERT_EQ(poles.size(), 4u);
+  EXPECT_NEAR(std::abs(poles[0]), 0.9, 1e-15);
+  EXPECT_NEAR(poles[0].imag(), -poles[1].imag(), 1e-15);
+  EXPECT_NEAR(poles[2].real(), 0.05, 1e-15);
+  EXPECT_THROW(oscillatory_pole_set(1.1, 0.1, 3), InvalidArgument);
+}
+
+TEST(LoopDesignTest, AugmentStateWeightPlacesInputWeight) {
+  const Matrix q = augment_state_weight(Matrix::identity(2) * 3.0, 1, 0.25);
+  ASSERT_EQ(q.rows(), 3u);
+  EXPECT_DOUBLE_EQ(q(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(q(2, 2), 0.25);
+  EXPECT_DOUBLE_EQ(q(0, 2), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Tests for FlexRay cycle multiplexing (slot repetition) and the slot
+// occupancy/Gantt additions to the co-simulation.
+#include <gtest/gtest.h>
+
+#include "core/co_simulation.hpp"
+#include "core/report.hpp"
+#include "flexray/static_segment.hpp"
+#include "plants/servo_motor.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::flexray;
+
+FlexRayConfig case_study_config() {
+  FlexRayConfig cfg;
+  cfg.cycle_length = 0.005;
+  cfg.static_slot_count = 10;
+  cfg.static_slot_length = 0.0002;
+  cfg.minislot_length = 0.00005;
+  return cfg;
+}
+
+TEST(MultiplexTest, AssignmentValidation) {
+  StaticSchedule sched(case_study_config());
+  EXPECT_THROW(sched.assign_multiplexed(0, 1, 0, 0), InvalidArgument);  // rep 0
+  EXPECT_THROW(sched.assign_multiplexed(0, 1, 2, 2), InvalidArgument);  // base >= rep
+  EXPECT_NO_THROW(sched.assign_multiplexed(0, 1, 4, 1));
+  const auto a = sched.assignment(0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->repetition, 4u);
+  EXPECT_EQ(a->base_cycle, 1u);
+}
+
+TEST(MultiplexTest, CompletionRespectsOwnedCycles) {
+  StaticSchedule sched(case_study_config());
+  // Slot 0 owned only in odd cycles (rep 2, base 1).
+  sched.assign_multiplexed(0, 7, 2, 1);
+  // Released at t = 0: cycle 0 is not owned; first owned start is cycle 1
+  // (t = 0.005), completion at 0.0052.
+  EXPECT_DOUBLE_EQ(sched.completion_time(0, 0.0), 0.005 + 0.0002);
+  // Released just after cycle 1's occurrence: wait for cycle 3.
+  EXPECT_DOUBLE_EQ(sched.completion_time(0, 0.0051), 0.015 + 0.0002);
+}
+
+TEST(MultiplexTest, DefaultRepetitionOneEveryCycle) {
+  StaticSchedule sched(case_study_config());
+  sched.assign(3, 9);
+  EXPECT_DOUBLE_EQ(sched.completion_time(3, 0.0), 0.0006 + 0.0002);
+  EXPECT_DOUBLE_EQ(sched.worst_case_delay(3), 0.005 + 0.0002);
+}
+
+TEST(MultiplexTest, WorstCaseScalesWithRepetition) {
+  StaticSchedule sched(case_study_config());
+  sched.assign_multiplexed(0, 1, 4, 0);
+  EXPECT_DOUBLE_EQ(sched.worst_case_delay(0), 4 * 0.005 + 0.0002);
+  // Observed completions never exceed the bound.
+  for (double release : {0.0, 0.0001, 0.0049, 0.012, 0.0199}) {
+    const double delay = sched.completion_time(0, release) - release;
+    EXPECT_LE(delay, sched.worst_case_delay(0) + 1e-12) << release;
+  }
+}
+
+TEST(MultiplexTest, BandwidthLatencyTradeoff) {
+  // Higher repetition = proportionally less bandwidth but longer worst
+  // case: the core trade FlexRay multiplexing offers.
+  StaticSchedule sched(case_study_config());
+  sched.assign_multiplexed(0, 1, 1, 0);
+  sched.assign_multiplexed(1, 2, 2, 0);
+  sched.assign_multiplexed(2, 3, 8, 0);
+  EXPECT_LT(sched.worst_case_delay(0), sched.worst_case_delay(1));
+  EXPECT_LT(sched.worst_case_delay(1), sched.worst_case_delay(2));
+}
+
+// ---------------------------------------------------------------------------
+// Slot timeline / Gantt additions.
+
+core::ControlApplication make_servo_app(const std::string& name, double deadline) {
+  auto design = plants::design_servo_loops();
+  const plants::ServoExperiment exp;
+  return core::ControlApplication(name, std::move(design), {10.0, deadline, 0.1},
+                                  linalg::Vector{exp.disturbance_angle, 0.0});
+}
+
+TEST(SlotTimelineTest, SoloAppOccupancyMatchesResponse) {
+  auto app = make_servo_app("solo", 5.0);
+  core::CoSimulationOptions options;
+  options.horizon = 4.0;
+  core::CoSimulator cosim(options);
+  cosim.add_application(app, 0, {0.0});
+  const auto result = cosim.run();
+  ASSERT_EQ(result.slots.size(), 1u);
+  const auto& tl = result.slots[0];
+  EXPECT_GT(tl.occupancy(), 0.0);
+  EXPECT_LT(tl.occupancy(), 1.0);
+  EXPECT_GE(tl.grant_count(), 1u);
+  // Occupied steps ~ response time / horizon.
+  EXPECT_NEAR(tl.occupancy(), result.apps[0].worst_response / options.horizon, 0.1);
+}
+
+TEST(SlotTimelineTest, NonPreemptionVisibleInTimeline) {
+  auto hi = make_servo_app("hi", 3.0);
+  auto lo = make_servo_app("lo", 8.0);
+  core::CoSimulationOptions options;
+  options.horizon = 8.0;
+  core::CoSimulator cosim(options);
+  cosim.add_application(hi, 0, {0.0});
+  cosim.add_application(lo, 0, {0.0});
+  const auto result = cosim.run();
+  const auto& owner = result.slots[0].owner;
+  // First holder is the high-priority app (index 0), later the low one.
+  std::size_t first_holder = core::SlotTimeline::npos;
+  bool saw_second = false;
+  for (std::size_t o : owner) {
+    if (o != core::SlotTimeline::npos && first_holder == core::SlotTimeline::npos)
+      first_holder = o;
+    if (o == 1) saw_second = true;
+  }
+  EXPECT_EQ(first_holder, 0u);
+  EXPECT_TRUE(saw_second);
+  // While held by one app, never switches without a free gap in between
+  // (non-preemption): transitions 0 -> 1 require a released step unless the
+  // owner settled exactly at the grant boundary of the other.
+  EXPECT_GE(result.slots[0].grant_count(), 2u);
+}
+
+TEST(SlotTimelineTest, GanttRendersLegendAndStrips) {
+  auto app = make_servo_app("solo", 5.0);
+  core::CoSimulationOptions options;
+  options.horizon = 3.0;
+  core::CoSimulator cosim(options);
+  cosim.add_application(app, 0, {0.0});
+  const auto result = cosim.run();
+  const std::string gantt = core::render_slot_gantt(result);
+  EXPECT_NE(gantt.find("S1"), std::string::npos);
+  EXPECT_NE(gantt.find("occupancy"), std::string::npos);
+  EXPECT_NE(gantt.find("0=solo"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Unit tests for the FlexRay bus model: cycle configuration, static-slot
+// timing, dynamic-segment arbitration and worst-case delay bounds.
+#include <gtest/gtest.h>
+
+#include "flexray/bus.hpp"
+#include "flexray/config.hpp"
+#include "flexray/dynamic_segment.hpp"
+#include "flexray/static_segment.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::flexray;
+
+FlexRayConfig case_study_config() {
+  // Section V: 5 ms cycle, 2 ms static segment with 10 slots.
+  FlexRayConfig cfg;
+  cfg.cycle_length = 0.005;
+  cfg.static_slot_count = 10;
+  cfg.static_slot_length = 0.0002;
+  cfg.minislot_length = 0.00005;
+  return cfg;
+}
+
+TEST(ConfigTest, CaseStudyGeometry) {
+  const FlexRayConfig cfg = case_study_config();
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_DOUBLE_EQ(cfg.static_segment_length(), 0.002);
+  EXPECT_DOUBLE_EQ(cfg.dynamic_segment_length(), 0.003);
+  EXPECT_EQ(cfg.minislot_count(), 60u);
+  EXPECT_DOUBLE_EQ(cfg.static_slot_offset(0), 0.0);
+  EXPECT_DOUBLE_EQ(cfg.static_slot_offset(9), 0.0018);
+  EXPECT_DOUBLE_EQ(cfg.cycle_start(3), 0.015);
+  EXPECT_EQ(cfg.cycle_of(0.012), 2u);
+}
+
+TEST(ConfigTest, ValidationRejectsBadGeometry) {
+  FlexRayConfig cfg = case_study_config();
+  cfg.static_slot_count = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+
+  cfg = case_study_config();
+  cfg.static_slot_length = 0.001;  // 10 x 1 ms > 5 ms cycle
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+
+  cfg = case_study_config();
+  cfg.minislot_length = 0.0003;  // psi >= Psi violates psi << Psi
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(StaticScheduleTest, AssignReleaseOwnership) {
+  StaticSchedule sched(case_study_config());
+  sched.assign(2, 42);
+  EXPECT_EQ(sched.owner(2), std::optional<std::size_t>(42));
+  EXPECT_EQ(sched.slot_of(42), std::optional<std::size_t>(2));
+  EXPECT_FALSE(sched.owner(3).has_value());
+  // Double assignment of a taken slot is rejected.
+  EXPECT_THROW(sched.assign(2, 43), InvalidArgument);
+  // Re-assigning the same frame is idempotent.
+  EXPECT_NO_THROW(sched.assign(2, 42));
+  sched.release(2);
+  EXPECT_FALSE(sched.owner(2).has_value());
+}
+
+TEST(StaticScheduleTest, CompletionTimeIsSlotEnd) {
+  StaticSchedule sched(case_study_config());
+  // Release exactly at cycle start: slot 0 begins immediately, completes
+  // after one slot length.
+  EXPECT_DOUBLE_EQ(sched.completion_time(0, 0.0), 0.0002);
+  // Slot 3 of cycle 0 starts at 0.0006.
+  EXPECT_DOUBLE_EQ(sched.completion_time(3, 0.0), 0.0008);
+  // Releasing just after slot 3 started -> wait for the next cycle.
+  EXPECT_DOUBLE_EQ(sched.completion_time(3, 0.00061), 0.005 + 0.0006 + 0.0002);
+  // Release mid-cycle, slot later in the same cycle still catches it.
+  EXPECT_DOUBLE_EQ(sched.completion_time(9, 0.001), 0.0018 + 0.0002);
+}
+
+TEST(StaticScheduleTest, WorstCaseDelayIsCyclePlusSlot) {
+  StaticSchedule sched(case_study_config());
+  EXPECT_DOUBLE_EQ(sched.worst_case_delay(), 0.005 + 0.0002);
+  // No observed completion exceeds the bound.
+  for (double release : {0.0, 0.0001, 0.00059, 0.0021, 0.0049, 0.005}) {
+    for (std::size_t slot : {0u, 4u, 9u}) {
+      const double delay = sched.completion_time(slot, release) - release;
+      EXPECT_LE(delay, sched.worst_case_delay() + 1e-12);
+      EXPECT_GT(delay, 0.0);
+    }
+  }
+}
+
+TEST(DynamicSegmentTest, RegistrationValidation) {
+  DynamicSegmentArbiter arb(case_study_config());
+  arb.register_frame({1, "a", 4});
+  EXPECT_THROW(arb.register_frame({1, "dup", 2}), InvalidArgument);
+  EXPECT_THROW(arb.register_frame({2, "zero", 0}), InvalidArgument);
+  EXPECT_THROW(arb.register_frame({3, "huge", 100}), InvalidArgument);
+}
+
+TEST(DynamicSegmentTest, PriorityOrderWithinCycle) {
+  DynamicSegmentArbiter arb(case_study_config());
+  arb.register_frame({1, "hi", 4});
+  arb.register_frame({5, "lo", 4});
+  // Both released at cycle start: high priority (smaller id) first.
+  auto results = arb.arbitrate({{5, 0.0}, {1, 0.0}});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].completion_time, results[1].completion_time);  // id 5 after id 1
+  // Completion = dynamic start (2 ms) + consumed minislots.
+  EXPECT_DOUBLE_EQ(results[1].completion_time, 0.002 + 4 * 0.00005);
+  EXPECT_DOUBLE_EQ(results[0].completion_time, 0.002 + 8 * 0.00005);
+  EXPECT_EQ(results[0].segment, Segment::kDynamic);
+}
+
+TEST(DynamicSegmentTest, LateReleaseWaitsForNextCycle) {
+  DynamicSegmentArbiter arb(case_study_config());
+  arb.register_frame({1, "a", 2});
+  // Released after this cycle's dynamic segment started -> next cycle.
+  auto results = arb.arbitrate({{1, 0.0021}});
+  EXPECT_DOUBLE_EQ(results[0].completion_time, 0.005 + 0.002 + 2 * 0.00005);
+  EXPECT_GT(results[0].delay(), 0.0048);
+}
+
+TEST(DynamicSegmentTest, OverflowDefersToNextCycle) {
+  DynamicSegmentArbiter arb(case_study_config());  // 60 minislots per cycle
+  arb.register_frame({1, "big", 40});
+  arb.register_frame({2, "second", 40});
+  auto results = arb.arbitrate({{1, 0.0}, {2, 0.0}});
+  // Frame 1 fits in cycle 0; frame 2 (40 more minislots) does not -> cycle 1.
+  EXPECT_LT(results[0].completion_time, 0.005);
+  EXPECT_GT(results[1].completion_time, 0.005);
+  EXPECT_DOUBLE_EQ(results[1].completion_time, 0.005 + 0.002 + 40 * 0.00005);
+}
+
+TEST(DynamicSegmentTest, WorstCaseDelayBoundsSimulation) {
+  DynamicSegmentArbiter arb(case_study_config());
+  arb.register_frame({1, "hp", 10});
+  arb.register_frame({2, "mid", 10});
+  arb.register_frame({3, "lp", 10});
+  const double bound = arb.worst_case_delay(3);
+  // Adversarial releases: everything together, just after segment start.
+  for (double release : {0.0, 0.0019, 0.002001, 0.0049}) {
+    auto results = arb.arbitrate({{1, release}, {2, release}, {3, release}});
+    EXPECT_LE(results[2].delay(), bound + 1e-12) << "release=" << release;
+  }
+}
+
+TEST(DynamicSegmentTest, WorstCaseDelayGrowsWithPriority) {
+  DynamicSegmentArbiter arb(case_study_config());
+  arb.register_frame({1, "hp", 10});
+  arb.register_frame({2, "mid", 10});
+  arb.register_frame({3, "lp", 10});
+  EXPECT_LT(arb.worst_case_delay(1), arb.worst_case_delay(2));
+  EXPECT_LT(arb.worst_case_delay(2), arb.worst_case_delay(3));
+}
+
+TEST(DynamicSegmentTest, OverloadedSegmentThrowsInfeasible) {
+  DynamicSegmentArbiter arb(case_study_config());
+  arb.register_frame({1, "a", 40});
+  arb.register_frame({2, "b", 40});
+  EXPECT_THROW(arb.worst_case_delay(2), InfeasibleError);
+}
+
+TEST(DynamicSegmentTest, UnregisteredFrameRejected) {
+  DynamicSegmentArbiter arb(case_study_config());
+  EXPECT_THROW(arb.arbitrate({{9, 0.0}}), InvalidArgument);
+  EXPECT_THROW(arb.worst_case_delay(9), InvalidArgument);
+}
+
+TEST(BusTest, StaticTransmissionRequiresSlotOwnership) {
+  FlexRayBus bus(case_study_config());
+  bus.register_frame({7, "ctrl", 4});
+  EXPECT_THROW(bus.transmit_static(7, 0.0), InvalidArgument);
+  bus.static_schedule().assign(0, 7);
+  const auto tx = bus.transmit_static(7, 0.0);
+  EXPECT_EQ(tx.segment, Segment::kStatic);
+  EXPECT_DOUBLE_EQ(tx.completion_time, 0.0002);
+  EXPECT_EQ(bus.log().size(), 1u);
+}
+
+TEST(BusTest, LogAccumulatesBothSegments) {
+  FlexRayBus bus(case_study_config());
+  bus.register_frame({1, "a", 2});
+  bus.register_frame({2, "b", 2});
+  bus.static_schedule().assign(0, 1);
+  bus.transmit_static(1, 0.0);
+  bus.transmit_dynamic({{2, 0.0}});
+  ASSERT_EQ(bus.log().size(), 2u);
+  EXPECT_EQ(bus.log()[0].segment, Segment::kStatic);
+  EXPECT_EQ(bus.log()[1].segment, Segment::kDynamic);
+  bus.clear_log();
+  EXPECT_TRUE(bus.log().empty());
+}
+
+TEST(BusTest, TtDelayIsFarBelowEtWorstCase) {
+  // The paper's premise: TT communication is far more deterministic and
+  // prompt than worst-case ET.  With the case-study geometry, the static
+  // worst case (5.2 ms) is below the ET bound for a low-priority frame
+  // behind several others.
+  FlexRayBus bus(case_study_config());
+  for (std::size_t id = 1; id <= 6; ++id)
+    bus.register_frame({id, "app" + std::to_string(id), 8});
+  EXPECT_LT(bus.worst_case_static_delay(), bus.worst_case_dynamic_delay(6));
+}
+
+}  // namespace

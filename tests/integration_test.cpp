@@ -1,0 +1,224 @@
+// Cross-module integration tests: the full paper pipeline on the Table I
+// fleet, consistency between the analytical worst cases and co-simulated
+// behaviour, and the end-to-end reproduction invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/slot_allocation.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "plants/servo_motor.hpp"
+#include "plants/disturbance.hpp"
+#include "plants/table1.hpp"
+#include "util/rng.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::core;
+
+/// Build the synthesized Table I fleet as ControlApplications.
+std::vector<ControlApplication> synthesized_applications() {
+  std::vector<ControlApplication> apps;
+  for (const auto& item : plants::synthesize_fleet()) {
+    auto design = control::design_hybrid_loops(item.plant, item.spec);
+    TimingRequirements req{item.target.r, item.target.xi_d, item.threshold};
+    apps.emplace_back(item.target.name, std::move(design), req, item.x0);
+  }
+  return apps;
+}
+
+TEST(IntegrationTest, FullPipelineOnSynthesizedFleetMeetsAllDeadlines) {
+  HybridCommDesign design;
+  for (auto& app : synthesized_applications()) design.add_application(std::move(app));
+
+  PipelineOptions options;
+  options.cosim.horizon = 14.0;
+  const PipelineResult result = design.run(options);
+
+  ASSERT_EQ(result.summaries.size(), 6u);
+  for (const auto& s : result.summaries)
+    EXPECT_TRUE(s.curve_non_monotonic) << s.name << " curve should be non-monotonic";
+
+  // The allocation uses at most 2/3 of the six dedicated slots.
+  EXPECT_LE(result.slot_count(), 4u);
+  for (const auto& analysis : result.allocation.analyses)
+    EXPECT_TRUE(analysis.all_schedulable);
+
+  ASSERT_TRUE(result.verification.has_value());
+  EXPECT_TRUE(result.verification->all_deadlines_met);
+}
+
+TEST(IntegrationTest, CoSimulatedResponseRespectsAnalyticalWorstCase) {
+  // For each app in the pipeline allocation, the co-simulated response
+  // (disturbances at t = 0, which is benign compared to the analytical
+  // adversarial scenario) must not exceed the analytical worst case.
+  HybridCommDesign design;
+  for (auto& app : synthesized_applications()) design.add_application(std::move(app));
+  PipelineOptions options;
+  options.cosim.horizon = 14.0;
+  const PipelineResult result = design.run(options);
+  ASSERT_TRUE(result.verification.has_value());
+
+  for (const auto& app_result : result.verification->apps) {
+    double analytical = 0.0;
+    for (const auto& analysis : result.allocation.analyses)
+      for (const auto& r : analysis.results)
+        if (r.name == app_result.name) analytical = r.response;
+    ASSERT_GT(analytical, 0.0) << app_result.name;
+    EXPECT_LE(app_result.worst_response, analytical + 1e-9)
+        << app_result.name << ": simulation exceeded the analytical worst case";
+  }
+}
+
+TEST(IntegrationTest, PaperAllocationVerifiesOnSynthesizedPlants) {
+  // Apply the paper's published 3-slot allocation (S1 = {C3, C6},
+  // S2 = {C2, C4}, S3 = {C5, C1}) to the synthesized plants and verify by
+  // co-simulation that all deadlines hold (Fig. 5).
+  auto apps = synthesized_applications();
+  CoSimulationOptions options;
+  options.horizon = 14.0;
+  CoSimulator cosim(options);
+  const std::vector<std::pair<std::string, std::size_t>> slots{
+      {"C3", 0}, {"C6", 0}, {"C2", 1}, {"C4", 1}, {"C5", 2}, {"C1", 2}};
+  for (auto& app : apps) {
+    for (const auto& [name, slot] : slots)
+      if (app.name() == name) cosim.add_application(app, slot, {0.0});
+  }
+  const auto result = cosim.run();
+  EXPECT_TRUE(result.all_deadlines_met);
+  for (const auto& r : result.apps)
+    EXPECT_TRUE(r.all_deadlines_met) << r.name << " missed its deadline";
+}
+
+TEST(IntegrationTest, MonotonicModelNeverBeatsNonMonotonicOnSlots) {
+  // The paper's resource argument: the conservative monotonic model can
+  // only require at least as many TT slots as the non-monotonic one.
+  HybridCommDesign design;
+  for (auto& app : synthesized_applications()) design.add_application(std::move(app));
+
+  PipelineOptions non_mono;
+  non_mono.verify = false;
+  const auto slots_non_mono = design.run(non_mono).slot_count();
+
+  PipelineOptions mono;
+  mono.model_kind = ControlApplication::ModelKind::kConservativeMonotonic;
+  mono.verify = false;
+  const auto slots_mono = design.run(mono).slot_count();
+
+  EXPECT_GE(slots_mono, slots_non_mono);
+}
+
+TEST(IntegrationTest, ConcaveEnvelopeIsAtLeastAsGoodAsTent) {
+  // Envelope-granularity ablation invariant: the tighter concave hull can
+  // never need more slots than the two-piece tent.
+  HybridCommDesign design;
+  for (auto& app : synthesized_applications()) design.add_application(std::move(app));
+
+  PipelineOptions tent;
+  tent.verify = false;
+  const auto slots_tent = design.run(tent).slot_count();
+
+  PipelineOptions hull;
+  hull.model_kind = ControlApplication::ModelKind::kConcave;
+  hull.verify = false;
+  const auto slots_hull = design.run(hull).slot_count();
+
+  EXPECT_LE(slots_hull, slots_tent);
+}
+
+TEST(IntegrationTest, ServoAppWorstCaseScenarioCoSim) {
+  // Engineer the analytical worst case for a two-app slot and check the
+  // co-simulated response stays within the analytical bound: the lower
+  // priority app's disturbance arrives exactly when the higher-priority
+  // app's dwell starts.
+  auto design_a = plants::design_servo_loops();
+  auto design_b = plants::design_servo_loops();
+  const plants::ServoExperiment exp;
+  const linalg::Vector x0{exp.disturbance_angle, 0.0};
+  ControlApplication hi("hi", std::move(design_a), {10.0, 3.0, exp.threshold}, x0);
+  ControlApplication lo("lo", std::move(design_b), {10.0, 8.0, exp.threshold}, x0);
+
+  hi.fit_model(ControlApplication::ModelKind::kNonMonotonic);
+  lo.fit_model(ControlApplication::ModelKind::kNonMonotonic);
+  const auto analysis = analysis::analyze_slot({hi.sched_params(), lo.sched_params()});
+  ASSERT_TRUE(analysis.all_schedulable);
+  const double lo_bound = analysis.results[1].response;
+
+  CoSimulationOptions options;
+  options.horizon = 12.0;
+  CoSimulator cosim(options);
+  cosim.add_application(hi, 0, {0.0});
+  cosim.add_application(lo, 0, {0.0});  // simultaneous: lo must wait for hi
+  const auto result = cosim.run();
+  ASSERT_EQ(result.apps.size(), 2u);
+  EXPECT_LE(result.apps[1].worst_response, lo_bound + 1e-9);
+  EXPECT_TRUE(result.apps[1].all_deadlines_met);
+}
+
+class SporadicCampaign : public ::testing::TestWithParam<int> {};
+
+TEST_P(SporadicCampaign, RandomSporadicDisturbancesNeverExceedAnalyticalBound) {
+  // Long-horizon property check of the whole analysis chain: random
+  // sporadic disturbances (respecting each app's minimum inter-arrival
+  // time) on the pipeline's own allocation — every observed response must
+  // stay within the analytical worst case, and every deadline must hold.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 92821u + 5u);
+
+  HybridCommDesign design;
+  for (auto& app : synthesized_applications()) design.add_application(std::move(app));
+  PipelineOptions options;
+  options.verify = false;
+  const PipelineResult pipeline = design.run(options);
+
+  CoSimulationOptions cosim_options;
+  cosim_options.horizon = 60.0;
+  CoSimulator cosim(cosim_options);
+  for (auto& app : design.applications()) {
+    std::size_t slot = 0;
+    for (std::size_t si = 0; si < pipeline.allocation.slots.size(); ++si)
+      for (const auto& name : pipeline.allocation.slots[si])
+        if (name == app.name()) slot = si;
+    plants::SporadicDisturbance process(app.timing().min_inter_arrival,
+                                        0.5 * app.timing().min_inter_arrival,
+                                        Rng(rng.engine()()));
+    cosim.add_application(app, slot, process.arrivals(cosim_options.horizon));
+  }
+  const CoSimulationResult result = cosim.run();
+
+  for (const auto& app_result : result.apps) {
+    double analytical = 0.0;
+    for (const auto& analysis : pipeline.allocation.analyses)
+      for (const auto& r : analysis.results)
+        if (r.name == app_result.name) analytical = r.response;
+    // A disturbance arriving mid-sample is only seen at the next control
+    // step, so the measured response includes up to one sampling period of
+    // alignment on top of the analytical (step-quantized) bound.
+    const double h = design.applications().front().sampling_period();
+    for (std::size_t d = 0; d < app_result.response_times.size(); ++d) {
+      EXPECT_LE(app_result.response_times[d], analytical + h + 1e-9)
+          << app_result.name << " disturbance " << d;
+    }
+    EXPECT_TRUE(app_result.all_deadlines_met) << app_result.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchedules, SporadicCampaign, ::testing::Range(0, 5));
+
+TEST(IntegrationTest, ReportsRenderForTheFullFleet) {
+  HybridCommDesign design;
+  for (auto& app : synthesized_applications()) design.add_application(std::move(app));
+  PipelineOptions options;
+  options.cosim.horizon = 14.0;
+  const PipelineResult result = design.run(options);
+  EXPECT_FALSE(render_summaries(result.summaries).empty());
+  EXPECT_FALSE(render_allocation(result.allocation).empty());
+  ASSERT_TRUE(result.verification.has_value());
+  EXPECT_FALSE(render_cosim(*result.verification).empty());
+  for (const auto& app : result.verification->apps)
+    EXPECT_FALSE(render_response_ascii(app, 0.1).empty());
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Unit and property tests for the LU and QR decompositions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/vector.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cps::NumericalError;
+using cps::Rng;
+using namespace cps::linalg;
+
+Matrix random_matrix(Rng& rng, std::size_t n, double scale = 1.0) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.uniform(-scale, scale);
+  return m;
+}
+
+TEST(LuTest, SolvesKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  Vector b{5.0, 10.0};
+  const Vector x = solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantMatchesCofactorExpansion) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 10.0}};
+  EXPECT_NEAR(determinant(a), -3.0, 1e-10);
+  EXPECT_NEAR(determinant(Matrix::identity(4)), 1.0, 1e-14);
+}
+
+TEST(LuTest, InverseTimesSelfIsIdentity) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    Matrix a = random_matrix(rng, n) + Matrix::identity(n) * 3.0;  // well-conditioned
+    const Matrix inv = inverse(a);
+    EXPECT_TRUE((a * inv).approx_equal(Matrix::identity(n), 1e-9)) << "trial " << trial;
+    EXPECT_TRUE((inv * a).approx_equal(Matrix::identity(n), 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(LuTest, ResidualIsSmallOnRandomSystems) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    Matrix a = random_matrix(rng, n) + Matrix::identity(n) * 2.0;
+    Vector b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = rng.uniform(-5, 5);
+    const Vector x = solve(a, b);
+    const Vector residual = a * x - b;
+    EXPECT_LT(residual.norm(), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LuTest, SingularMatrixThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuDecomposition lu(a), NumericalError);
+  Matrix zero_row{{0.0, 0.0}, {1.0, 2.0}};
+  EXPECT_THROW(LuDecomposition lu(zero_row), NumericalError);
+}
+
+TEST(LuTest, NonSquareThrows) {
+  EXPECT_THROW(LuDecomposition lu(Matrix(2, 3)), cps::DimensionMismatch);
+}
+
+TEST(LuTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};  // needs a row swap
+  const Vector x = solve(a, Vector{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+  EXPECT_NEAR(determinant(a), -1.0, 1e-14);
+}
+
+TEST(LuTest, MatrixRhsSolve) {
+  Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const Matrix x = solve(a, Matrix::identity(2));
+  EXPECT_TRUE((a * x).approx_equal(Matrix::identity(2), 1e-12));
+}
+
+TEST(QrTest, ReconstructsInput) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = static_cast<std::size_t>(rng.uniform_int(2, 7));
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, static_cast<int>(m)));
+    Matrix a(m, n);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-2, 2);
+    QrDecomposition qr(a);
+    EXPECT_TRUE((qr.q() * qr.r()).approx_equal(a, 1e-10)) << "trial " << trial;
+    // Q orthogonal.
+    EXPECT_TRUE((qr.q().transpose() * qr.q()).approx_equal(Matrix::identity(m), 1e-10));
+  }
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  Rng rng(19);
+  Matrix a(5, 3);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.uniform(-1, 1);
+  const Matrix r = QrDecomposition(a).r();
+  for (std::size_t i = 1; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < std::min<std::size_t>(i, r.cols()); ++j)
+      EXPECT_NEAR(r(i, j), 0.0, 1e-12);
+}
+
+TEST(QrTest, SolveSquareMatchesLu) {
+  Matrix a{{3.0, 1.0}, {1.0, 2.0}};
+  Vector b{9.0, 8.0};
+  const Vector x_qr = QrDecomposition(a).solve(b);
+  const Vector x_lu = solve(a, b);
+  EXPECT_TRUE(x_qr.approx_equal(x_lu, 1e-10));
+}
+
+TEST(QrTest, LeastSquaresFitsLine) {
+  // Fit y = 2x + 1 through noisy-free samples: exact recovery expected.
+  Matrix a(4, 2);
+  Vector b(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double x = static_cast<double>(i);
+    a(i, 0) = x;
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * x + 1.0;
+  }
+  const Vector coeff = least_squares(a, b);
+  EXPECT_NEAR(coeff[0], 2.0, 1e-12);
+  EXPECT_NEAR(coeff[1], 1.0, 1e-12);
+}
+
+TEST(QrTest, LeastSquaresMinimizesResidual) {
+  // Overdetermined inconsistent system: residual must be orthogonal to the
+  // column space (normal equations hold).
+  Matrix a{{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}};
+  Vector b{1.0, 0.0, 2.0};
+  const Vector x = least_squares(a, b);
+  const Vector r = a * x - b;
+  const Vector atr = a.transpose() * r;
+  EXPECT_NEAR(atr.norm(), 0.0, 1e-10);
+}
+
+TEST(QrTest, RankDetection) {
+  Matrix full{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(QrDecomposition(full).rank(), 2u);
+  Matrix deficient{{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  EXPECT_EQ(QrDecomposition(deficient).rank(), 1u);
+}
+
+TEST(QrTest, RankDeficientSolveThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(QrDecomposition(a).solve(Vector{1.0, 2.0}), NumericalError);
+}
+
+}  // namespace

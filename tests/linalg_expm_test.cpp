@@ -1,0 +1,124 @@
+// Unit tests for the matrix exponential and the ZOH discretization
+// integrals built on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/expm.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cps::Rng;
+using namespace cps::linalg;
+
+TEST(ExpmTest, ZeroMatrixGivesIdentity) {
+  EXPECT_TRUE(expm(Matrix::zero(3, 3)).approx_equal(Matrix::identity(3), 1e-14));
+}
+
+TEST(ExpmTest, DiagonalMatrixExponentiatesEntries) {
+  const Matrix e = expm(Matrix::diagonal({1.0, -2.0, 0.5}));
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e(2, 2), std::exp(0.5), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-13);
+}
+
+TEST(ExpmTest, NilpotentIsExactPolynomial) {
+  // exp([[0, a], [0, 0]]) = [[1, a], [0, 1]].
+  Matrix n{{0.0, 3.5}, {0.0, 0.0}};
+  const Matrix e = expm(n);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(e(0, 1), 3.5, 1e-13);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-14);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-14);
+}
+
+TEST(ExpmTest, RotationGenerator) {
+  // exp([[0, -w], [w, 0]] t) is a rotation by w t.
+  const double w = 2.0, t = 0.6;
+  Matrix gen{{0.0, -w}, {w, 0.0}};
+  const Matrix e = expm(gen * t);
+  EXPECT_NEAR(e(0, 0), std::cos(w * t), 1e-12);
+  EXPECT_NEAR(e(1, 0), std::sin(w * t), 1e-12);
+}
+
+TEST(ExpmTest, InverseProperty) {
+  Rng rng(37);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix a(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.uniform(-2, 2);
+    const Matrix prod = expm(a) * expm(-a);
+    EXPECT_TRUE(prod.approx_equal(Matrix::identity(3), 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(ExpmTest, SemigroupProperty) {
+  Rng rng(41);
+  Matrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.uniform(-1, 1);
+  const Matrix e2 = expm(a * 2.0);
+  const Matrix e1sq = expm(a) * expm(a);
+  EXPECT_TRUE(e2.approx_equal(e1sq, 1e-9));
+}
+
+TEST(ExpmTest, LargeNormUsesScaling) {
+  // A matrix with a big norm still exponentiates accurately (diagonal
+  // comparison keeps the oracle exact).
+  const Matrix e = expm(Matrix::diagonal({10.0, -10.0}));
+  EXPECT_NEAR(e(0, 0) / std::exp(10.0), 1.0, 1e-9);
+  EXPECT_NEAR(e(1, 1) / std::exp(-10.0), 1.0, 1e-9);
+}
+
+TEST(ExpmTest, NonSquareThrows) { EXPECT_THROW(expm(Matrix(2, 3)), cps::DimensionMismatch); }
+
+TEST(ZohTest, ScalarSystemClosedForm) {
+  // x' = a x + b u: Phi = e^{a t}, Gamma = (e^{a t} - 1) b / a.
+  const double a = -1.5, b = 2.0, t = 0.3;
+  const auto [phi, gamma] = zoh_integrals(Matrix{{a}}, Matrix{{b}}, t);
+  EXPECT_NEAR(phi(0, 0), std::exp(a * t), 1e-12);
+  EXPECT_NEAR(gamma(0, 0), (std::exp(a * t) - 1.0) * b / a, 1e-12);
+}
+
+TEST(ZohTest, SingularAIsHandledExactly) {
+  // Double integrator (A singular): Gamma = [t^2/2; t] for B = [0; 1].
+  Matrix a{{0.0, 1.0}, {0.0, 0.0}};
+  Matrix b{{0.0}, {1.0}};
+  const double t = 0.25;
+  const auto [phi, gamma] = zoh_integrals(a, b, t);
+  EXPECT_NEAR(phi(0, 1), t, 1e-13);
+  EXPECT_NEAR(gamma(0, 0), t * t / 2.0, 1e-13);
+  EXPECT_NEAR(gamma(1, 0), t, 1e-13);
+}
+
+TEST(ZohTest, ZeroHorizonGivesIdentityAndZero) {
+  Matrix a{{0.0, 1.0}, {-4.0, -0.4}};
+  Matrix b{{0.0}, {1.0}};
+  const auto [phi, gamma] = zoh_integrals(a, b, 0.0);
+  EXPECT_TRUE(phi.approx_equal(Matrix::identity(2), 1e-14));
+  EXPECT_NEAR(gamma.max_abs(), 0.0, 1e-14);
+}
+
+TEST(ZohTest, AdditivityOverSubintervals) {
+  // Discretizing over t1+t2 equals composing the two sub-discretizations:
+  // Phi = Phi2 Phi1, Gamma = Phi2 Gamma1 + Gamma2.
+  Matrix a{{0.0, 1.0}, {-9.0, -0.6}};
+  Matrix b{{0.0}, {3.0}};
+  const double t1 = 0.07, t2 = 0.13;
+  const auto [phi1, gamma1] = zoh_integrals(a, b, t1);
+  const auto [phi2, gamma2] = zoh_integrals(a, b, t2);
+  const auto [phi, gamma] = zoh_integrals(a, b, t1 + t2);
+  EXPECT_TRUE(phi.approx_equal(phi2 * phi1, 1e-11));
+  EXPECT_TRUE(gamma.approx_equal(phi2 * gamma1 + gamma2, 1e-11));
+}
+
+TEST(ZohTest, NegativeHorizonThrows) {
+  EXPECT_THROW(zoh_integrals(Matrix{{1.0}}, Matrix{{1.0}}, -0.1), cps::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Unit tests for Matrix and Vector: construction, arithmetic, norms,
+// block operations and dimension checking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using cps::DimensionMismatch;
+using cps::linalg::Matrix;
+using cps::linalg::Vector;
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  m(1, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 1), 9.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), DimensionMismatch);
+}
+
+TEST(MatrixTest, OutOfRangeAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), DimensionMismatch);
+  EXPECT_THROW(m(0, 2), DimensionMismatch);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+  const Matrix d = Matrix::diagonal({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, ArithmeticBasics) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  const Matrix neg = -a;
+  EXPECT_DOUBLE_EQ(neg(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ((2.0 * a)(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ((a / 2.0)(0, 1), 1.0);
+}
+
+TEST(MatrixTest, ProductMatchesHandComputation) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 50.0);
+}
+
+TEST(MatrixTest, ProductDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, DimensionMismatch);
+  EXPECT_THROW(a + Matrix(3, 2), DimensionMismatch);
+}
+
+TEST(MatrixTest, IdentityIsMultiplicativeNeutral) {
+  Matrix a{{1.5, -2.0, 0.25}, {0.0, 3.0, 1.0}, {4.0, 0.5, -1.0}};
+  EXPECT_TRUE((a * Matrix::identity(3)).approx_equal(a, 1e-15));
+  EXPECT_TRUE((Matrix::identity(3) * a).approx_equal(a, 1e-15));
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+  EXPECT_TRUE(at.transpose().approx_equal(a, 0.0));
+}
+
+TEST(MatrixTest, PowMatchesRepeatedProduct) {
+  Matrix a{{0.5, 0.2}, {0.1, 0.7}};
+  const Matrix a3 = a.pow(3);
+  EXPECT_TRUE(a3.approx_equal(a * a * a, 1e-14));
+  EXPECT_TRUE(a.pow(0).approx_equal(Matrix::identity(2), 0.0));
+  EXPECT_TRUE(a.pow(1).approx_equal(a, 0.0));
+}
+
+TEST(MatrixTest, TraceAndNorms) {
+  Matrix a{{3.0, -4.0}, {0.0, 5.0}};
+  EXPECT_DOUBLE_EQ(a.trace(), 8.0);
+  EXPECT_DOUBLE_EQ(a.norm_frobenius(), std::sqrt(9.0 + 16.0 + 25.0));
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 7.0);  // row 0: 3 + 4
+  EXPECT_DOUBLE_EQ(a.norm_one(), 9.0);  // col 1: 4 + 5
+  EXPECT_DOUBLE_EQ(a.max_abs(), 5.0);
+}
+
+TEST(MatrixTest, BlockAndSetBlock) {
+  Matrix a(3, 3);
+  Matrix b{{1.0, 2.0}, {3.0, 4.0}};
+  a.set_block(1, 1, b);
+  EXPECT_DOUBLE_EQ(a(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a(2, 2), 4.0);
+  const Matrix back = a.block(1, 1, 2, 2);
+  EXPECT_TRUE(back.approx_equal(b, 0.0));
+  EXPECT_THROW(a.block(2, 2, 2, 2), DimensionMismatch);
+  EXPECT_THROW(a.set_block(2, 2, b), DimensionMismatch);
+}
+
+TEST(MatrixTest, StackingRoundTrips) {
+  Matrix a{{1.0}, {2.0}};
+  Matrix b{{3.0}, {4.0}};
+  const Matrix h = Matrix::hstack(a, b);
+  EXPECT_EQ(h.cols(), 2u);
+  EXPECT_DOUBLE_EQ(h(1, 1), 4.0);
+  const Matrix v = Matrix::vstack(a.transpose(), b.transpose());
+  EXPECT_EQ(v.rows(), 2u);
+  EXPECT_DOUBLE_EQ(v(1, 0), 3.0);
+  EXPECT_THROW(Matrix::hstack(a, Matrix(3, 1)), DimensionMismatch);
+}
+
+TEST(MatrixTest, AllFiniteDetectsNan) {
+  Matrix a(2, 2, 1.0);
+  EXPECT_TRUE(a.all_finite());
+  a(0, 1) = std::nan("");
+  EXPECT_FALSE(a.all_finite());
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Vector x{5.0, 6.0};
+  const Vector y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+  EXPECT_THROW(a * Vector{1.0}, DimensionMismatch);
+}
+
+TEST(VectorTest, BasicsAndNorms) {
+  Vector v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(v.dot(v), 25.0);
+  EXPECT_DOUBLE_EQ((v + v)[0], 6.0);
+  EXPECT_DOUBLE_EQ((v - v).norm(), 0.0);
+  EXPECT_DOUBLE_EQ((v * 2.0)[1], 8.0);
+  EXPECT_DOUBLE_EQ((2.0 * v)[1], 8.0);
+  EXPECT_DOUBLE_EQ((-v)[0], -3.0);
+}
+
+TEST(VectorTest, UnitAndConcat) {
+  const Vector e1 = Vector::unit(3, 1);
+  EXPECT_DOUBLE_EQ(e1[1], 1.0);
+  EXPECT_DOUBLE_EQ(e1.norm(), 1.0);
+  const Vector c = Vector::concat(Vector{1.0, 2.0}, Vector{3.0});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+  EXPECT_TRUE(c.head(2).approx_equal(Vector{1.0, 2.0}, 0.0));
+  EXPECT_THROW(Vector::unit(2, 2), DimensionMismatch);
+}
+
+TEST(VectorTest, OuterProduct) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, 4.0, 5.0};
+  const Matrix o = a.outer(b);
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+}
+
+TEST(VectorTest, DimensionChecks) {
+  Vector a{1.0};
+  EXPECT_THROW((a + Vector{1.0, 2.0}), DimensionMismatch);
+  EXPECT_THROW((void)a.dot(Vector{1.0, 2.0}), DimensionMismatch);
+  EXPECT_THROW(a[5], DimensionMismatch);
+}
+
+TEST(MatrixTest, RowColExtraction) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(a.row(0).approx_equal(Vector{1.0, 2.0}, 0.0));
+  EXPECT_TRUE(a.col(1).approx_equal(Vector{2.0, 4.0}, 0.0));
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Unit and property tests for the SVD (one-sided Jacobi) and the norms /
+// condition numbers built on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cps::NumericalError;
+using cps::Rng;
+using namespace cps::linalg;
+
+TEST(SvdTest, DiagonalMatrixSingularValues) {
+  const auto sigma = singular_values(Matrix::diagonal({3.0, -5.0, 1.0}));
+  ASSERT_EQ(sigma.size(), 3u);
+  EXPECT_NEAR(sigma[0], 5.0, 1e-12);
+  EXPECT_NEAR(sigma[1], 3.0, 1e-12);
+  EXPECT_NEAR(sigma[2], 1.0, 1e-12);
+}
+
+TEST(SvdTest, OrthogonalMatrixHasUnitSpectrum) {
+  const double theta = 0.83;
+  Matrix rot{{std::cos(theta), -std::sin(theta)}, {std::sin(theta), std::cos(theta)}};
+  for (double s : singular_values(rot)) EXPECT_NEAR(s, 1.0, 1e-12);
+  EXPECT_NEAR(norm_two(rot), 1.0, 1e-12);
+  EXPECT_NEAR(condition_number(rot), 1.0, 1e-10);
+}
+
+TEST(SvdTest, ReconstructionProperty) {
+  Rng rng(211);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    Matrix a(m, n);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-3, 3);
+    const SvdResult result = svd(a);
+    // A = U S V^T.
+    Matrix s(result.sigma.size(), result.sigma.size());
+    for (std::size_t i = 0; i < result.sigma.size(); ++i) s(i, i) = result.sigma[i];
+    const Matrix reconstructed = result.u * s * result.v.transpose();
+    EXPECT_TRUE(reconstructed.approx_equal(a, 1e-9))
+        << "trial " << trial << " m=" << m << " n=" << n;
+    // Singular values decreasing and non-negative.
+    for (std::size_t i = 1; i < result.sigma.size(); ++i) {
+      EXPECT_LE(result.sigma[i], result.sigma[i - 1] + 1e-12);
+      EXPECT_GE(result.sigma[i], 0.0);
+    }
+  }
+}
+
+TEST(SvdTest, NormTwoBoundsAndConsistency) {
+  Rng rng(223);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix a(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.uniform(-2, 2);
+    const double two = norm_two(a);
+    // Standard norm inequalities: ||A||_2 <= ||A||_F and
+    // ||A||_2 >= max_abs entry.
+    EXPECT_LE(two, a.norm_frobenius() + 1e-12);
+    EXPECT_GE(two + 1e-12, a.max_abs());
+    // ||A x|| <= ||A||_2 ||x|| for random x.
+    Vector x(3);
+    for (std::size_t i = 0; i < 3; ++i) x[i] = rng.uniform(-1, 1);
+    EXPECT_LE((a * x).norm(), two * x.norm() + 1e-9);
+  }
+}
+
+TEST(SvdTest, ConditionNumberOfScaledIdentity) {
+  EXPECT_NEAR(condition_number(Matrix::diagonal({10.0, 0.1})), 100.0, 1e-8);
+}
+
+TEST(SvdTest, SingularMatrixConditionThrows) {
+  Matrix rank1{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(condition_number(rank1), NumericalError);
+}
+
+TEST(SvdTest, RankDeficientSingularValueIsZero) {
+  Matrix rank1{{1.0, 2.0}, {2.0, 4.0}};
+  const auto sigma = singular_values(rank1);
+  EXPECT_NEAR(sigma[1], 0.0, 1e-10);
+  EXPECT_NEAR(sigma[0], std::sqrt(25.0), 1e-10);  // Frobenius = sigma_0 here
+}
+
+TEST(SvdTest, WideMatrixHandledViaTranspose) {
+  Matrix wide{{1.0, 0.0, 2.0}, {0.0, 3.0, 0.0}};
+  const auto sigma = singular_values(wide);
+  ASSERT_EQ(sigma.size(), 2u);
+  EXPECT_NEAR(sigma[0], 3.0, 1e-10);
+  EXPECT_NEAR(sigma[1], std::sqrt(5.0), 1e-10);
+}
+
+TEST(SvdTest, AgreesWithDeterminantMagnitude) {
+  // |det A| = product of singular values (square case).
+  Rng rng(227);
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.uniform(-2, 2);
+  double prod = 1.0;
+  for (double s : singular_values(a)) prod *= s;
+  EXPECT_NEAR(prod, std::fabs(determinant(a)), 1e-8);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Unit tests for the plants module: the servo-motor model of Fig. 2, the
+// second-order family, calibration, Table I data and disturbance processes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/loop_design.hpp"
+#include "linalg/eigen.hpp"
+#include "plants/calibration.hpp"
+#include "plants/disturbance.hpp"
+#include "plants/second_order.hpp"
+#include "plants/servo_motor.hpp"
+#include "plants/table1.hpp"
+#include "sim/dwell_wait.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::plants;
+
+TEST(SecondOrderTest, OscillatorSpectrum) {
+  const auto sys = make_oscillator(3.0, 0.2, 9.0);
+  // Eigenvalues: -zeta*wn +- j wn sqrt(1-zeta^2).
+  const auto eigs = linalg::eigenvalues(sys.a());
+  ASSERT_EQ(eigs.size(), 2u);
+  for (const auto& e : eigs) {
+    EXPECT_NEAR(e.real(), -0.6, 1e-10);
+    EXPECT_NEAR(std::abs(e), 3.0, 1e-10);
+  }
+  EXPECT_TRUE(sys.is_stable());
+}
+
+TEST(SecondOrderTest, UnstableStiffnessGivesUnstablePlant) {
+  SecondOrderParams p;
+  p.stiffness = 4.0;  // positive: inverted-pendulum-like
+  p.damping = 0.5;
+  p.input_gain = 1.0;
+  EXPECT_FALSE(make_second_order(p).is_stable());
+}
+
+TEST(SecondOrderTest, ZeroInputGainRejected) {
+  SecondOrderParams p;
+  p.input_gain = 0.0;
+  EXPECT_THROW(make_second_order(p), InvalidArgument);
+}
+
+TEST(ServoMotorTest, OpenLoopIsUnstable) {
+  // The upright stick falls without control.
+  const auto servo = make_servo_motor();
+  EXPECT_FALSE(servo.is_stable());
+  // Unstable pole near sqrt(m g l / J) for small damping.
+  const ServoMotorParams p;
+  double lambda_max = -1e9;
+  for (const auto& e : linalg::eigenvalues(servo.a())) lambda_max = std::max(lambda_max, e.real());
+  EXPECT_GT(lambda_max, 0.3);
+  EXPECT_LT(lambda_max, std::sqrt(p.mass * p.gravity * p.stick_length / p.inertia) + 0.1);
+}
+
+TEST(ServoMotorTest, ExperimentConstantsMatchThePaper) {
+  const ServoExperiment exp;
+  EXPECT_DOUBLE_EQ(exp.sampling_period, 0.02);   // h = 20 ms
+  EXPECT_DOUBLE_EQ(exp.delay_tt, 0.0007);        // 0.7 ms
+  EXPECT_DOUBLE_EQ(exp.delay_et, 0.02);          // worst-case ET = h
+  EXPECT_DOUBLE_EQ(exp.threshold, 0.1);          // E_th
+  EXPECT_NEAR(exp.disturbance_angle, M_PI / 4.0, 1e-12);  // 45 deg
+}
+
+TEST(ServoMotorTest, DisturbedStateIsAugmented) {
+  const auto x0 = servo_disturbed_state();
+  ASSERT_EQ(x0.size(), 3u);  // theta, omega, u_prev
+  EXPECT_NEAR(x0[0], M_PI / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(x0[1], 0.0);
+  EXPECT_DOUBLE_EQ(x0[2], 0.0);
+}
+
+TEST(ServoMotorTest, DesignedLoopsAreStable) {
+  const auto design = design_servo_loops();
+  EXPECT_LT(design.rho_tt, 1.0);
+  EXPECT_LT(design.rho_et, 1.0);
+  EXPECT_LT(design.rho_tt, design.rho_et);  // TT loop is the faster one
+}
+
+TEST(ServoMotorTest, ReproducesPaperSettlingTimes) {
+  // Paper Fig. 3: xi_TT = 0.68 s, xi_ET = 2.16 s.  The calibrated design
+  // pins xi_TT exactly and xi_ET within a few percent.
+  const auto design = design_servo_loops();
+  const ServoExperiment exp;
+  const linalg::Vector x0{exp.disturbance_angle, 0.0};
+  const auto tt = measure_pure_mode_settle(design, LoopMode::kTimeTriggered, x0, exp.threshold);
+  const auto et = measure_pure_mode_settle(design, LoopMode::kEventTriggered, x0, exp.threshold);
+  ASSERT_TRUE(tt && et);
+  EXPECT_NEAR(*tt, 0.68, 0.021);
+  EXPECT_NEAR(*et, 2.16, 0.11);
+}
+
+TEST(ServoMotorTest, DwellWaitCurveIsNonMonotonicTwoPhase) {
+  // The paper's Fig. 3 phenomenon: a rising phase then a falling phase.
+  const auto design = design_servo_loops();
+  const ServoExperiment exp;
+  sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
+  sim::DwellWaitSweepOptions opts;
+  opts.settling.threshold = exp.threshold;
+  const auto curve =
+      sim::measure_dwell_wait_curve(sys, servo_disturbed_state(exp), exp.sampling_period, opts);
+  EXPECT_TRUE(curve.is_non_monotonic());
+  EXPECT_GT(curve.xi_m(), curve.xi_tt());
+  EXPECT_GT(curve.k_p(), 0.0);
+  EXPECT_GT(curve.xi_et() / curve.xi_tt(), 2.5);  // paper: 2.16 / 0.68 ~ 3.2
+}
+
+TEST(ServoMotorTest, LqrSpecAlsoStabilizes) {
+  const auto design =
+      control::design_hybrid_loops(make_servo_motor(), servo_lqr_spec());
+  EXPECT_LT(design.rho_tt, 1.0);
+  EXPECT_LT(design.rho_et, 1.0);
+}
+
+TEST(Table1Test, PublishedRowsAreInternallyConsistent) {
+  const auto rows = paper_values();
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& row : rows) {
+    EXPECT_LT(row.xi_tt, row.xi_et) << row.name;          // TT faster than ET
+    EXPECT_GE(row.xi_m, row.xi_tt) << row.name;           // peak above start
+    EXPECT_LT(row.k_p, row.xi_et) << row.name;            // peak inside range
+    EXPECT_LE(row.xi_d, row.r) << row.name;               // deadline <= inter-arrival
+    EXPECT_GT(row.xi_m_mono, row.xi_m - 1e-9) << row.name;  // xi'_m >= xi_m
+  }
+}
+
+TEST(Table1Test, ConservativeMaxDwellMatchesPublishedColumn) {
+  for (const auto& row : paper_values()) {
+    EXPECT_NEAR(conservative_max_dwell(row.xi_m, row.k_p, row.xi_et), row.xi_m_mono, 0.006)
+        << row.name;
+  }
+}
+
+TEST(Table1Test, SynthesizedFleetHitsSettlingTargets) {
+  for (const auto& app : synthesize_fleet()) {
+    const auto design = control::design_hybrid_loops(app.plant, app.spec);
+    const auto tt = measure_pure_mode_settle(design, LoopMode::kTimeTriggered, app.x0,
+                                             app.threshold);
+    const auto et = measure_pure_mode_settle(design, LoopMode::kEventTriggered, app.x0,
+                                             app.threshold);
+    ASSERT_TRUE(tt && et) << app.target.name;
+    // Within 10 % of the published settling times.
+    EXPECT_NEAR(*tt, app.target.xi_tt, 0.1 * app.target.xi_tt + 0.02) << app.target.name;
+    EXPECT_NEAR(*et, app.target.xi_et, 0.1 * app.target.xi_et + 0.02) << app.target.name;
+  }
+}
+
+TEST(Table1Test, SynthesizedFleetLoopsAreStable) {
+  for (const auto& app : synthesize_fleet()) {
+    const auto design = control::design_hybrid_loops(app.plant, app.spec);
+    EXPECT_LT(design.rho_tt, 1.0) << app.target.name;
+    EXPECT_LT(design.rho_et, 1.0) << app.target.name;
+  }
+}
+
+TEST(CalibrationTest, RadiusCalibrationReachesTarget) {
+  const auto plant = make_oscillator(5.0, 0.1, 25.0);
+  control::PolePlacementLoopSpec spec;
+  spec.sampling_period = 0.02;
+  spec.delay_tt = 0.0;
+  spec.delay_et = 0.02;
+  spec.poles_tt = control::oscillatory_pole_set(0.9, 0.05, 3);
+  spec.poles_et = control::oscillatory_pole_set(0.97, 0.3, 3);
+  const linalg::Vector x0{1.0, 0.0};
+  const CalibrationTarget target{1.5, 0.1, 1.0};
+  const auto tuned =
+      calibrate_decay_radius(plant, spec, LoopMode::kTimeTriggered, x0, target);
+  ASSERT_TRUE(tuned.has_value());
+  const auto design = control::design_hybrid_loops(plant, *tuned);
+  const auto settle = measure_pure_mode_settle(design, LoopMode::kTimeTriggered, x0, 0.1);
+  ASSERT_TRUE(settle.has_value());
+  EXPECT_NEAR(*settle, 1.5, 0.15);
+}
+
+TEST(CalibrationTest, UnreachableTargetReturnsNullopt) {
+  const auto plant = make_oscillator(5.0, 0.1, 25.0);
+  control::PolePlacementLoopSpec spec;
+  spec.sampling_period = 0.02;
+  spec.delay_tt = 0.0;
+  spec.delay_et = 0.02;
+  spec.poles_tt = control::oscillatory_pole_set(0.9, 0.05, 3);
+  spec.poles_et = control::oscillatory_pole_set(0.97, 0.3, 3);
+  const CalibrationTarget impossible{1e-6, 0.1, 0.1};  // faster than one step
+  EXPECT_FALSE(calibrate_decay_radius(plant, spec, LoopMode::kTimeTriggered,
+                                      linalg::Vector{1.0, 0.0}, impossible)
+                   .has_value());
+}
+
+TEST(DisturbanceTest, PeriodicArrivals) {
+  PeriodicDisturbance d(5.0, 1.0);
+  const auto times = d.arrivals(16.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 6.0, 11.0}));
+  EXPECT_DOUBLE_EQ(d.min_inter_arrival(), 5.0);
+}
+
+TEST(DisturbanceTest, WorstCaseArrivalsBackToBack) {
+  WorstCaseDisturbance d(2.0);
+  const auto times = d.arrivals(7.0);
+  EXPECT_EQ(times, (std::vector<double>{0.0, 2.0, 4.0, 6.0}));
+}
+
+TEST(DisturbanceTest, SporadicRespectsMinimumGap) {
+  SporadicDisturbance d(3.0, 2.0, Rng(99));
+  const auto times = d.arrivals(100.0);
+  ASSERT_GE(times.size(), 2u);
+  for (std::size_t i = 1; i < times.size(); ++i)
+    EXPECT_GE(times[i] - times[i - 1], 3.0 - 1e-12);
+}
+
+TEST(DisturbanceTest, SporadicIsDeterministicGivenSeed) {
+  SporadicDisturbance a(1.0, 0.5, Rng(7));
+  SporadicDisturbance b(1.0, 0.5, Rng(7));
+  EXPECT_EQ(a.arrivals(50.0), b.arrivals(50.0));
+}
+
+TEST(DisturbanceTest, ParameterValidation) {
+  EXPECT_THROW(PeriodicDisturbance(0.0), InvalidArgument);
+  EXPECT_THROW(PeriodicDisturbance(1.0, -0.5), InvalidArgument);
+  EXPECT_THROW(SporadicDisturbance(0.0, 1.0, Rng()), InvalidArgument);
+  EXPECT_THROW(WorstCaseDisturbance(-1.0), InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for the time-varying-delay (jitter) simulation of the ET loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/loop_design.hpp"
+#include "linalg/eigen.hpp"
+#include "plants/second_order.hpp"
+#include "plants/servo_motor.hpp"
+#include "sim/jitter.hpp"
+#include "sim/settling.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::sim;
+
+/// Worst-case ET design for the servo, returning (plant, h, gain).
+struct JitterSetup {
+  control::StateSpace plant;
+  double h;
+  linalg::Matrix gain;
+  linalg::Vector z0;
+  control::HybridLoopDesign design;
+};
+
+JitterSetup make_setup() {
+  const plants::ServoExperiment exp;
+  auto design = plants::design_servo_loops();
+  return JitterSetup{plants::make_servo_motor(), exp.sampling_period, design.gain_et,
+               plants::servo_disturbed_state(exp), std::move(design)};
+}
+
+TEST(JitterTest, ConstructionValidation) {
+  const JitterSetup s = make_setup();
+  EXPECT_THROW(JitteryClosedLoop(s.plant, s.h, {}, s.gain), InvalidArgument);
+  EXPECT_THROW(JitteryClosedLoop(s.plant, s.h, {s.h * 2.0}, s.gain), InvalidArgument);
+  EXPECT_THROW(JitteryClosedLoop(s.plant, s.h, {0.01}, linalg::Matrix(1, 2)), InvalidArgument);
+  EXPECT_NO_THROW(JitteryClosedLoop(s.plant, s.h, {0.0, 0.01, s.h}, s.gain));
+}
+
+TEST(JitterTest, WorstCaseDelayReproducesDesignLoop) {
+  // With the delay grid = {d_et} the jittery loop must equal the designed
+  // ET closed loop exactly.
+  const JitterSetup s = make_setup();
+  const JitteryClosedLoop loop(s.plant, s.h, {s.h}, s.gain);
+  ASSERT_EQ(loop.delay_count(), 1u);
+  EXPECT_TRUE(loop.loop_matrix(0).approx_equal(s.design.a_et, 1e-10));
+}
+
+TEST(JitterTest, EveryDelayRealizationIsStable) {
+  // The worst-case gain keeps the loop stable for every smaller delay too
+  // (not guaranteed in general; holds for this design and is the premise
+  // of using it on the real jittery bus).
+  const JitterSetup s = make_setup();
+  const JitteryClosedLoop loop(s.plant, s.h, {0.0, 0.005, 0.01, 0.015, s.h}, s.gain);
+  for (std::size_t i = 0; i < loop.delay_count(); ++i)
+    EXPECT_TRUE(linalg::is_schur_stable(loop.loop_matrix(i), 0.0)) << "delay idx " << i;
+}
+
+TEST(JitterTest, RandomJitterSettles) {
+  const JitterSetup s = make_setup();
+  const JitteryClosedLoop loop(s.plant, s.h, {0.0, 0.005, 0.01, 0.015, s.h}, s.gain);
+  Rng rng(314159);
+  const auto settle = loop.settle_under_random_delays(s.z0, 0.1, rng);
+  ASSERT_TRUE(settle.has_value());
+  EXPECT_GT(*settle, 0u);
+  // Within a sane multiple of the worst-case constant-delay settling time.
+  SettlingOptions opts;
+  opts.threshold = 0.1;
+  const auto wc = settling_step(s.design.a_et, s.z0, 2, opts);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_LT(*settle, 3 * *wc + 10);
+}
+
+TEST(JitterTest, CampaignStatisticsConsistent) {
+  const JitterSetup s = make_setup();
+  const JitteryClosedLoop loop(s.plant, s.h, {0.0, 0.01, s.h}, s.gain);
+  Rng rng(2718);
+  const JitterCampaignResult result = run_jitter_campaign(loop, s.z0, 0.1, s.h, 50, rng);
+  EXPECT_EQ(result.runs, 50u);
+  EXPECT_EQ(result.settled_runs, 50u);
+  EXPECT_LE(result.best_settle_s, result.mean_settle_s + 1e-12);
+  EXPECT_LE(result.mean_settle_s, result.worst_settle_s + 1e-12);
+  EXPECT_GT(result.best_settle_s, 0.0);
+}
+
+TEST(JitterTest, CampaignIsDeterministicGivenSeed) {
+  const JitterSetup s = make_setup();
+  const JitteryClosedLoop loop(s.plant, s.h, {0.0, 0.01, s.h}, s.gain);
+  Rng a(5), b(5);
+  const auto ra = run_jitter_campaign(loop, s.z0, 0.1, s.h, 20, a);
+  const auto rb = run_jitter_campaign(loop, s.z0, 0.1, s.h, 20, b);
+  EXPECT_DOUBLE_EQ(ra.mean_settle_s, rb.mean_settle_s);
+  EXPECT_DOUBLE_EQ(ra.worst_settle_s, rb.worst_settle_s);
+}
+
+TEST(JitterTest, SmallerDelaysSettleNoSlowerOnAverage) {
+  // Sanity: a grid of only tiny delays should not settle slower than the
+  // all-worst-case grid (the controller has fresher inputs).
+  const JitterSetup s = make_setup();
+  const JitteryClosedLoop fresh(s.plant, s.h, {0.0005}, s.gain);
+  const JitteryClosedLoop stale(s.plant, s.h, {s.h}, s.gain);
+  Rng rng(11);
+  const auto fast = run_jitter_campaign(fresh, s.z0, 0.1, s.h, 5, rng);
+  const auto slow = run_jitter_campaign(stale, s.z0, 0.1, s.h, 5, rng);
+  EXPECT_LE(fast.mean_settle_s, slow.mean_settle_s + 0.25);
+}
+
+}  // namespace
