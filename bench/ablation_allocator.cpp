@@ -1,128 +1,34 @@
-// Ablation: allocation heuristic quality (DESIGN.md design-choice index).
-//
-// The paper uses first-fit because finding the optimal TT-slot allocation
-// is NP-hard.  This bench certifies that first-fit is OPTIMAL on the
-// case study (the exact branch-and-bound search also returns 3 slots) and
-// quantifies the heuristic gap on random instances: first-fit vs best-fit
-// vs the exact optimum.
+// Microbenchmarks for the three allocators on the Table I case study.
+// The heuristic-quality campaign itself is produced by
+// `cps_run ablation_allocator` (src/experiments/ablation_allocator.cpp).
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
-#include <cstdio>
-#include <memory>
-
 #include "analysis/slot_allocation.hpp"
-#include "plants/table1.hpp"
-#include "util/format.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include "experiments/fixtures.hpp"
 
 namespace {
 
 using namespace cps;
 using namespace cps::analysis;
 
-std::vector<AppSchedParams> paper_apps() {
-  std::vector<AppSchedParams> apps;
-  for (const auto& row : plants::paper_values()) {
-    AppSchedParams app;
-    app.name = row.name;
-    app.min_inter_arrival = row.r;
-    app.deadline = row.xi_d;
-    app.model = std::make_shared<NonMonotonicModel>(row.xi_tt, row.xi_m, row.k_p, row.xi_et);
-    apps.push_back(std::move(app));
-  }
-  return apps;
-}
-
-std::vector<AppSchedParams> random_apps(Rng& rng, int n) {
-  std::vector<AppSchedParams> apps;
-  for (int i = 0; i < n; ++i) {
-    const double xi_tt = rng.uniform(0.3, 1.5);
-    const double xi_m = xi_tt * rng.uniform(1.0, 1.8);
-    const double xi_et = xi_m + rng.uniform(2.0, 6.0);
-    const double k_p = rng.uniform(0.05, 0.4) * xi_et;
-    const double r = xi_m * rng.uniform(6.0, 30.0);
-    const double deadline = std::min(r, rng.uniform(0.6, 1.0) * xi_et);
-    AppSchedParams app;
-    app.name = "A" + std::to_string(i);
-    app.min_inter_arrival = r;
-    app.deadline = deadline;
-    app.model = std::make_shared<NonMonotonicModel>(xi_tt, xi_m, k_p, xi_et);
-    apps.push_back(std::move(app));
-  }
-  return apps;
-}
-
-void print_ablation() {
-  std::printf("== Ablation: first-fit vs best-fit vs exact optimum ==\n\n");
-
-  // Case study certification.
-  const auto apps = paper_apps();
-  const auto ff = first_fit_allocate(apps).slot_count();
-  const auto bf = best_fit_allocate(apps).slot_count();
-  const auto opt = optimal_allocate(apps).slot_count();
-  std::printf("Table I case study: first-fit %zu, best-fit %zu, optimum %zu "
-              "(the paper's heuristic is optimal here)\n\n",
-              ff, bf, opt);
-
-  // Random-instance campaign.
-  Rng rng(424242);
-  const int trials = 120;
-  int ff_total = 0, bf_total = 0, opt_total = 0, usable = 0;
-  int ff_optimal = 0, bf_optimal = 0;
-  for (int t = 0; t < trials; ++t) {
-    auto set = random_apps(rng, rng.uniform_int(3, 7));
-    try {
-      const auto a = first_fit_allocate(set).slot_count();
-      const auto b = best_fit_allocate(set).slot_count();
-      const auto c = optimal_allocate(set).slot_count();
-      ff_total += static_cast<int>(a);
-      bf_total += static_cast<int>(b);
-      opt_total += static_cast<int>(c);
-      if (a == c) ++ff_optimal;
-      if (b == c) ++bf_optimal;
-      ++usable;
-    } catch (const InfeasibleError&) {
-      // Instance infeasible on dedicated slots; not a heuristic question.
-    }
-  }
-
-  TextTable table({"allocator", "avg slots", "optimal in"});
-  table.add_row({"first-fit (paper)",
-                 format_fixed(static_cast<double>(ff_total) / usable, 3),
-                 format_fixed(100.0 * ff_optimal / usable, 1) + "%"});
-  table.add_row({"best-fit", format_fixed(static_cast<double>(bf_total) / usable, 3),
-                 format_fixed(100.0 * bf_optimal / usable, 1) + "%"});
-  table.add_row({"exact optimum", format_fixed(static_cast<double>(opt_total) / usable, 3),
-                 "100.0%"});
-  std::printf("%d random instances (%d feasible):\n%s\n", trials, usable,
-              table.render().c_str());
-}
-
 void bm_first_fit(benchmark::State& state) {
-  const auto apps = paper_apps();
+  const auto apps = experiments::paper_sched_params(false);
   for (auto _ : state) benchmark::DoNotOptimize(first_fit_allocate(apps));
 }
 BENCHMARK(bm_first_fit);
 
 void bm_best_fit(benchmark::State& state) {
-  const auto apps = paper_apps();
+  const auto apps = experiments::paper_sched_params(false);
   for (auto _ : state) benchmark::DoNotOptimize(best_fit_allocate(apps));
 }
 BENCHMARK(bm_best_fit);
 
 void bm_optimal(benchmark::State& state) {
-  const auto apps = paper_apps();
+  const auto apps = experiments::paper_sched_params(false);
   for (auto _ : state) benchmark::DoNotOptimize(optimal_allocate(apps));
 }
 BENCHMARK(bm_optimal);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+BENCHMARK_MAIN();

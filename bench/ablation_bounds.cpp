@@ -1,107 +1,28 @@
-// Ablation: the closed-form maximum-wait bound (Eq. 20) versus the exact
-// fixed point of the recurrence (Eq. 5).
-//
-// The paper argues for the closed form because, unlike the classical
-// iterative CAN-style analysis [6], it proves existence and gives the
-// bound directly.  This bench quantifies the price: on random application
-// sets, how loose is a'/(1-m) relative to the exact fixed point, and how
-// often does the looseness cost a TT slot?
+// Microbenchmarks for the maximum-wait analyses: the closed-form bound
+// (Eq. 20) and the exact fixed point (Eq. 5).  The tightness campaign
+// itself is produced by `cps_run ablation_bounds`
+// (src/experiments/ablation_bounds.cpp).
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
-#include <cstdio>
-#include <memory>
-
 #include "analysis/slot_allocation.hpp"
-#include "util/format.hpp"
+#include "experiments/fixtures.hpp"
 #include "util/rng.hpp"
-#include "util/table.hpp"
 
 namespace {
 
 using namespace cps;
 using namespace cps::analysis;
 
-std::vector<AppSchedParams> random_app_set(Rng& rng, int n) {
-  std::vector<AppSchedParams> apps;
-  for (int i = 0; i < n; ++i) {
-    const double xi_tt = rng.uniform(0.3, 2.0);
-    const double xi_m = xi_tt * rng.uniform(1.0, 2.0);
-    const double xi_et = xi_m + rng.uniform(2.0, 8.0);
-    const double k_p = rng.uniform(0.05, 0.5) * xi_et;
-    const double r = xi_m * rng.uniform(5.0, 40.0);
-    const double deadline = std::min(r, rng.uniform(0.8, 1.0) * xi_et);
-    AppSchedParams app;
-    app.name = "A" + std::to_string(i);
-    app.min_inter_arrival = r;
-    app.deadline = deadline;
-    app.model = std::make_shared<NonMonotonicModel>(xi_tt, xi_m, k_p, xi_et);
-    apps.push_back(std::move(app));
-  }
+std::vector<AppSchedParams> bench_app_set() {
+  Rng rng(7);
+  auto apps =
+      experiments::random_sched_params(rng, 6, experiments::bounds_ablation_ranges());
   sort_by_priority(apps);
   return apps;
 }
 
-void print_ablation() {
-  std::printf("== Ablation: closed-form bound (Eq. 20) vs exact fixed point (Eq. 5) ==\n\n");
-
-  Rng rng(20190325);  // DATE 2019 conference date
-  const int trials = 200;
-  double sum_ratio = 0.0, max_ratio = 1.0;
-  int comparisons = 0, bracket_ok = 0, bracket_total = 0;
-  int slots_bound_total = 0, slots_fp_total = 0, alloc_trials = 0;
-
-  for (int t = 0; t < trials; ++t) {
-    const int n = rng.uniform_int(2, 6);
-    auto apps = random_app_set(rng, n);
-    for (std::size_t i = 0; i < apps.size(); ++i) {
-      const auto lower = max_wait_lower_bound(apps, i);
-      const auto upper = max_wait_bound(apps, i);
-      const auto fp = max_wait_fixed_point(apps, i);
-      if (!upper || !fp) continue;
-      ++bracket_total;
-      if (*lower <= *fp + 1e-9 && *fp < *upper + 1e-9) ++bracket_ok;
-      if (*fp > 1e-9) {
-        const double ratio = *upper / *fp;
-        sum_ratio += ratio;
-        max_ratio = std::max(max_ratio, ratio);
-        ++comparisons;
-      }
-    }
-    try {
-      AllocationOptions bound_opts;
-      AllocationOptions fp_opts;
-      fp_opts.method = MaxWaitMethod::kFixedPoint;
-      slots_bound_total += static_cast<int>(first_fit_allocate(apps, bound_opts).slot_count());
-      slots_fp_total += static_cast<int>(first_fit_allocate(apps, fp_opts).slot_count());
-      ++alloc_trials;
-    } catch (const InfeasibleError&) {
-      // Random set infeasible even on dedicated slots; skip.
-    }
-  }
-
-  TextTable table({"metric", "value"});
-  table.add_row({"random sets", std::to_string(trials)});
-  table.add_row({"bracket property a/(1-m) <= k* < a'/(1-m) held",
-                 std::to_string(bracket_ok) + " / " + std::to_string(bracket_total)});
-  table.add_row({"mean bound/fixed-point ratio",
-                 format_fixed(comparisons ? sum_ratio / comparisons : 0.0, 3)});
-  table.add_row({"max bound/fixed-point ratio", format_fixed(max_ratio, 3)});
-  table.add_row({"avg slots (closed-form bound)",
-                 format_fixed(alloc_trials ? static_cast<double>(slots_bound_total) / alloc_trials
-                                           : 0.0, 3)});
-  table.add_row({"avg slots (exact fixed point)",
-                 format_fixed(alloc_trials ? static_cast<double>(slots_fp_total) / alloc_trials
-                                           : 0.0, 3)});
-  std::printf("%s\n", table.render().c_str());
-  std::printf("reading: the closed form is within a small factor of the exact fixed\n"
-              "point and rarely costs a slot, while guaranteeing existence a priori\n"
-              "(the paper's argument against the iterative CAN-style analysis).\n\n");
-}
-
 void bm_bound(benchmark::State& state) {
-  Rng rng(7);
-  auto apps = random_app_set(rng, 6);
+  const auto apps = bench_app_set();
   for (auto _ : state) {
     auto k = max_wait_bound(apps, 5);
     benchmark::DoNotOptimize(k);
@@ -110,8 +31,7 @@ void bm_bound(benchmark::State& state) {
 BENCHMARK(bm_bound);
 
 void bm_fixed_point(benchmark::State& state) {
-  Rng rng(7);
-  auto apps = random_app_set(rng, 6);
+  const auto apps = bench_app_set();
   for (auto _ : state) {
     auto k = max_wait_fixed_point(apps, 5);
     benchmark::DoNotOptimize(k);
@@ -121,9 +41,4 @@ BENCHMARK(bm_fixed_point);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+BENCHMARK_MAIN();

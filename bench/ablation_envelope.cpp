@@ -1,88 +1,18 @@
-// Ablation: envelope granularity (DESIGN.md design-choice index).
-//
-// The paper notes the dwell/wait relation "may be modeled with three or
-// more piecewise linear curves, to be closer to the actual behavior."
-// This bench quantifies that remark on both application sets:
-//   * Table I published values: the tent is exact there (the paper's own
-//     model), so only non-monotonic vs conservative differ;
-//   * the synthesized fleet: simple (unsafe) / two-piece tent / concave
-//     hull / conservative monotonic, reporting slots needed, per-app
-//     worst-case responses, and soundness.
+// Microbenchmark for fitting every envelope family to the synthesized
+// fleet.  The granularity comparison itself is produced by
+// `cps_run ablation_envelope` (src/experiments/ablation_envelope.cpp).
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <memory>
-
-#include "analysis/slot_allocation.hpp"
 #include "core/application.hpp"
-#include "plants/table1.hpp"
-#include "util/error.hpp"
-#include "util/format.hpp"
-#include "util/table.hpp"
+#include "experiments/fixtures.hpp"
 
 namespace {
 
 using namespace cps;
-using namespace cps::analysis;
 using core::ControlApplication;
 
-std::vector<ControlApplication> build_fleet() {
-  std::vector<ControlApplication> apps;
-  for (const auto& item : plants::synthesize_fleet()) {
-    auto design = control::design_hybrid_loops(item.plant, item.spec);
-    core::TimingRequirements req{item.target.r, item.target.xi_d, item.threshold};
-    apps.emplace_back(item.target.name, std::move(design), req, item.x0);
-  }
-  return apps;
-}
-
-void print_ablation() {
-  std::printf("== Ablation: envelope granularity vs TT slots needed ==\n\n");
-
-  auto fleet = build_fleet();
-  using MK = ControlApplication::ModelKind;
-  struct Row {
-    const char* label;
-    MK kind;
-  };
-  const Row rows[] = {
-      {"simple monotonic (UNSAFE)", MK::kSimpleMonotonic},
-      {"two-piece tent (paper)", MK::kNonMonotonic},
-      {"concave hull (N-piece)", MK::kConcave},
-      {"conservative monotonic", MK::kConservativeMonotonic},
-  };
-
-  TextTable table({"envelope", "sound", "slots", "sum xi_M [s]", "max violation [s]"});
-  for (const auto& row : rows) {
-    bool sound = true;
-    double sum_max_dwell = 0.0;
-    double worst_violation = 0.0;
-    std::vector<AppSchedParams> sched;
-    for (auto& app : fleet) {
-      const auto model = app.fit_model(row.kind);
-      sound = sound && model->dominates(*app.curve(), 1e-9);
-      worst_violation = std::max(worst_violation, model->max_violation(*app.curve()));
-      sum_max_dwell += model->max_dwell();
-      sched.push_back(app.sched_params());
-    }
-    std::size_t slots = 0;
-    try {
-      slots = first_fit_allocate(sched).slot_count();
-    } catch (const cps::Error&) {
-      slots = 0;  // infeasible under this envelope
-    }
-    table.add_row({row.label, sound ? "yes" : "NO",
-                   slots == 0 ? std::string("infeasible") : std::to_string(slots),
-                   format_fixed(sum_max_dwell, 2), format_fixed(worst_violation, 3)});
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("reading: tighter (more pieces) => smaller interference terms and fewer\n"
-              "or equal slots; the unsafe simple model may report few slots but its\n"
-              "positive violation means deadlines can be missed at runtime.\n\n");
-}
-
 void bm_fit_all_models(benchmark::State& state) {
-  auto fleet = build_fleet();
+  auto fleet = experiments::build_paper_fleet();
   for (auto& app : fleet) app.measure_curve();
   using MK = ControlApplication::ModelKind;
   for (auto _ : state) {
@@ -97,9 +27,4 @@ BENCHMARK(bm_fit_all_models);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+BENCHMARK_MAIN();

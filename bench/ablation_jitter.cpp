@@ -1,78 +1,16 @@
-// Ablation: worst-case-delay controller design vs. actual bus jitter.
-//
-// The ET-mode controller is designed for the worst-case dynamic-segment
-// delay (Section II-B).  On the bus the delay varies per sample.  This
-// bench runs randomized jitter campaigns on the servo's ET loop and
-// compares the settle-time distribution with the constant-worst-case
-// design point, plus the transient-growth implications for slot-release
-// chattering (analysis/transient.hpp).
+// Microbenchmarks for the jitter-campaign and transient-growth kernels.
+// The jitter robustness comparison itself is produced by
+// `cps_run ablation_jitter` (src/experiments/ablation_jitter.cpp).
 #include <benchmark/benchmark.h>
-
-#include <cstdio>
 
 #include "analysis/transient.hpp"
 #include "plants/servo_motor.hpp"
 #include "sim/jitter.hpp"
-#include "sim/settling.hpp"
-#include "util/format.hpp"
-#include "util/table.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
 using namespace cps;
-
-void print_ablation() {
-  std::printf("== Ablation: worst-case ET design vs actual delay jitter (servo) ==\n\n");
-
-  const plants::ServoExperiment exp;
-  const auto plant = plants::make_servo_motor();
-  const auto design = plants::design_servo_loops();
-  const auto z0 = plants::servo_disturbed_state(exp);
-
-  // Constant worst-case reference (the design point).
-  sim::SettlingOptions settle_opts;
-  settle_opts.threshold = exp.threshold;
-  const auto wc_settle = sim::settling_step(design.a_et, z0, 2, settle_opts);
-  const double wc_seconds =
-      wc_settle ? static_cast<double>(*wc_settle) * exp.sampling_period : -1.0;
-
-  TextTable table({"delay scenario", "mean settle [s]", "worst [s]", "best [s]"});
-  table.add_row({"constant worst case (design)", format_fixed(wc_seconds, 2),
-                 format_fixed(wc_seconds, 2), format_fixed(wc_seconds, 2)});
-
-  struct Scenario {
-    const char* label;
-    std::vector<double> delays;
-  };
-  const Scenario scenarios[] = {
-      {"uniform jitter in {0 .. d_max}", {0.0, 0.005, 0.010, 0.015, exp.delay_et}},
-      {"mild jitter in {d_max/2 .. d_max}", {0.010, 0.015, exp.delay_et}},
-      {"mostly fresh (ideal bus)", {0.0, 0.001, 0.002}},
-  };
-  for (const auto& scenario : scenarios) {
-    const sim::JitteryClosedLoop loop(plant, exp.sampling_period, scenario.delays,
-                                      design.gain_et);
-    Rng rng(987654321);
-    const auto result =
-        sim::run_jitter_campaign(loop, z0, exp.threshold, exp.sampling_period, 500, rng);
-    table.add_row({scenario.label, format_fixed(result.mean_settle_s, 2),
-                   format_fixed(result.worst_settle_s, 2),
-                   format_fixed(result.best_settle_s, 2)});
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  const auto growth = analysis::transient_growth_restricted(design.a_et, design.state_dim);
-  std::printf("ET-loop plant-state transient growth: gamma = %.2f at step %zu "
-              "(= %.2f s; drives the Fig. 3 non-monotonicity)\n",
-              growth.peak_gain, growth.peak_step,
-              static_cast<double>(growth.peak_step) * exp.sampling_period);
-  std::printf("steady-state excursion bound after slot release at E_th: %.3f "
-              "(excursions possible iff > E_th = %.1f)\n\n",
-              analysis::excursion_bound(growth, exp.threshold), exp.threshold);
-  std::printf("reading: actual (jittery) delays settle at or faster than the constant\n"
-              "worst case the controller was designed for — the design assumption is\n"
-              "conservative on the real bus, as the paper requires.\n\n");
-}
 
 void bm_jitter_campaign(benchmark::State& state) {
   const plants::ServoExperiment exp;
@@ -97,9 +35,4 @@ BENCHMARK(bm_transient_growth);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+BENCHMARK_MAIN();

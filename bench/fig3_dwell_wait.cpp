@@ -1,62 +1,16 @@
-// Reproduces paper Figure 3: the measured relation between the dwell time
-// k_dw and the wait time k_wait for the servo-motor position control
-// system (Section III), including the published characteristic values
-// xi_TT = 0.68 s and xi_ET = 2.16 s and the two-phase (positive gradient,
-// then negative gradient) shape.
-//
-// Also times the dwell/wait sweep itself (the kernel every application
-// characterization runs).
+// Microbenchmarks for the Figure 3 kernels: the dwell/wait sweep (the
+// kernel every application characterization runs) and the servo two-mode
+// loop design.  The figure itself is produced by `cps_run fig3`
+// (src/experiments/fig3_dwell_wait.cpp).
 #include <benchmark/benchmark.h>
-
-#include <cstdio>
 
 #include "plants/servo_motor.hpp"
 #include "sim/dwell_wait.hpp"
-#include "util/csv.hpp"
-#include "util/format.hpp"
-#include "util/table.hpp"
+#include "sim/switched_system.hpp"
 
 namespace {
 
 using namespace cps;
-
-sim::DwellWaitCurve measure_servo_curve() {
-  const auto design = plants::design_servo_loops();
-  const plants::ServoExperiment exp;
-  sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
-  sim::DwellWaitSweepOptions opts;
-  opts.settling.threshold = exp.threshold;
-  return sim::measure_dwell_wait_curve(sys, plants::servo_disturbed_state(exp),
-                                       exp.sampling_period, opts);
-}
-
-void print_figure3() {
-  const auto curve = measure_servo_curve();
-
-  std::printf("== Figure 3: dwell time vs wait time (servo motor, Section III) ==\n\n");
-  TextTable characteristics({"quantity", "paper", "measured"});
-  characteristics.add_row({"xi_TT [s]", "0.68", format_fixed(curve.xi_tt(), 2)});
-  characteristics.add_row({"xi_ET [s]", "2.16", format_fixed(curve.xi_et(), 2)});
-  characteristics.add_row({"xi_M  [s]", "~1.0", format_fixed(curve.xi_m(), 2)});
-  characteristics.add_row({"k_p   [s]", "~0.3", format_fixed(curve.k_p(), 2)});
-  characteristics.add_row(
-      {"non-monotonic", "yes", curve.is_non_monotonic() ? "yes" : "no"});
-  std::printf("%s\n", characteristics.render().c_str());
-
-  // The measured series, decimated for the terminal (full data to CSV).
-  std::printf("k_wait [s] -> k_dw [s]:\n");
-  const auto& pts = curve.points();
-  for (std::size_t i = 0; i < pts.size(); i += 5) {
-    const int bar = static_cast<int>(pts[i].dwell_s * 40.0);
-    std::printf("  %5.2f  %5.2f  |%s\n", pts[i].wait_s, pts[i].dwell_s,
-                std::string(static_cast<std::size_t>(bar < 0 ? 0 : bar), '#').c_str());
-  }
-
-  CsvWriter csv("fig3_dwell_wait.csv", {"k_wait_s", "k_dw_s"});
-  for (const auto& p : pts) csv.write_row(std::vector<double>{p.wait_s, p.dwell_s}, 6);
-  std::printf("\nfull series written to fig3_dwell_wait.csv (%zu points)\n\n",
-              pts.size());
-}
 
 void bm_servo_curve_sweep(benchmark::State& state) {
   const auto design = plants::design_servo_loops();
@@ -82,9 +36,4 @@ BENCHMARK(bm_servo_loop_design);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_figure3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+BENCHMARK_MAIN();

@@ -1,84 +1,17 @@
-// Reproduces paper Figure 4: the approximated relation between the dwell
-// time and the wait time — the two-piece non-monotonic envelope, the
-// conservative monotonic line and the (unsafe) simple monotonic line —
-// fitted to the servo motor's measured curve of Figure 3.
-//
-// Prints all three model series plus a soundness check (the measured curve
-// must lie entirely below the sound models), and times the fitting kernels.
+// Microbenchmarks for the Figure 4 fitting kernels.  The figure itself is
+// produced by `cps_run fig4` (src/experiments/fig4_models.cpp).
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "analysis/dwell_wait_model.hpp"
-#include "plants/servo_motor.hpp"
-#include "sim/dwell_wait.hpp"
-#include "util/csv.hpp"
-#include "util/format.hpp"
-#include "util/table.hpp"
+#include "experiments/fixtures.hpp"
 
 namespace {
 
 using namespace cps;
 using namespace cps::analysis;
 
-sim::DwellWaitCurve measure_servo_curve() {
-  const auto design = plants::design_servo_loops();
-  const plants::ServoExperiment exp;
-  sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
-  sim::DwellWaitSweepOptions opts;
-  opts.settling.threshold = exp.threshold;
-  return sim::measure_dwell_wait_curve(sys, plants::servo_disturbed_state(exp),
-                                       exp.sampling_period, opts);
-}
-
-void print_figure4() {
-  const auto curve = measure_servo_curve();
-  const NonMonotonicModel tent = NonMonotonicModel::fit(curve);
-  const ConservativeMonotonicModel mono = ConservativeMonotonicModel::fit(curve);
-  const SimpleMonotonicModel simple = SimpleMonotonicModel::fit(curve);
-  const ConcaveEnvelopeModel hull(curve);
-
-  std::printf("== Figure 4: dwell/wait envelope models (servo motor) ==\n\n");
-  TextTable params({"model", "max dwell (xi_M / xi'_M) [s]", "zero wait [s]", "sound"});
-  params.add_row({"non-monotonic (2-piece)", format_fixed(tent.max_dwell(), 3),
-                  format_fixed(tent.zero_wait(), 3), tent.dominates(curve) ? "yes" : "NO"});
-  params.add_row({"conservative monotonic", format_fixed(mono.max_dwell(), 3),
-                  format_fixed(mono.zero_wait(), 3), mono.dominates(curve) ? "yes" : "NO"});
-  params.add_row({"simple monotonic (unsafe)", format_fixed(simple.max_dwell(), 3),
-                  format_fixed(simple.zero_wait(), 3),
-                  simple.dominates(curve) ? "yes" : "NO (by design)"});
-  params.add_row({"concave envelope (" + std::to_string(hull.piece_count()) + " pieces)",
-                  format_fixed(hull.max_dwell(), 3), format_fixed(hull.zero_wait(), 3),
-                  hull.dominates(curve) ? "yes" : "NO"});
-  std::printf("%s\n", params.render().c_str());
-
-  std::printf("model dwell at selected wait times [s]:\n");
-  TextTable series({"k_wait", "measured", "non-mono", "conservative", "simple", "hull"});
-  for (std::size_t i = 0; i < curve.points().size(); i += 10) {
-    const double w = curve.points()[i].wait_s;
-    series.add_row({format_fixed(w, 2), format_fixed(curve.points()[i].dwell_s, 3),
-                    format_fixed(tent.dwell(w), 3), format_fixed(mono.dwell(w), 3),
-                    format_fixed(simple.dwell(w), 3), format_fixed(hull.dwell(w), 3)});
-  }
-  std::printf("%s\n", series.render().c_str());
-
-  std::printf("simple monotonic max under-approximation: %.3f s "
-              "(the paper's Section III argument: using it may violate deadlines)\n\n",
-              simple.max_violation(curve));
-
-  CsvWriter csv("fig4_models.csv",
-                {"k_wait_s", "measured", "non_monotonic", "conservative", "simple", "hull"});
-  for (const auto& p : curve.points()) {
-    csv.write_row(std::vector<double>{p.wait_s, p.dwell_s, tent.dwell(p.wait_s),
-                                      mono.dwell(p.wait_s), simple.dwell(p.wait_s),
-                                      hull.dwell(p.wait_s)},
-                  6);
-  }
-  std::printf("full series written to fig4_models.csv\n\n");
-}
-
 void bm_fit_non_monotonic(benchmark::State& state) {
-  const auto curve = measure_servo_curve();
+  const auto curve = experiments::measure_servo_curve();
   for (auto _ : state) {
     auto model = NonMonotonicModel::fit(curve);
     benchmark::DoNotOptimize(model);
@@ -87,7 +20,7 @@ void bm_fit_non_monotonic(benchmark::State& state) {
 BENCHMARK(bm_fit_non_monotonic);
 
 void bm_fit_concave_hull(benchmark::State& state) {
-  const auto curve = measure_servo_curve();
+  const auto curve = experiments::measure_servo_curve();
   for (auto _ : state) {
     ConcaveEnvelopeModel model(curve);
     benchmark::DoNotOptimize(model);
@@ -97,9 +30,4 @@ BENCHMARK(bm_fit_concave_hull);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_figure4();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+BENCHMARK_MAIN();

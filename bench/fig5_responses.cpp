@@ -1,80 +1,23 @@
-// Reproduces paper Figure 5: the responses of all six applications with
-// disturbances at t = 0, co-simulated over the FlexRay model with the
-// 3-slot allocation (S1 = {C3, C6}, S2 = {C2, C4}, S3 = {C5, C1}).
-// Each panel shows ||x_i|| over time with the active communication mode
-// (T = TT slot, e = ET segment) and the E_th threshold line; the verdict
-// table confirms every application meets its deadline.
-//
-// Times the multi-application co-simulation.
+// Microbenchmarks for the Figure 5 multi-application co-simulation.  The
+// figure itself is produced by `cps_run fig5`
+// (src/experiments/fig5_responses.cpp).
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "core/co_simulation.hpp"
-#include "core/report.hpp"
-#include "plants/table1.hpp"
-#include "util/csv.hpp"
-#include "util/format.hpp"
+#include "experiments/fixtures.hpp"
 
 namespace {
 
 using namespace cps;
 using namespace cps::core;
 
-std::vector<ControlApplication> build_fleet() {
-  std::vector<ControlApplication> apps;
-  for (const auto& item : plants::synthesize_fleet()) {
-    auto design = control::design_hybrid_loops(item.plant, item.spec);
-    TimingRequirements req{item.target.r, item.target.xi_d, item.threshold};
-    apps.emplace_back(item.target.name, std::move(design), req, item.x0);
-  }
-  return apps;
-}
-
-/// The paper's 3-slot allocation, applied to the synthesized plants.
-std::size_t slot_of(const std::string& name) {
-  if (name == "C3" || name == "C6") return 0;
-  if (name == "C2" || name == "C4") return 1;
-  return 2;  // C5, C1
-}
-
-void print_figure5() {
-  auto apps = build_fleet();
-  CoSimulationOptions options;
-  options.horizon = 12.0;
-  CoSimulator cosim(options);
-  for (auto& app : apps) cosim.add_application(app, slot_of(app.name()), {0.0});
-  const CoSimulationResult result = cosim.run();
-
-  std::printf("== Figure 5: responses of all six applications, disturbances at t = 0 ==\n");
-  std::printf("(3-slot allocation S1={C3,C6} S2={C2,C4} S3={C5,C1}; "
-              "T = TT slot, e = ET segment)\n\n");
-  for (const auto& app : result.apps)
-    std::printf("%s\n", render_response_ascii(app, 0.1).c_str());
-
-  std::printf("%s\n", render_slot_gantt(result).c_str());
-  std::printf("%s\n", render_cosim(result).c_str());
-  std::printf(">>> all deadlines met: %s (paper: yes)\n\n",
-              result.all_deadlines_met ? "yes" : "NO");
-
-  CsvWriter csv("fig5_responses.csv", {"app", "t_s", "norm", "mode"});
-  for (const auto& app : result.apps) {
-    for (std::size_t k = 0; k < app.trajectory.length(); ++k) {
-      const auto& s = app.trajectory.at(k);
-      csv.write_row(std::vector<std::string>{
-          app.name, format_fixed(app.trajectory.time_at(k), 3), format_fixed(s.norm, 6),
-          s.mode == sim::Mode::kTimeTriggered ? "TT" : "ET"});
-    }
-  }
-  std::printf("full trajectories written to fig5_responses.csv\n\n");
-}
-
 void bm_cosim_six_apps(benchmark::State& state) {
-  auto apps = build_fleet();
+  auto apps = experiments::build_paper_fleet();
   CoSimulationOptions options;
   options.horizon = 12.0;
   CoSimulator cosim(options);
-  for (auto& app : apps) cosim.add_application(app, slot_of(app.name()), {0.0});
+  for (auto& app : apps)
+    cosim.add_application(app, experiments::paper_slot_of(app.name()), {0.0});
   for (auto _ : state) {
     auto result = cosim.run();
     benchmark::DoNotOptimize(result);
@@ -83,12 +26,13 @@ void bm_cosim_six_apps(benchmark::State& state) {
 BENCHMARK(bm_cosim_six_apps);
 
 void bm_cosim_without_bus(benchmark::State& state) {
-  auto apps = build_fleet();
+  auto apps = experiments::build_paper_fleet();
   CoSimulationOptions options;
   options.horizon = 12.0;
   options.simulate_bus = false;
   CoSimulator cosim(options);
-  for (auto& app : apps) cosim.add_application(app, slot_of(app.name()), {0.0});
+  for (auto& app : apps)
+    cosim.add_application(app, experiments::paper_slot_of(app.name()), {0.0});
   for (auto _ : state) {
     auto result = cosim.run();
     benchmark::DoNotOptimize(result);
@@ -98,9 +42,4 @@ BENCHMARK(bm_cosim_without_bus);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_figure5();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+BENCHMARK_MAIN();

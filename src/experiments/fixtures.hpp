@@ -1,0 +1,60 @@
+// Shared fixtures for the registered experiments (src/experiments/) and
+// the microbenchmarks (bench/): the servo dwell/wait measurement, the
+// six-application case-study fleet, the published Table I scheduling
+// parameters, and the random application-set generators used by the
+// ablations.  Centralizing these removes the copy-pasted helpers the
+// nine original bench mains carried around.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/slot_allocation.hpp"
+#include "core/application.hpp"
+#include "plants/table1.hpp"
+#include "sim/dwell_wait.hpp"
+#include "util/rng.hpp"
+
+namespace cps::experiments {
+
+/// Measure the servo motor's dwell/wait curve (paper Fig. 3 setup).
+sim::DwellWaitCurve measure_servo_curve();
+
+/// Measure the dwell/wait curve of one synthesized Table I stand-in
+/// (full pipeline: design -> switched system -> sweep).
+sim::DwellWaitCurve measure_synthesized_curve(const plants::SynthesizedApp& app);
+
+/// Build the six case-study ControlApplications from the synthesized fleet.
+std::vector<core::ControlApplication> build_paper_fleet();
+
+/// The paper's 3-slot allocation: S1 = {C3, C6}, S2 = {C2, C4}, S3 = {C5, C1}.
+std::size_t paper_slot_of(const std::string& name);
+
+/// Scheduling parameters straight from the published Table I values,
+/// under either the non-monotonic (paper) or conservative monotonic model.
+std::vector<analysis::AppSchedParams> paper_sched_params(bool monotonic);
+
+/// Parameter ranges for random application-set generation (all draws
+/// uniform; see random_sched_params for how each field is used).
+struct RandomAppRanges {
+  double xi_tt_lo, xi_tt_hi;          ///< xi_TT [s]
+  double xi_m_factor_lo, xi_m_factor_hi;    ///< xi_M = xi_TT * factor
+  double xi_et_add_lo, xi_et_add_hi;  ///< xi_ET = xi_M + add [s]
+  double k_p_frac_lo, k_p_frac_hi;    ///< k_p = frac * xi_ET
+  double r_factor_lo, r_factor_hi;    ///< r = xi_M * factor
+  double deadline_frac_lo, deadline_frac_hi;  ///< deadline = min(r, frac * xi_ET)
+};
+
+/// Ranges used by the allocator-quality ablation (moderate spread).
+RandomAppRanges allocator_ablation_ranges();
+
+/// Ranges used by the bound-tightness ablation (wider spread).
+RandomAppRanges bounds_ablation_ranges();
+
+/// Draw `n` random applications under the non-monotonic model.  Order of
+/// draws is fixed, so a given (rng state, n, ranges) reproduces exactly.
+std::vector<analysis::AppSchedParams> random_sched_params(Rng& rng, int n,
+                                                          const RandomAppRanges& ranges);
+
+}  // namespace cps::experiments

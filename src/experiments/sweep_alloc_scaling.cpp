@@ -1,0 +1,99 @@
+// Experiment "sweep_alloc" — allocator scaling sweep (new workload, not a
+// paper figure): how the first-fit and best-fit heuristics and the exact
+// optimum behave as the application count grows beyond the paper's
+// six-app case study.
+//
+// The (size x trial) grid fans across ctx.jobs cores via SweepRunner;
+// every grid point draws only from its own task-seeded Rng, so the CSV is
+// bit-identical for any job count.  The exact optimum is only computed up
+// to kMaxExactSize apps (the branch-and-bound search grows
+// combinatorially).
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/slot_allocation.hpp"
+#include "experiments/fixtures.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::analysis;
+
+constexpr int kMinSize = 3;
+constexpr int kMaxSize = 8;
+constexpr int kMaxExactSize = 6;
+constexpr std::size_t kTrialsPerSize = 30;
+
+struct Cell {
+  int size = 0;
+  bool feasible = false;
+  std::size_t first_fit = 0;
+  std::size_t best_fit = 0;
+  std::size_t optimal = 0;  // 0 when not computed (size > kMaxExactSize)
+};
+
+Cell run_cell(std::size_t index, Rng& rng) {
+  Cell cell;
+  cell.size = kMinSize + static_cast<int>(index / kTrialsPerSize);
+  const auto set = experiments::random_sched_params(rng, cell.size,
+                                                    experiments::allocator_ablation_ranges());
+  try {
+    cell.first_fit = first_fit_allocate(set).slot_count();
+    cell.best_fit = best_fit_allocate(set).slot_count();
+    if (cell.size <= kMaxExactSize) cell.optimal = optimal_allocate(set).slot_count();
+    cell.feasible = true;
+  } catch (const InfeasibleError&) {
+    // Infeasible even on dedicated slots; excluded from the averages.
+  }
+  return cell;
+}
+
+}  // namespace
+
+CPS_EXPERIMENT(sweep_alloc, "Sweep: allocator quality vs application-set size (parallel)") {
+  std::fprintf(ctx.out, "== Sweep: allocator quality vs application-set size ==\n");
+  std::fprintf(ctx.out, "(%zu random instances per size, %d jobs)\n\n", kTrialsPerSize,
+               ctx.jobs);
+
+  const std::size_t sizes = static_cast<std::size_t>(kMaxSize - kMinSize + 1);
+  runtime::SweepRunner sweep({ctx.jobs, ctx.seed});
+  const auto cells = sweep.run(sizes * kTrialsPerSize, run_cell);
+
+  const std::string csv_path = ctx.csv_path("sweep_alloc.csv");
+  CsvWriter csv(csv_path, {"n_apps", "feasible", "avg_first_fit", "avg_best_fit",
+                           "avg_optimal", "first_fit_vs_best_fit_gap"});
+  TextTable table({"n apps", "feasible", "avg first-fit", "avg best-fit", "avg optimum"});
+  for (int size = kMinSize; size <= kMaxSize; ++size) {
+    int feasible = 0;
+    double ff_sum = 0.0, bf_sum = 0.0, opt_sum = 0.0;
+    for (const auto& cell : cells) {
+      if (cell.size != size || !cell.feasible) continue;
+      ++feasible;
+      ff_sum += static_cast<double>(cell.first_fit);
+      bf_sum += static_cast<double>(cell.best_fit);
+      opt_sum += static_cast<double>(cell.optimal);
+    }
+    const double ff_avg = feasible ? ff_sum / feasible : 0.0;
+    const double bf_avg = feasible ? bf_sum / feasible : 0.0;
+    const double opt_avg = feasible ? opt_sum / feasible : 0.0;
+    const bool exact = size <= kMaxExactSize;
+    // Empty field (not "n/a") when the optimum was not computed, so the
+    // column stays numerically parseable downstream.
+    csv.write_row(std::vector<std::string>{
+        std::to_string(size), std::to_string(feasible), format_fixed(ff_avg, 4),
+        format_fixed(bf_avg, 4), exact ? format_fixed(opt_avg, 4) : std::string(),
+        format_fixed(ff_avg - bf_avg, 4)});
+    table.add_row({std::to_string(size),
+                   std::to_string(feasible) + "/" + std::to_string(kTrialsPerSize),
+                   format_fixed(ff_avg, 3), format_fixed(bf_avg, 3),
+                   exact ? format_fixed(opt_avg, 3) : std::string("n/a")});
+  }
+  std::fprintf(ctx.out, "%s\n", table.render().c_str());
+  std::fprintf(ctx.out, "per-size averages written to %s\n\n", csv_path.c_str());
+}

@@ -1,0 +1,58 @@
+// Experiment "table1" — paper Table I: the timing parameters of the six
+// case-study control applications.  Two column sets are printed: the
+// published values (used verbatim by the allocation experiments) and the
+// values measured from the synthesized stand-in plants (full pipeline
+// path), so the deviation of the substitution is visible at a glance.
+//
+// The six per-application characterizations are independent, so they fan
+// out across ctx.jobs cores via SweepRunner (the sweep draws no
+// randomness: results are identical for any job count).
+#include <cstddef>
+#include <vector>
+
+#include "experiments/fixtures.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "sim/dwell_wait.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cps;
+
+}  // namespace
+
+CPS_EXPERIMENT(table1, "Table I: timing parameters of the six applications") {
+  std::fprintf(ctx.out, "== Table I: timing parameters for applications [s] ==\n\n");
+  std::fprintf(ctx.out, "published values (used by the allocation reproduction):\n");
+  TextTable paper({"app", "r", "xi_d", "xi_TT", "xi_ET", "xi_M", "k_p", "xi'_M"});
+  for (const auto& row : plants::paper_values()) {
+    paper.add_row({row.name, format_fixed(row.r, 0), format_fixed(row.xi_d, 2),
+                   format_fixed(row.xi_tt, 2), format_fixed(row.xi_et, 2),
+                   format_fixed(row.xi_m, 2), format_fixed(row.k_p, 2),
+                   format_fixed(row.xi_m_mono, 2)});
+  }
+  std::fprintf(ctx.out, "%s\n", paper.render().c_str());
+
+  const auto fleet = plants::synthesize_fleet();
+  runtime::SweepRunner sweep({ctx.jobs, ctx.seed});
+  const auto curves = sweep.run(fleet.size(), [&fleet](std::size_t i, Rng&) {
+    return experiments::measure_synthesized_curve(fleet[i]);
+  });
+
+  std::fprintf(ctx.out, "synthesized-plant measurements (paper value in parentheses):\n");
+  TextTable synth({"app", "xi_TT", "xi_ET", "xi_M", "k_p", "non-monotonic"});
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto& app = fleet[i];
+    const auto& curve = curves[i];
+    synth.add_row(
+        {app.target.name,
+         format_fixed(curve.xi_tt(), 2) + " (" + format_fixed(app.target.xi_tt, 2) + ")",
+         format_fixed(curve.xi_et(), 2) + " (" + format_fixed(app.target.xi_et, 2) + ")",
+         format_fixed(curve.xi_m(), 2) + " (" + format_fixed(app.target.xi_m, 2) + ")",
+         format_fixed(curve.k_p(), 2) + " (" + format_fixed(app.target.k_p, 2) + ")",
+         curve.is_non_monotonic() ? "yes" : "no"});
+  }
+  std::fprintf(ctx.out, "%s\n", synth.render().c_str());
+}

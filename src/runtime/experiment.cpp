@@ -1,0 +1,59 @@
+#include "runtime/experiment.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace cps::runtime {
+
+std::string ExperimentContext::csv_path(const std::string& filename) const {
+  if (csv_dir.empty()) return filename;
+  if (csv_dir.back() == '/') return csv_dir + filename;
+  return csv_dir + "/" + filename;
+}
+
+Experiment::Experiment(std::string name, std::string description, RunFn run)
+    : name_(std::move(name)), description_(std::move(description)), run_(std::move(run)) {
+  CPS_ENSURE(!name_.empty(), "Experiment: name must be non-empty");
+  CPS_ENSURE(static_cast<bool>(run_), "Experiment: run function must be callable");
+}
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(Experiment experiment) {
+  const std::string name = experiment.name();
+  const bool inserted = experiments_.emplace(name, std::move(experiment)).second;
+  if (!inserted) throw Error("ExperimentRegistry: duplicate experiment name '" + name + "'");
+}
+
+const Experiment* ExperimentRegistry::find(const std::string& name) const {
+  const auto it = experiments_.find(name);
+  return it == experiments_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::list() const {
+  std::vector<const Experiment*> out;
+  out.reserve(experiments_.size());
+  for (const auto& [name, experiment] : experiments_) out.push_back(&experiment);
+  return out;  // std::map iteration order is already sorted by name
+}
+
+ExperimentRegistrar::ExperimentRegistrar(std::string name, std::string description,
+                                         Experiment::RunFn run) {
+  try {
+    ExperimentRegistry::instance().add(
+        Experiment(std::move(name), std::move(description), std::move(run)));
+  } catch (const std::exception& error) {
+    // Registrars run during static initialization, where an escaping
+    // exception terminates with no diagnostic; name the clash first.
+    std::fprintf(stderr, "CPS_EXPERIMENT registration failed: %s\n", error.what());
+    std::abort();
+  }
+}
+
+}  // namespace cps::runtime

@@ -1,0 +1,87 @@
+// Named-experiment registry: the run layer's catalog.
+//
+// Every paper figure, table and ablation registers itself (via
+// CPS_EXPERIMENT in src/experiments/) as a named Experiment; the cps_run
+// driver looks experiments up by name, so adding a workload is one
+// translation unit with no driver changes.  The registry is a process-wide
+// singleton populated by static registrars before main() runs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cps::runtime {
+
+/// Per-invocation knobs handed to every experiment.
+struct ExperimentContext {
+  /// Worker threads available to SweepRunner fan-outs (>= 1).
+  int jobs = 1;
+  /// Base seed; every randomized sweep derives per-task seeds from it.
+  std::uint64_t seed = 0x5EED5EEDULL;
+  /// Directory for CSV artifacts; empty means the working directory.
+  std::string csv_dir;
+  /// Narrative output stream (tables, verdicts).
+  std::FILE* out = stdout;
+
+  /// Join `filename` onto csv_dir.
+  std::string csv_path(const std::string& filename) const;
+};
+
+/// A named, runnable reproduction target (one figure/table/ablation).
+class Experiment {
+ public:
+  using RunFn = std::function<void(ExperimentContext&)>;
+
+  Experiment(std::string name, std::string description, RunFn run);
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+  void run(ExperimentContext& context) const { run_(context); }
+
+ private:
+  std::string name_;
+  std::string description_;
+  RunFn run_;
+};
+
+/// Process-wide catalog of experiments, keyed by unique name.
+class ExperimentRegistry {
+ public:
+  static ExperimentRegistry& instance();
+
+  /// Register an experiment; throws cps::Error on a duplicate name.
+  void add(Experiment experiment);
+
+  /// Lookup by exact name; nullptr when absent.
+  const Experiment* find(const std::string& name) const;
+
+  /// All experiments, sorted by name.
+  std::vector<const Experiment*> list() const;
+
+  std::size_t size() const { return experiments_.size(); }
+
+ private:
+  std::map<std::string, Experiment> experiments_;
+};
+
+/// Static-initialization helper used by CPS_EXPERIMENT.
+struct ExperimentRegistrar {
+  ExperimentRegistrar(std::string name, std::string description, Experiment::RunFn run);
+};
+
+}  // namespace cps::runtime
+
+/// Define and register an experiment:
+///
+///   CPS_EXPERIMENT(fig4, "Figure 4: dwell/wait envelope models") {
+///     ... use ctx (an ExperimentContext&) ...
+///   }
+#define CPS_EXPERIMENT(id, description)                                       \
+  static void cps_experiment_##id(::cps::runtime::ExperimentContext& ctx);    \
+  static const ::cps::runtime::ExperimentRegistrar cps_experiment_reg_##id(   \
+      #id, description, &cps_experiment_##id);                                \
+  static void cps_experiment_##id(::cps::runtime::ExperimentContext& ctx)

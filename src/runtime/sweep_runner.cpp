@@ -1,0 +1,12 @@
+#include "runtime/sweep_runner.hpp"
+
+namespace cps::runtime {
+
+std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t index) {
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace cps::runtime

@@ -1,0 +1,81 @@
+// Deterministic parallel fan-out of parameter grids.
+//
+// SweepRunner evaluates a task function over indices [0, count), spread
+// across a work-stealing ThreadPool.  Determinism contract: each task
+// receives its own Rng seeded by task_seed(base_seed, index) and must draw
+// randomness ONLY from that Rng, so the result vector is bit-identical for
+// any job count and any scheduling order (results come back in index
+// order).  tests/runtime_test.cpp enforces this for 1 vs 2 jobs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace cps::runtime {
+
+/// splitmix64-style mix of (seed, index): statistically independent,
+/// scheduling-independent per-task seeds.
+std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t index);
+
+struct SweepOptions {
+  /// Worker threads; <= 1 runs inline on the calling thread.
+  int jobs = 1;
+  /// Base seed every per-task Rng derives from.
+  std::uint64_t seed = 0x5EED5EEDULL;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {}) : options_(options) {}
+
+  int jobs() const { return options_.jobs; }
+  std::uint64_t seed() const { return options_.seed; }
+
+  /// Evaluate fn(index, rng) for every index in [0, count) and return the
+  /// results in index order.  fn must not touch shared mutable state.
+  template <typename Fn>
+  auto run(std::size_t count, Fn fn) -> std::vector<decltype(fn(std::size_t{}, std::declval<Rng&>()))> {
+    using Result = decltype(fn(std::size_t{}, std::declval<Rng&>()));
+    std::vector<Result> results;
+    results.reserve(count);
+    if (count == 0) return results;
+    if (options_.jobs <= 1) {
+      for (std::size_t i = 0; i < count; ++i) {
+        Rng rng(task_seed(options_.seed, i));
+        results.push_back(fn(i, rng));
+      }
+      return results;
+    }
+    ThreadPool pool(std::min(static_cast<std::size_t>(options_.jobs), count));
+    std::vector<std::future<Result>> futures;
+    futures.reserve(count);
+    const std::uint64_t base = options_.seed;
+    for (std::size_t i = 0; i < count; ++i) {
+      futures.push_back(pool.submit([fn, base, i]() {
+        Rng rng(task_seed(base, i));
+        return fn(i, rng);
+      }));
+    }
+    try {
+      for (auto& future : futures) results.push_back(future.get());
+    } catch (...) {
+      // Fail fast: drop the queued tasks so the pool's destructor joins
+      // after the in-flight ones instead of draining the whole campaign.
+      pool.cancel_pending();
+      throw;
+    }
+    return results;
+  }
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace cps::runtime

@@ -1,0 +1,88 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cps::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  queues_.resize(threads);
+  workers_.reserve(threads);
+  try {
+    for (std::size_t i = 0; i < threads; ++i)
+      workers_.emplace_back([this, i]() { worker_loop(i); });
+  } catch (...) {
+    // Thread spawn failed partway (e.g. thread-limited container): join
+    // the workers already running, then surface the error as a catchable
+    // exception instead of terminating on a joinable std::thread.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::cancel_pending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& queue : queues_) queue.clear();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::take_task(std::size_t self, std::function<void()>& task) {
+  if (!queues_[self].empty()) {
+    task = std::move(queues_[self].back());
+    queues_[self].pop_back();
+    return true;
+  }
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    auto& victim = queues_[(self + offset) % queues_.size()];
+    if (!victim.empty()) {
+      task = std::move(victim.front());
+      victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this]() {
+        if (stopping_) return true;
+        for (const auto& queue : queues_)
+          if (!queue.empty()) return true;
+        return false;
+      });
+      if (!take_task(self, task)) {
+        if (stopping_) return;  // stopping and every deque drained
+        continue;
+      }
+    }
+    task();
+  }
+}
+
+}  // namespace cps::runtime

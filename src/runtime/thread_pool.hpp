@@ -1,0 +1,73 @@
+// Work-stealing thread pool for the experiment-runner subsystem.
+//
+// Each worker owns a deque of pending tasks.  Submissions are distributed
+// round-robin across the worker deques; a worker pops its own deque from
+// the back (LIFO, cache-warm) and, when empty, steals from the front of a
+// peer's deque (FIFO, oldest first), so uneven parameter grids keep every
+// core busy.  Results and exceptions propagate through std::future, which
+// is what SweepRunner relies on for exception-safe fan-out.
+//
+// The deques share one mutex: experiment tasks are coarse (milliseconds to
+// seconds each), so queue contention is negligible and a single lock keeps
+// the sleep/wake protocol trivially correct.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cps::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least one).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains every task already submitted, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Discard every not-yet-started task.  Their futures report
+  /// std::future_error (broken promise).  In-flight tasks finish normally.
+  void cancel_pending();
+
+  /// Schedule `fn` and return a future for its result.  An exception
+  /// thrown by `fn` is captured and rethrown from future::get().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop(std::size_t self);
+  /// Pop from own deque (back) or steal from a peer (front).  Must be
+  /// called with `mutex_` held.  Returns false when no task is available.
+  bool take_task(std::size_t self, std::function<void()>& task);
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> workers_;
+  std::size_t next_queue_ = 0;  // round-robin submission cursor
+  bool stopping_ = false;
+};
+
+}  // namespace cps::runtime

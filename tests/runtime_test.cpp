@@ -1,0 +1,196 @@
+// Unit tests for the runtime layer: work-stealing ThreadPool semantics
+// (results, ordering, exception propagation, destructor draining), the
+// deterministic per-task seeding of SweepRunner (a 2-job sweep must be
+// bit-identical to the serial run), and the experiment registry catalog.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/experiment.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::runtime;
+
+TEST(ThreadPoolTest, ReturnsResultsThroughFutures) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) futures.push_back(pool.submit([i]() { return i * i; }));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.submit([]() { return 41 + 1; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([]() { return std::string("fine"); });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), "fine");
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool must stay usable after a task threw.
+  EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ExecutesEveryTaskExactlyOnce) {
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 500; ++i)
+      futures.push_back(pool.submit([&counter]() { counter.fetch_add(1); }));
+    for (auto& future : futures) future.get();
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter]() { counter.fetch_add(1); });
+    }
+    // No explicit wait: the destructor must run all 100 tasks.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, CancelPendingDropsQueuedTasksOnly) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::promise<void> release;
+  auto release_future = release.get_future();
+  auto gate = pool.submit([&]() {
+    started = true;
+    release_future.wait();
+  });
+  while (!started) std::this_thread::yield();  // the lone worker is now in-flight
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 10; ++i)
+    queued.push_back(pool.submit([&ran]() { ran.fetch_add(1); }));
+  pool.cancel_pending();
+  release.set_value();
+  gate.get();  // the in-flight task completes normally
+  for (auto& future : queued) EXPECT_THROW(future.get(), std::future_error);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(TaskSeedTest, IsStableAndIndexSensitive) {
+  // Pinned values: per-task streams must never silently change, or every
+  // recorded sweep becomes irreproducible.
+  EXPECT_EQ(task_seed(1, 0), task_seed(1, 0));
+  EXPECT_NE(task_seed(1, 0), task_seed(1, 1));
+  EXPECT_NE(task_seed(1, 0), task_seed(2, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(task_seed(0x5EED5EEDULL, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(SweepRunnerTest, ResultsComeBackInIndexOrder) {
+  SweepRunner sweep({4, 123});
+  const auto results =
+      sweep.run(100, [](std::size_t i, Rng&) { return static_cast<int>(i) * 3; });
+  ASSERT_EQ(results.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 3);
+}
+
+TEST(SweepRunnerTest, TwoJobSweepBitIdenticalToSerial) {
+  const auto task = [](std::size_t i, Rng& rng) {
+    // Mix several draw kinds so any per-task stream divergence shows up.
+    double acc = rng.uniform(-1.0, 1.0) + rng.gaussian(0.0, 2.0);
+    for (int k = 0; k < static_cast<int>(i % 7); ++k) acc += rng.uniform(0.0, 1.0);
+    return acc;
+  };
+  SweepRunner serial({1, 0xC0FFEE});
+  SweepRunner parallel({2, 0xC0FFEE});
+  const auto expected = serial.run(64, task);
+  const auto actual = parallel.run(64, task);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Exact equality on purpose: the determinism contract is bit-identity.
+    EXPECT_EQ(expected[i], actual[i]) << "index " << i;
+  }
+}
+
+TEST(SweepRunnerTest, PropagatesTaskExceptions) {
+  SweepRunner sweep({2, 9});
+  EXPECT_THROW(sweep.run(8,
+                         [](std::size_t i, Rng&) -> int {
+                           if (i == 5) throw std::runtime_error("boom");
+                           return 0;
+                         }),
+               std::runtime_error);
+}
+
+TEST(ExperimentRegistryTest, RegistersFindsAndRejectsDuplicates) {
+  ExperimentRegistry registry;
+  registry.add(Experiment("demo", "a demo experiment", [](ExperimentContext&) {}));
+  ASSERT_NE(registry.find("demo"), nullptr);
+  EXPECT_EQ(registry.find("demo")->description(), "a demo experiment");
+  EXPECT_EQ(registry.find("absent"), nullptr);
+  EXPECT_THROW(registry.add(Experiment("demo", "again", [](ExperimentContext&) {})),
+               cps::Error);
+}
+
+TEST(ExperimentRegistryTest, ListIsSortedByName) {
+  ExperimentRegistry registry;
+  for (const char* name : {"zeta", "alpha", "mid"})
+    registry.add(Experiment(name, "d", [](ExperimentContext&) {}));
+  const auto listed = registry.list();
+  ASSERT_EQ(listed.size(), 3u);
+  EXPECT_EQ(listed[0]->name(), "alpha");
+  EXPECT_EQ(listed[1]->name(), "mid");
+  EXPECT_EQ(listed[2]->name(), "zeta");
+}
+
+TEST(ExperimentRegistryTest, ExperimentRunReceivesContext) {
+  ExperimentRegistry registry;
+  int seen_jobs = 0;
+  registry.add(Experiment("probe", "records ctx",
+                          [&seen_jobs](ExperimentContext& ctx) { seen_jobs = ctx.jobs; }));
+  ExperimentContext context;
+  context.jobs = 5;
+  registry.find("probe")->run(context);
+  EXPECT_EQ(seen_jobs, 5);
+}
+
+TEST(ExperimentContextTest, CsvPathJoinsDirectory) {
+  ExperimentContext context;
+  EXPECT_EQ(context.csv_path("a.csv"), "a.csv");
+  context.csv_dir = "out";
+  EXPECT_EQ(context.csv_path("a.csv"), "out/a.csv");
+  context.csv_dir = "out/";
+  EXPECT_EQ(context.csv_path("a.csv"), "out/a.csv");
+}
+
+// The global registry, populated by the CPS_EXPERIMENT registrars linked
+// into this binary (src/experiments/).
+TEST(ExperimentCatalogTest, AllPaperExperimentsRegistered) {
+  auto& registry = ExperimentRegistry::instance();
+  EXPECT_GE(registry.size(), 10u);
+  for (const char* name :
+       {"fig3", "fig4", "fig5", "table1", "table_alloc", "ablation_allocator",
+        "ablation_bounds", "ablation_envelope", "ablation_jitter", "sweep_alloc"}) {
+    EXPECT_NE(registry.find(name), nullptr) << "missing experiment: " << name;
+  }
+}
+
+}  // namespace

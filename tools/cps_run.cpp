@@ -1,0 +1,172 @@
+// cps_run — the single driver for every registered experiment.
+//
+//   cps_run --list                      enumerate the experiment catalog
+//   cps_run fig4                        run one experiment
+//   cps_run fig3 fig4 table_alloc      run several, in the given order
+//   cps_run all                         run the whole catalog
+//
+// Options:
+//   --jobs N    worker threads for parallel sweeps (default 1; sweeps are
+//               bit-identical for any value — see runtime/sweep_runner.hpp)
+//   --csv DIR   directory for CSV artifacts (created; default: cwd)
+//   --seed S    base seed for randomized campaigns (default 0x5EED5EED)
+//
+// Exit status: 0 on success, 1 on experiment failure, 2 on usage errors.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using cps::runtime::Experiment;
+using cps::runtime::ExperimentContext;
+using cps::runtime::ExperimentRegistry;
+
+constexpr int kMaxJobs = 1024;
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: cps_run --list\n"
+               "       cps_run <experiment>... [--jobs N] [--csv DIR] [--seed S]\n"
+               "       cps_run all [--jobs N] [--csv DIR] [--seed S]\n\n"
+               "run `cps_run --list` for the experiment catalog.\n");
+}
+
+void print_catalog(std::FILE* out) {
+  cps::TextTable table({"experiment", "description"});
+  for (const Experiment* experiment : ExperimentRegistry::instance().list())
+    table.add_row({experiment->name(), experiment->description()});
+  std::fprintf(out, "%zu registered experiments:\n%s", ExperimentRegistry::instance().size(),
+               table.render().c_str());
+}
+
+/// Parse the decimal/hex integer argument of `flag`; exits with status 2
+/// on malformed input.
+std::uint64_t parse_u64(const char* flag, const std::string& value) {
+  try {
+    // std::stoull would wrap a leading '-' modulo 2^64; reject signs up front.
+    if (value.empty() || value[0] == '-' || value[0] == '+')
+      throw std::invalid_argument(value);
+    std::size_t consumed = 0;
+    const std::uint64_t parsed = std::stoull(value, &consumed, 0);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "cps_run: %s expects an integer, got '%s'\n", flag, value.c_str());
+    std::exit(2);
+  }
+}
+
+int run_experiments(const std::vector<const Experiment*>& experiments,
+                    ExperimentContext& context) {
+  int failures = 0;
+  for (const Experiment* experiment : experiments) {
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      experiment->run(context);
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+      std::fprintf(context.out, "[cps_run] %s done in %.2f s\n", experiment->name().c_str(),
+                   elapsed.count());
+    } catch (const std::exception& error) {
+      ++failures;
+      std::fprintf(stderr, "[cps_run] %s FAILED: %s\n", experiment->name().c_str(),
+                   error.what());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> names;
+  ExperimentContext context;
+  bool list_only = false;
+  bool run_all = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cps_run: %s requires an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list" || arg == "-l") {
+      list_only = true;
+    } else if (arg == "--jobs" || arg == "-j") {
+      const std::uint64_t jobs = parse_u64("--jobs", flag_value("--jobs"));
+      if (jobs < 1 || jobs > kMaxJobs) {
+        std::fprintf(stderr, "cps_run: --jobs must be in [1, %d]\n", kMaxJobs);
+        return 2;
+      }
+      context.jobs = static_cast<int>(jobs);
+    } else if (arg == "--csv") {
+      context.csv_dir = flag_value("--csv");
+    } else if (arg == "--seed") {
+      context.seed = parse_u64("--seed", flag_value("--seed"));
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "all") {
+      run_all = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "cps_run: unknown option '%s'\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
+    } else {
+      names.push_back(arg);
+    }
+  }
+
+  if (list_only) {
+    print_catalog(stdout);
+    return 0;
+  }
+  if (names.empty() && !run_all) {
+    print_usage(stderr);
+    return 2;
+  }
+  if (run_all && !names.empty()) {
+    std::fprintf(stderr, "cps_run: 'all' cannot be combined with named experiments\n");
+    return 2;
+  }
+
+  std::vector<const Experiment*> experiments;
+  if (run_all) {
+    experiments = ExperimentRegistry::instance().list();
+  } else {
+    for (const auto& name : names) {
+      const Experiment* experiment = ExperimentRegistry::instance().find(name);
+      if (experiment == nullptr) {
+        std::fprintf(stderr, "cps_run: unknown experiment '%s'\n", name.c_str());
+        print_catalog(stderr);
+        return 2;
+      }
+      experiments.push_back(experiment);
+    }
+  }
+
+  if (!context.csv_dir.empty()) {
+    std::error_code error;
+    std::filesystem::create_directories(context.csv_dir, error);
+    if (error) {
+      std::fprintf(stderr, "cps_run: cannot create csv dir '%s': %s\n",
+                   context.csv_dir.c_str(), error.message().c_str());
+      return 2;
+    }
+  }
+
+  return run_experiments(experiments, context);
+}
