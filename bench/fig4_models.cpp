@@ -13,20 +13,20 @@ using namespace cps::analysis;
 void bm_fit_non_monotonic(benchmark::State& state) {
   const auto curve = experiments::measure_servo_curve();
   for (auto _ : state) {
-    auto model = NonMonotonicModel::fit(curve);
+    auto model = NonMonotonicModel::fit(*curve);
     benchmark::DoNotOptimize(model);
   }
 }
-BENCHMARK(bm_fit_non_monotonic);
+BENCHMARK(bm_fit_non_monotonic)->Unit(benchmark::kNanosecond);
 
 void bm_fit_concave_hull(benchmark::State& state) {
   const auto curve = experiments::measure_servo_curve();
   for (auto _ : state) {
-    ConcaveEnvelopeModel model(curve);
+    ConcaveEnvelopeModel model(*curve);
     benchmark::DoNotOptimize(model);
   }
 }
-BENCHMARK(bm_fit_concave_hull);
+BENCHMARK(bm_fit_concave_hull)->Unit(benchmark::kNanosecond);
 
 }  // namespace
 

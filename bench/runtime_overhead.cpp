@@ -1,12 +1,15 @@
 // Microbenchmarks for the runtime layer itself: ThreadPool submit/drain
-// overhead and SweepRunner fan-out cost relative to an inline loop.  These
-// bound the fixed cost every parallel experiment pays.
+// overhead, SweepRunner fan-out cost relative to an inline loop, and the
+// FixtureCache hit path.  These bound the fixed cost every parallel
+// experiment pays.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
 #include <future>
+#include <string>
 #include <vector>
 
+#include "runtime/fixture_cache.hpp"
 #include "runtime/sweep_runner.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -54,6 +57,27 @@ void bm_sweep_two_jobs(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_sweep_two_jobs);
+
+void bm_fixture_cache_hit(benchmark::State& state) {
+  FixtureCache& cache = FixtureCache::instance();
+  const std::string key = "bench/fixture_cache_hit";
+  benchmark::DoNotOptimize(
+      cache.get_or_compute<int>(key, [] { return 42; }));  // populate once
+  for (auto _ : state) {
+    auto value = cache.get_or_compute<int>(key, [] { return 42; });
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(bm_fixture_cache_hit)->Unit(benchmark::kNanosecond);
+
+void bm_fixture_key_build(benchmark::State& state) {
+  for (auto _ : state) {
+    FixtureKey key("bench");
+    key.add(1.0).add(std::uint64_t{7}).add("payload");
+    benchmark::DoNotOptimize(key.str());
+  }
+}
+BENCHMARK(bm_fixture_key_build)->Unit(benchmark::kNanosecond);
 
 }  // namespace
 

@@ -48,6 +48,7 @@ class DwellWaitModel {
   /// Wait time beyond which the modeled dwell is zero.
   virtual double zero_wait() const = 0;
 
+  /// Short, stable identifier of the model family (used in tables/CSV).
   virtual std::string name() const = 0;
 
   /// Total response time xi = k_wait + k_dw for a given wait.
@@ -66,8 +67,9 @@ using ModelPtr = std::shared_ptr<const DwellWaitModel>;
 
 /// A line d = intercept + slope * w (support line of an envelope).
 struct EnvelopeLine {
-  double intercept = 0.0;
-  double slope = 0.0;
+  double intercept = 0.0;  ///< dwell at wait 0
+  double slope = 0.0;      ///< d(dwell)/d(wait)
+  /// Value of the line at wait `w`.
   double at(double w) const { return intercept + slope * w; }
 };
 
@@ -94,8 +96,11 @@ class NonMonotonicModel final : public DwellWaitModel {
   double zero_wait() const override { return zero_wait_; }
   std::string name() const override { return "non-monotonic"; }
 
+  /// Modeled dwell at wait 0 (the pure-TT settling time).
   double xi_tt() const { return rising_.at(0.0); }
+  /// Peak dwell xi^M of the tent.
   double xi_m() const { return xi_m_; }
+  /// Wait time at the peak.
   double k_p() const { return k_p_; }
 
  private:
@@ -111,6 +116,7 @@ class NonMonotonicModel final : public DwellWaitModel {
 /// The safe single-line monotonic envelope (paper's comparison baseline).
 class ConservativeMonotonicModel final : public DwellWaitModel {
  public:
+  /// Falling line from (0, xi'_m) to (xi_et, 0).
   ConservativeMonotonicModel(double xi_m_prime, double xi_et);
 
   /// From the non-monotonic characteristics: extend the falling piece back
@@ -126,6 +132,7 @@ class ConservativeMonotonicModel final : public DwellWaitModel {
   double zero_wait() const override { return xi_et_; }
   std::string name() const override { return "conservative-monotonic"; }
 
+  /// The over-provisioned maximum dwell xi'^M (Table I's xi'^M column).
   double xi_m_prime() const { return xi_m_prime_; }
 
  private:
@@ -136,8 +143,10 @@ class ConservativeMonotonicModel final : public DwellWaitModel {
 /// The unsafe straight line from (0, xi_tt) to (xi_et, 0).
 class SimpleMonotonicModel final : public DwellWaitModel {
  public:
+  /// Straight line from (0, xi_tt) to (xi_et, 0).
   SimpleMonotonicModel(double xi_tt, double xi_et);
 
+  /// Fit from a measured curve's endpoints (xi_tt, xi_et).
   static SimpleMonotonicModel fit(const sim::DwellWaitCurve& curve);
 
   double dwell(double wait) const override;
@@ -154,6 +163,7 @@ class SimpleMonotonicModel final : public DwellWaitModel {
 /// pieces as the upper hull needs).
 class ConcaveEnvelopeModel final : public DwellWaitModel {
  public:
+  /// Build the least concave majorant of a measured curve.
   explicit ConcaveEnvelopeModel(const sim::DwellWaitCurve& curve);
 
   double dwell(double wait) const override;

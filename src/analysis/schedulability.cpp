@@ -5,6 +5,12 @@
 
 #include "util/error.hpp"
 
+// NOTE: analysis/slot_allocation.cpp carries an index-based replica of
+// this analysis (SlotFeasibility::compute) whose verdicts must stay
+// bit-identical to analyze_slot — tests/analysis_golden_test.cpp pins
+// that equivalence.  Any change to the math below (tolerances, seeding,
+// iteration caps, summation order) must be mirrored there.
+
 namespace cps::analysis {
 
 namespace {

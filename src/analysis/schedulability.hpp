@@ -33,7 +33,7 @@ namespace cps::analysis {
 
 /// Scheduling-relevant description of one control application.
 struct AppSchedParams {
-  std::string name;
+  std::string name;                ///< unique application name (e.g. "C3")
   double min_inter_arrival = 1.0;  ///< r_i [s]
   double deadline = 1.0;           ///< xi_d_i [s]
   ModelPtr model;                  ///< dwell/wait model (supplies xiM and dwell())
@@ -47,13 +47,13 @@ enum class MaxWaitMethod {
 
 /// Outcome of the slot analysis for one application.
 struct AppSchedResult {
-  std::string name;
+  std::string name;             ///< application analyzed
   double blocking = 0.0;        ///< a: max lower-priority xiM
   double interference_util = 0.0;  ///< m: sum of higher-priority xiM_j / r_j
   double max_wait = 0.0;        ///< k_hat
   double response = 0.0;        ///< xi_hat = k_hat + dwell(k_hat)
-  double deadline = 0.0;
-  bool schedulable = false;
+  double deadline = 0.0;        ///< xi_d_i the response is checked against
+  bool schedulable = false;     ///< xi_hat <= xi_d_i
   bool utilization_feasible = true;  ///< m < 1 held
 };
 

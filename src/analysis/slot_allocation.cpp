@@ -1,6 +1,11 @@
 #include "analysis/slot_allocation.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -24,30 +29,146 @@ Allocation finalize(std::vector<std::vector<AppSchedParams>> slots,
   return out;
 }
 
-/// Check the dedicated-slot feasibility of one application, throwing the
-/// shared diagnostic otherwise.
-void require_alone_feasible(const AppSchedParams& app, const AllocationOptions& options) {
-  if (!analyze_slot({app}, options.method).all_schedulable)
+// ---------------------------------------------------------------------------
+// Fast slot-feasibility engine.
+//
+// The allocators spend their entire runtime asking "is this slot's
+// application set schedulable?".  analyze_slot answers that, but each call
+// copies the AppSchedParams (std::string names included), re-sorts them and
+// heap-allocates the result vector.  This engine answers the same question
+// over *indices* into the caller's priority-sorted application vector with
+// the exact floating-point operation order of analyze_slot (same sums, same
+// maxima, same comparisons), so its verdicts are bit-identical — and it
+// memoizes verdicts by membership bitmask, because branch-and-bound re-tests
+// the same slot contents along many branches.
+
+struct AppFacts {
+  double xi_m = 0.0;     // model->max_dwell(), the xi^M of the analysis
+  double util = 0.0;     // xi_m / r, one interference-utilization term
+  double r = 1.0;        // minimum inter-arrival time
+  double deadline = 1.0;
+  const DwellWaitModel* model = nullptr;
+};
+
+class SlotFeasibility {
+ public:
+  /// `apps` must stay alive and unmodified for the engine's lifetime and
+  /// must already be in priority order.
+  SlotFeasibility(const std::vector<AppSchedParams>& apps, MaxWaitMethod method)
+      : method_(method) {
+    facts_.reserve(apps.size());
+    for (const auto& a : apps) {
+      CPS_ENSURE(a.model != nullptr, "schedulability: every app needs a dwell/wait model");
+      CPS_ENSURE(a.min_inter_arrival > 0.0, "schedulability: r must be positive");
+      CPS_ENSURE(a.deadline > 0.0, "schedulability: deadline must be positive");
+      AppFacts f;
+      f.xi_m = a.model->max_dwell();
+      f.util = f.xi_m / a.min_inter_arrival;
+      f.r = a.min_inter_arrival;
+      f.deadline = a.deadline;
+      f.model = a.model.get();
+      facts_.push_back(f);
+    }
+    use_memo_ = facts_.size() <= 64;
+  }
+
+  const AppFacts& facts(std::size_t i) const { return facts_[i]; }
+
+  /// Schedulability of the slot holding exactly `members` (indices in
+  /// increasing = priority order).  Equals
+  /// analyze_slot({apps[members]...}, method).all_schedulable bit for bit.
+  bool feasible(const std::vector<std::size_t>& members) {
+    if (!use_memo_) return compute(members);
+    std::uint64_t mask = 0;
+    for (std::size_t i : members) mask |= std::uint64_t{1} << i;
+    const auto it = memo_.find(mask);
+    if (it != memo_.end()) return it->second;
+    const bool ok = compute(members);
+    memo_.emplace(mask, ok);
+    return ok;
+  }
+
+ private:
+  bool compute(const std::vector<std::size_t>& members) const {
+    // Mirrors analyze_slot member by member — including evaluating every
+    // member rather than stopping at the first failure, so an exception a
+    // later member would raise (fixed-point non-convergence) surfaces
+    // exactly as in the reference path.  Keep in sync with
+    // analysis/schedulability.cpp (the semantic source of this math).
+    bool all_ok = true;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      // Blocking a (Eq. 8): largest lower-priority max dwell.
+      double a = 0.0;
+      for (std::size_t k = i + 1; k < members.size(); ++k)
+        a = std::max(a, facts_[members[k]].xi_m);
+      // Interference utilization m (Eq. 19).
+      double m = 0.0;
+      for (std::size_t j = 0; j < i; ++j) m += facts_[members[j]].util;
+      if (m >= 1.0) return false;  // every lower-priority member fails too
+
+      double k_hat;
+      if (method_ == MaxWaitMethod::kClosedFormBound) {
+        double a_prime = a;
+        for (std::size_t j = 0; j < i; ++j) a_prime += facts_[members[j]].xi_m;
+        k_hat = a_prime / (1.0 - m);
+      } else {
+        // Exact fixed point of Eq. (5), identical to max_wait_fixed_point.
+        double k = a;
+        for (std::size_t j = 0; j < i; ++j) k += facts_[members[j]].xi_m;
+        bool converged = false;
+        for (int it = 0; it < 10000; ++it) {
+          double next = a;
+          for (std::size_t j = 0; j < i; ++j) {
+            const double arrivals =
+                std::max(1.0, std::ceil(k / facts_[members[j]].r - 1e-12));
+            next += arrivals * facts_[members[j]].xi_m;
+          }
+          if (std::fabs(next - k) <= 1e-12) {
+            k = next;
+            converged = true;
+            break;
+          }
+          k = next;
+        }
+        if (!converged)
+          throw NumericalError(
+              "max_wait_fixed_point: recurrence did not converge (m < 1 violated?)");
+        k_hat = k;
+      }
+      const double response = k_hat + facts_[members[i]].model->dwell(k_hat);
+      if (!(response <= facts_[members[i]].deadline + 1e-12)) all_ok = false;
+    }
+    return all_ok;
+  }
+
+  MaxWaitMethod method_;
+  std::vector<AppFacts> facts_;
+  bool use_memo_ = false;
+  std::unordered_map<std::uint64_t, bool> memo_;
+};
+
+/// Dedicated-slot feasibility of one application, throwing the shared
+/// diagnostic otherwise.
+void require_alone_feasible(SlotFeasibility& engine, const AppSchedParams& app,
+                            std::size_t index) {
+  if (!engine.feasible({index}))
     throw InfeasibleError("application '" + app.name +
                           "' cannot meet its deadline even on a dedicated TT slot");
 }
 
-}  // namespace
-
-Allocation first_fit_allocate(std::vector<AppSchedParams> apps,
-                              const AllocationOptions& options) {
-  CPS_ENSURE(!apps.empty(), "first_fit_allocate: need at least one application");
-  sort_by_priority(apps);
-
-  std::vector<std::vector<AppSchedParams>> slots;
-
-  for (const auto& app : apps) {
+/// First-fit over indices (the paper's heuristic), shared by the public
+/// entry point and the branch-and-bound seed.  max_slots = 0 is unlimited.
+std::vector<std::vector<std::size_t>> first_fit_indices(
+    SlotFeasibility& engine, const std::vector<AppSchedParams>& apps, std::size_t max_slots) {
+  std::vector<std::vector<std::size_t>> slots;
+  std::vector<std::size_t> candidate;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
     bool placed = false;
     for (auto& slot : slots) {
-      std::vector<AppSchedParams> candidate = slot;
-      candidate.push_back(app);
-      if (analyze_slot(candidate, options.method).all_schedulable) {
-        slot = std::move(candidate);
+      candidate = slot;
+      candidate.push_back(i);
+      if (engine.feasible(candidate)) {
+        slot = candidate;
         placed = true;
         break;
       }
@@ -55,35 +176,300 @@ Allocation first_fit_allocate(std::vector<AppSchedParams> apps,
     if (!placed) {
       // A new slot always accepts a single application provided it can
       // meet its deadline alone; verify to fail loudly otherwise.
-      require_alone_feasible(app, options);
-      slots.push_back({app});
-      if (options.max_slots != 0 && slots.size() > options.max_slots)
+      require_alone_feasible(engine, apps[i], i);
+      slots.push_back({i});
+      if (max_slots != 0 && slots.size() > max_slots)
         throw InfeasibleError("slot allocation exceeds the available " +
-                              std::to_string(options.max_slots) + " TT slots");
+                              std::to_string(max_slots) + " TT slots");
     }
   }
-  return finalize(std::move(slots), options);
+  return slots;
+}
+
+/// Materialize index slots back into application slots for finalize().
+std::vector<std::vector<AppSchedParams>> materialize(
+    const std::vector<std::vector<std::size_t>>& slots,
+    const std::vector<AppSchedParams>& apps) {
+  std::vector<std::vector<AppSchedParams>> out;
+  out.reserve(slots.size());
+  for (const auto& slot : slots) {
+    std::vector<AppSchedParams> block;
+    block.reserve(slot.size());
+    for (std::size_t i : slot) block.push_back(apps[i]);
+    out.push_back(std::move(block));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Branch-and-bound machinery for optimal_allocate.
+
+/// Precomputed utilization lower bounds.  Soundness rests on one monotone
+/// necessary condition: in any feasible slot the lowest-priority member
+/// sees m = (sum of the other members' xi_M / r) < 1, so a slot's total
+/// utilization is < 1 + (utilization of its lowest-priority member).
+struct LowerBoundTable {
+  std::vector<double> suffix_util;  ///< sum of utils over apps [i, n)
+  std::vector<double> suffix_max;   ///< max util over apps [i, n)
+  std::size_t total_lb = 1;         ///< lower bound on slots for the full set
+
+  LowerBoundTable(const SlotFeasibility& engine, std::size_t n) {
+    suffix_util.assign(n + 1, 0.0);
+    suffix_max.assign(n + 1, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+      suffix_util[i] = engine.facts(i).util + suffix_util[i + 1];
+      suffix_max[i] = std::max(engine.facts(i).util, suffix_max[i + 1]);
+    }
+    // Smallest S with total_util < S + (sum of the S largest utils): every
+    // partition into S slots has total utilization below that, since the S
+    // lowest-priority members are distinct applications.
+    std::vector<double> desc;
+    desc.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) desc.push_back(engine.facts(i).util);
+    std::sort(desc.begin(), desc.end(), std::greater<double>());
+    double top = 0.0;
+    for (std::size_t s = 1; s <= n; ++s) {
+      top += desc[s - 1];
+      if (suffix_util[0] < static_cast<double>(s) + top) {
+        total_lb = s;
+        break;
+      }
+    }
+  }
+
+  /// Lower bound on the final slot count from a node where apps [0, i)
+  /// occupy `loads.size()` slots with the given per-slot utilization sums
+  /// and apps [i, n) are still unplaced.
+  std::size_t at_node(std::size_t i, const std::vector<double>& loads) const {
+    const std::size_t used = loads.size();
+    if (i + 1 >= suffix_util.size()) return used;  // nothing left to place
+    const double remaining = suffix_util[i];
+    const double u_max = suffix_max[i];
+    double capacity = 0.0;  // what the existing slots can still absorb
+    for (const double load : loads) capacity += std::max(0.0, 1.0 + u_max - load);
+    if (remaining <= capacity) return used;
+    const double deficit = remaining - capacity;
+    const auto extra = static_cast<std::size_t>(std::floor(deficit / (1.0 + u_max))) + 1;
+    return used + extra;
+  }
+};
+
+/// Shared search state for the two branch-and-bound passes.  Note that a
+/// partial partition is reachable by exactly one choice sequence (apps are
+/// placed in index order and blocks are identified by their lowest-index
+/// member), so no transposition bookkeeping is needed — distinct nodes are
+/// distinct states.
+struct SearchState {
+  std::vector<std::vector<std::size_t>> blocks;
+  std::vector<double> loads;
+
+  void push(std::size_t slot, std::size_t app, double util) {
+    blocks[slot].push_back(app);
+    loads[slot] += util;  // appending keeps this the exact in-order sum
+  }
+  void pop(std::size_t slot, const std::vector<double>& utils) {
+    blocks[slot].pop_back();
+    // Recompute the in-order sum instead of subtracting: (L + u) - u can
+    // drift ulps away from L, and the loads feed the >= 1.0 feasibility
+    // screen and the lower bounds, which must see exactly the sum the
+    // feasibility engine computes.
+    double load = 0.0;
+    for (const std::size_t member : blocks[slot]) load += utils[member];
+    loads[slot] = load;
+  }
+  void open(std::size_t app, double util) {
+    blocks.push_back({app});
+    loads.push_back(util);
+  }
+  void close() {
+    blocks.pop_back();
+    loads.pop_back();
+  }
+};
+
+/// Phase 1: prove the optimal slot count.  Explores existing slots
+/// best-first (descending interference load, ties by index) so tight
+/// packings — and therefore tight upper bounds — are found early; prunes
+/// with the lower-bound table and last-application dominance.  Only the
+/// count is tracked; the witness partition is reconstructed by phase 2.
+class CountProver {
+ public:
+  CountProver(SlotFeasibility& engine, const LowerBoundTable& bounds, std::size_t n)
+      : engine_(engine), bounds_(bounds), n_(n) {
+    utils_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) utils_.push_back(engine.facts(i).util);
+  }
+
+  std::size_t prove(std::size_t upper_bound) {
+    best_ = upper_bound;
+    SearchState state;
+    dfs(state, 0);
+    return best_;
+  }
+
+ private:
+  /// True when some existing slot accepts app i (cheap screen first).
+  bool fits_somewhere(const SearchState& state, std::size_t i) {
+    for (std::size_t s = 0; s < state.blocks.size(); ++s) {
+      if (state.loads[s] >= 1.0) continue;
+      candidate_ = state.blocks[s];
+      candidate_.push_back(i);
+      if (engine_.feasible(candidate_)) return true;
+    }
+    return false;
+  }
+
+  void dfs(SearchState& state, std::size_t i) {
+    if (state.blocks.size() >= best_) return;
+    if (bounds_.at_node(i, state.loads) >= best_) return;
+    if (i == n_) {
+      best_ = state.blocks.size();
+      return;
+    }
+
+    // Last-application dominance: placing the final app into any feasible
+    // existing slot yields count = |blocks| and dominates opening a new
+    // slot (count + 1); no branching needed at the last level.
+    if (i + 1 == n_) {
+      if (fits_somewhere(state, i))
+        best_ = state.blocks.size();
+      else if (state.blocks.size() + 1 < best_)
+        best_ = state.blocks.size() + 1;
+      return;
+    }
+
+    std::vector<std::size_t> order(state.blocks.size());
+    for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (state.loads[a] != state.loads[b]) return state.loads[a] > state.loads[b];
+      return a < b;
+    });
+
+    const double util = engine_.facts(i).util;
+    for (const std::size_t s : order) {
+      if (state.loads[s] >= 1.0) continue;  // the newcomer's m would be >= 1
+      candidate_ = state.blocks[s];
+      candidate_.push_back(i);
+      if (!engine_.feasible(candidate_)) continue;
+      state.push(s, i, util);
+      dfs(state, i + 1);
+      state.pop(s, utils_);
+    }
+    if (state.blocks.size() + 1 < best_) {
+      state.open(i, util);
+      dfs(state, i + 1);
+      state.close();
+    }
+  }
+
+  SlotFeasibility& engine_;
+  const LowerBoundTable& bounds_;
+  std::size_t n_;
+  std::size_t best_ = 0;
+  std::vector<double> utils_;
+  std::vector<std::size_t> candidate_;
+};
+
+/// Phase 2: reconstruct the exact partition the pre-optimization search
+/// returns — the first complete assignment with the optimal count in
+/// canonical depth-first order (existing slots by index, then a new slot).
+/// The same sound pruning applies, so only subtrees that provably hold no
+/// optimal assignment are skipped; the canonical-first witness survives.
+class WitnessSearch {
+ public:
+  WitnessSearch(SlotFeasibility& engine, const LowerBoundTable& bounds, std::size_t n)
+      : engine_(engine), bounds_(bounds), n_(n) {
+    utils_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) utils_.push_back(engine.facts(i).util);
+  }
+
+  std::vector<std::vector<std::size_t>> find(std::size_t optimal_count) {
+    bound_ = optimal_count + 1;
+    found_ = false;
+    SearchState state;
+    dfs(state, 0);
+    CPS_ENSURE(found_, "optimal_allocate: proven count has no witness (internal error)");
+    return result_;
+  }
+
+ private:
+  void dfs(SearchState& state, std::size_t i) {
+    if (found_) return;
+    if (state.blocks.size() >= bound_) return;
+    if (bounds_.at_node(i, state.loads) >= bound_) return;
+    if (i == n_) {
+      result_ = state.blocks;
+      found_ = true;
+      return;
+    }
+
+    const double util = engine_.facts(i).util;
+    for (std::size_t s = 0; s < state.blocks.size() && !found_; ++s) {
+      if (state.loads[s] >= 1.0) continue;
+      candidate_ = state.blocks[s];
+      candidate_.push_back(i);
+      if (!engine_.feasible(candidate_)) continue;
+      state.push(s, i, util);
+      dfs(state, i + 1);
+      state.pop(s, utils_);
+      // Last-application dominance, canonical form: the first feasible
+      // existing slot for the final app IS the canonical-first completion
+      // from this node; if it met the bound we are done, and if not, no
+      // other placement of the final app can (all give the same count).
+      if (i + 1 == n_) return;
+    }
+    if (found_) return;
+    if (state.blocks.size() + 1 < bound_) {
+      state.open(i, util);
+      dfs(state, i + 1);
+      state.close();
+    }
+  }
+
+  SlotFeasibility& engine_;
+  const LowerBoundTable& bounds_;
+  std::size_t n_;
+  std::size_t bound_ = 0;
+  bool found_ = false;
+  std::vector<std::vector<std::size_t>> result_;
+  std::vector<double> utils_;
+  std::vector<std::size_t> candidate_;
+};
+
+}  // namespace
+
+Allocation first_fit_allocate(std::vector<AppSchedParams> apps,
+                              const AllocationOptions& options) {
+  CPS_ENSURE(!apps.empty(), "first_fit_allocate: need at least one application");
+  sort_by_priority(apps);
+  SlotFeasibility engine(apps, options.method);
+  const auto slots = first_fit_indices(engine, apps, options.max_slots);
+  return finalize(materialize(slots, apps), options);
 }
 
 Allocation best_fit_allocate(std::vector<AppSchedParams> apps,
                              const AllocationOptions& options) {
   CPS_ENSURE(!apps.empty(), "best_fit_allocate: need at least one application");
   sort_by_priority(apps);
+  SlotFeasibility engine(apps, options.method);
 
-  auto slot_load = [](const std::vector<AppSchedParams>& slot) {
+  // Interference utilization of a slot's contents, summed in priority
+  // order exactly as the pre-rework slot_load lambda did.
+  auto slot_load = [&engine](const std::vector<std::size_t>& slot) {
     double load = 0.0;
-    for (const auto& a : slot) load += a.model->max_dwell() / a.min_inter_arrival;
+    for (std::size_t i : slot) load += engine.facts(i).util;
     return load;
   };
 
-  std::vector<std::vector<AppSchedParams>> slots;
-  for (const auto& app : apps) {
+  std::vector<std::vector<std::size_t>> slots;
+  std::vector<std::size_t> candidate;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
     double best_load = -1.0;
     std::size_t best_slot = slots.size();
     for (std::size_t s = 0; s < slots.size(); ++s) {
-      std::vector<AppSchedParams> candidate = slots[s];
-      candidate.push_back(app);
-      if (!analyze_slot(candidate, options.method).all_schedulable) continue;
+      candidate = slots[s];
+      candidate.push_back(i);
+      if (!engine.feasible(candidate)) continue;
       const double load = slot_load(candidate);
       if (load > best_load) {
         best_load = load;
@@ -91,17 +477,18 @@ Allocation best_fit_allocate(std::vector<AppSchedParams> apps,
       }
     }
     if (best_slot < slots.size()) {
-      slots[best_slot].push_back(app);
-      sort_by_priority(slots[best_slot]);
+      // Appending preserves priority order: i outranks nothing already
+      // placed (apps are processed by decreasing priority).
+      slots[best_slot].push_back(i);
     } else {
-      require_alone_feasible(app, options);
-      slots.push_back({app});
+      require_alone_feasible(engine, apps[i], i);
+      slots.push_back({i});
       if (options.max_slots != 0 && slots.size() > options.max_slots)
         throw InfeasibleError("slot allocation exceeds the available " +
                               std::to_string(options.max_slots) + " TT slots");
     }
   }
-  return finalize(std::move(slots), options);
+  return finalize(materialize(slots, apps), options);
 }
 
 Allocation optimal_allocate(std::vector<AppSchedParams> apps, const AllocationOptions& options,
@@ -109,13 +496,49 @@ Allocation optimal_allocate(std::vector<AppSchedParams> apps, const AllocationOp
   CPS_ENSURE(!apps.empty(), "optimal_allocate: need at least one application");
   CPS_ENSURE(apps.size() <= max_apps_for_exact,
              "optimal_allocate: exact search limited to max_apps_for_exact applications");
+  CPS_ENSURE(apps.size() <= 64,
+             "optimal_allocate: exact search limited to 64 applications (bitmask state)");
   sort_by_priority(apps);
-  for (const auto& app : apps) require_alone_feasible(app, options);
+  SlotFeasibility engine(apps, options.method);
+  for (std::size_t i = 0; i < apps.size(); ++i) require_alone_feasible(engine, apps[i], i);
 
-  // Branch and bound over set partitions: place applications one by one
-  // into an existing block or a new one, pruning branches that already
-  // use >= the best-known number of slots.  The upper bound from the
-  // paper's first-fit heuristic seeds the search.
+  // The paper's first-fit heuristic seeds the upper bound — and remains
+  // the answer whenever the search cannot beat it, exactly as in the
+  // reference implementation.
+  const auto seed = first_fit_indices(engine, apps, 0);
+
+  const LowerBoundTable bounds(engine, apps.size());
+  std::vector<std::vector<std::size_t>> best = seed;
+  if (seed.size() > bounds.total_lb) {
+    CountProver prover(engine, bounds, apps.size());
+    const std::size_t optimal_count = prover.prove(seed.size());
+    if (optimal_count < seed.size())
+      best = WitnessSearch(engine, bounds, apps.size()).find(optimal_count);
+  }
+
+  if (options.max_slots != 0 && best.size() > options.max_slots)
+    throw InfeasibleError("optimal allocation still exceeds the available " +
+                          std::to_string(options.max_slots) + " TT slots");
+  return finalize(materialize(best, apps), options);
+}
+
+Allocation optimal_allocate_reference(std::vector<AppSchedParams> apps,
+                                      const AllocationOptions& options,
+                                      std::size_t max_apps_for_exact) {
+  CPS_ENSURE(!apps.empty(), "optimal_allocate: need at least one application");
+  CPS_ENSURE(apps.size() <= max_apps_for_exact,
+             "optimal_allocate: exact search limited to max_apps_for_exact applications");
+  sort_by_priority(apps);
+  for (const auto& app : apps) {
+    if (!analyze_slot({app}, options.method).all_schedulable)
+      throw InfeasibleError("application '" + app.name +
+                            "' cannot meet its deadline even on a dedicated TT slot");
+  }
+
+  // The seed's pre-optimization branch and bound, frozen: place
+  // applications one by one into an existing block or a new one, pruning
+  // only branches that already use >= the best-known number of slots, with
+  // a full analyze_slot per visited node.
   std::vector<std::vector<AppSchedParams>> best;
   std::size_t best_count;
   {

@@ -22,10 +22,13 @@ struct Allocation {
   /// Final per-slot analysis (same indexing as `slots`).
   std::vector<SlotAnalysis> analyses;
 
+  /// Number of TT slots the allocation uses.
   std::size_t slot_count() const { return slots.size(); }
 };
 
+/// Knobs shared by the three allocators.
 struct AllocationOptions {
+  /// How the per-application maximum wait time is computed.
   MaxWaitMethod method = MaxWaitMethod::kClosedFormBound;
   /// Upper bound on slots (the paper's m); throws InfeasibleError when
   /// exceeded.  0 = unlimited.
@@ -45,12 +48,38 @@ Allocation first_fit_allocate(std::vector<AppSchedParams> apps,
 Allocation best_fit_allocate(std::vector<AppSchedParams> apps,
                              const AllocationOptions& options = {});
 
-/// Exact minimum-slot allocation by exhaustive set-partition search with
-/// branch-and-bound pruning (the problem the paper calls NP-hard; feasible
-/// here for the case-study sizes).  Throws InvalidArgument for more than
-/// `max_apps_for_exact` applications.
+/// Exact minimum-slot allocation by branch-and-bound over set partitions
+/// (the problem the paper calls NP-hard).  Throws InvalidArgument for more
+/// than `max_apps_for_exact` applications.
+///
+/// The search is the optimized two-phase kernel:
+///  1. a best-first bound-proving pass (slots ordered by descending
+///     interference load) establishes the optimal slot count, pruned by a
+///     precomputed utilization lower-bound table and last-application
+///     dominance, on top of a memoized allocation-free slot-feasibility
+///     engine;
+///  2. when the proven optimum improves on the first-fit seed, a canonical
+///     depth-first pass reconstructs the exact partition the
+///     pre-optimization search would have returned.
+/// The result is therefore bit-identical to optimal_allocate_reference for
+/// every input on which the slot analysis completes (asserted by
+/// tests/analysis_golden_test.cpp).  One carve-out: under
+/// MaxWaitMethod::kFixedPoint, inputs whose recurrence exceeds the
+/// iteration cap (interference utilization pathologically close to 1)
+/// raise NumericalError at whichever candidate slot set a search tests
+/// first, and the two searches test different sets — so *which* call
+/// throws may differ there.  The exact search additionally requires
+/// <= 64 applications (bitmask memo state).
 Allocation optimal_allocate(std::vector<AppSchedParams> apps,
                             const AllocationOptions& options = {},
                             std::size_t max_apps_for_exact = 12);
+
+/// The pre-optimization exhaustive branch-and-bound, frozen verbatim (one
+/// full analyze_slot per visited node, no lower bounds, no memoization).
+/// Kept as the golden baseline for the regression tests and the speedup
+/// benches; not used by any experiment.
+Allocation optimal_allocate_reference(std::vector<AppSchedParams> apps,
+                                      const AllocationOptions& options = {},
+                                      std::size_t max_apps_for_exact = 12);
 
 }  // namespace cps::analysis

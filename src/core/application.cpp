@@ -30,6 +30,12 @@ const sim::DwellWaitCurve& ControlApplication::measure_curve() {
   return *curve_;
 }
 
+void ControlApplication::set_curve(sim::DwellWaitCurve curve) {
+  CPS_ENSURE(curve.sampling_period() == sampling_period(),
+             "ControlApplication: curve sampling period mismatch");
+  curve_ = std::move(curve);
+}
+
 analysis::ModelPtr ControlApplication::fit_model(ModelKind kind) {
   const sim::DwellWaitCurve& curve = measure_curve();
   switch (kind) {

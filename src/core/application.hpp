@@ -50,6 +50,12 @@ class ControlApplication {
   /// Measure (and cache) the dwell/wait curve from the disturbed state.
   const sim::DwellWaitCurve& measure_curve();
 
+  /// Install an externally measured curve (e.g. one shared through the
+  /// runtime FixtureCache) so measure_curve()/fit_model() skip the sweep.
+  /// The caller must supply the curve measure_curve() would produce; the
+  /// sampling period is validated as a cheap guard.
+  void set_curve(sim::DwellWaitCurve curve);
+
   /// Curve if already measured.
   const std::optional<sim::DwellWaitCurve>& curve() const { return curve_; }
 

@@ -30,7 +30,9 @@ using core::ControlApplication;
 CPS_EXPERIMENT(ablation_envelope, "Ablation: envelope granularity vs TT slots needed") {
   std::fprintf(ctx.out, "== Ablation: envelope granularity vs TT slots needed ==\n\n");
 
-  auto fleet = experiments::build_paper_fleet();
+  // Curves come pre-installed from the FixtureCache: the six sweeps run
+  // once per campaign no matter how many envelope families are fitted.
+  auto fleet = experiments::build_paper_fleet_with_curves();
   using MK = ControlApplication::ModelKind;
   struct Row {
     const char* label;

@@ -20,7 +20,7 @@ using namespace cps;
 }  // namespace
 
 CPS_EXPERIMENT(fig3, "Figure 3: measured dwell vs wait curve (servo motor)") {
-  const auto curve = experiments::measure_servo_curve();
+  const auto curve = *experiments::measure_servo_curve();
 
   std::fprintf(ctx.out,
                "== Figure 3: dwell time vs wait time (servo motor, Section III) ==\n\n");

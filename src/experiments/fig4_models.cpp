@@ -23,7 +23,7 @@ using namespace cps::analysis;
 }  // namespace
 
 CPS_EXPERIMENT(fig4, "Figure 4: dwell/wait envelope models (servo motor)") {
-  const auto curve = experiments::measure_servo_curve();
+  const auto curve = *experiments::measure_servo_curve();
   const NonMonotonicModel tent = NonMonotonicModel::fit(curve);
   const ConservativeMonotonicModel mono = ConservativeMonotonicModel::fit(curve);
   const SimpleMonotonicModel simple = SimpleMonotonicModel::fit(curve);

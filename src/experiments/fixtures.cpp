@@ -8,36 +8,92 @@
 #include "control/loop_design.hpp"
 #include "linalg/vector.hpp"
 #include "plants/servo_motor.hpp"
+#include "runtime/fixture_cache.hpp"
 #include "sim/switched_system.hpp"
 
 namespace cps::experiments {
 
-sim::DwellWaitCurve measure_servo_curve() {
-  const auto design = plants::design_servo_loops();
-  const plants::ServoExperiment exp;
-  sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
-  sim::DwellWaitSweepOptions opts;
-  opts.settling.threshold = exp.threshold;
-  return sim::measure_dwell_wait_curve(sys, plants::servo_disturbed_state(exp),
-                                       exp.sampling_period, opts);
+namespace {
+
+using runtime::FixtureCache;
+using runtime::FixtureKey;
+
+/// Content key of a pole-placement design problem: the continuous plant
+/// plus every spec field that shapes the two closed loops.
+FixtureKey design_key(const control::StateSpace& plant,
+                      const control::PolePlacementLoopSpec& spec) {
+  FixtureKey key("hybrid_design");
+  key.add(plant.a()).add(plant.b()).add(plant.c()).add(plant.d());
+  key.add(spec.sampling_period).add(spec.delay_tt).add(spec.delay_et);
+  for (const auto& p : spec.poles_tt) key.add(p.real()).add(p.imag());
+  for (const auto& p : spec.poles_et) key.add(p.real()).add(p.imag());
+  key.add(std::uint64_t{spec.poles_tt.size()}).add(std::uint64_t{spec.poles_et.size()});
+  return key;
 }
 
-sim::DwellWaitCurve measure_synthesized_curve(const plants::SynthesizedApp& app) {
-  const auto design = control::design_hybrid_loops(app.plant, app.spec);
-  sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
-  sim::DwellWaitSweepOptions opts;
-  opts.settling.threshold = app.threshold;
-  const auto x0 = linalg::Vector::concat(app.x0, linalg::Vector::zero(design.input_dim));
-  return sim::measure_dwell_wait_curve(sys, x0, design.sys_tt.sampling_period(), opts);
+/// Design the two-mode loops for (plant, spec) once and share the result.
+std::shared_ptr<const control::HybridLoopDesign> cached_design(
+    const control::StateSpace& plant, const control::PolePlacementLoopSpec& spec) {
+  return FixtureCache::instance().get_or_compute<control::HybridLoopDesign>(
+      design_key(plant, spec), [&] { return control::design_hybrid_loops(plant, spec); });
+}
+
+/// Measure the dwell/wait curve of a designed application once and share
+/// it.  The key is the exact sweep input: both closed loops, the norm
+/// dimension, the disturbed (augmented) state, the sampling period and
+/// the settling threshold.
+std::shared_ptr<const sim::DwellWaitCurve> cached_curve(const control::HybridLoopDesign& design,
+                                                        const linalg::Vector& x0_aug,
+                                                        double threshold) {
+  FixtureKey key("dwell_wait_curve");
+  key.add(design.a_et).add(design.a_tt).add(std::uint64_t{design.state_dim});
+  key.add(x0_aug).add(design.sys_tt.sampling_period()).add(threshold);
+  return FixtureCache::instance().get_or_compute<sim::DwellWaitCurve>(key, [&] {
+    sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
+    sim::DwellWaitSweepOptions opts;
+    opts.settling.threshold = threshold;
+    return sim::measure_dwell_wait_curve(sys, x0_aug, design.sys_tt.sampling_period(), opts);
+  });
+}
+
+}  // namespace
+
+std::shared_ptr<const sim::DwellWaitCurve> measure_servo_curve() {
+  const plants::ServoExperiment exp;
+  const auto design = cached_design(plants::make_servo_motor(), plants::servo_pole_spec(exp));
+  return cached_curve(*design, plants::servo_disturbed_state(exp), exp.threshold);
+}
+
+std::shared_ptr<const sim::DwellWaitCurve> measure_synthesized_curve(
+    const plants::SynthesizedApp& app) {
+  const auto design = cached_design(app.plant, app.spec);
+  const auto x0 = linalg::Vector::concat(app.x0, linalg::Vector::zero(design->input_dim));
+  return cached_curve(*design, x0, app.threshold);
+}
+
+std::shared_ptr<const std::vector<plants::SynthesizedApp>> paper_fleet() {
+  // Nullary synthesis: the content is the (versioned) recipe itself.
+  return FixtureCache::instance().get_or_compute<std::vector<plants::SynthesizedApp>>(
+      "fleet_synthesis/table1-v1", [] { return plants::synthesize_fleet(); });
 }
 
 std::vector<core::ControlApplication> build_paper_fleet() {
   std::vector<core::ControlApplication> apps;
-  for (const auto& item : plants::synthesize_fleet()) {
-    auto design = control::design_hybrid_loops(item.plant, item.spec);
+  const auto fleet = paper_fleet();
+  apps.reserve(fleet->size());
+  for (const auto& item : *fleet) {
+    const auto design = cached_design(item.plant, item.spec);
     core::TimingRequirements req{item.target.r, item.target.xi_d, item.threshold};
-    apps.emplace_back(item.target.name, std::move(design), req, item.x0);
+    apps.emplace_back(item.target.name, *design, req, item.x0);
   }
+  return apps;
+}
+
+std::vector<core::ControlApplication> build_paper_fleet_with_curves() {
+  auto apps = build_paper_fleet();
+  const auto fleet = paper_fleet();
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    apps[i].set_curve(*measure_synthesized_curve((*fleet)[i]));
   return apps;
 }
 

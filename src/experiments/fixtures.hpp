@@ -4,9 +4,17 @@
 // parameters, and the random application-set generators used by the
 // ablations.  Centralizing these removes the copy-pasted helpers the
 // nine original bench mains carried around.
+//
+// The expensive fixtures (loop designs, fleet synthesis, dwell/wait
+// sweeps) go through the content-addressed runtime::FixtureCache: within
+// one cps_run campaign each is computed once — by whichever experiment or
+// ThreadPool worker asks first — and shared immutably by every later
+// requester.  A cache hit returns the identical object a miss would have
+// computed, so experiment outputs are unchanged.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,15 +26,30 @@
 
 namespace cps::experiments {
 
-/// Measure the servo motor's dwell/wait curve (paper Fig. 3 setup).
-sim::DwellWaitCurve measure_servo_curve();
+/// Measure the servo motor's dwell/wait curve (paper Fig. 3 setup),
+/// computed once per process and shared via the FixtureCache.
+std::shared_ptr<const sim::DwellWaitCurve> measure_servo_curve();
 
 /// Measure the dwell/wait curve of one synthesized Table I stand-in
-/// (full pipeline: design -> switched system -> sweep).
-sim::DwellWaitCurve measure_synthesized_curve(const plants::SynthesizedApp& app);
+/// (full pipeline: design -> switched system -> sweep), content-addressed
+/// by the plant, spec, disturbed state and threshold.
+std::shared_ptr<const sim::DwellWaitCurve> measure_synthesized_curve(
+    const plants::SynthesizedApp& app);
 
-/// Build the six case-study ControlApplications from the synthesized fleet.
+/// The calibrated six-plant fleet (plants::synthesize_fleet), synthesized
+/// once per process and shared via the FixtureCache.
+std::shared_ptr<const std::vector<plants::SynthesizedApp>> paper_fleet();
+
+/// Build the six case-study ControlApplications from the synthesized
+/// fleet (cached fleet + cached hybrid loop designs; the applications
+/// themselves are fresh mutable copies).
 std::vector<core::ControlApplication> build_paper_fleet();
+
+/// build_paper_fleet() with every application's dwell/wait curve
+/// pre-installed from the cache, so fit_model() fits without re-running
+/// the sweep.  Use when the experiment needs envelopes (ablation_envelope);
+/// fig5 only co-simulates and uses the plain builder.
+std::vector<core::ControlApplication> build_paper_fleet_with_curves();
 
 /// The paper's 3-slot allocation: S1 = {C3, C6}, S2 = {C2, C4}, S3 = {C5, C1}.
 std::size_t paper_slot_of(const std::string& name);

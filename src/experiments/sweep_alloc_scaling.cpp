@@ -1,13 +1,15 @@
-// Experiment "sweep_alloc" — allocator scaling sweep (new workload, not a
-// paper figure): how the first-fit and best-fit heuristics and the exact
-// optimum behave as the application count grows beyond the paper's
-// six-app case study.
+// Experiments "sweep_alloc" and "sweep_alloc_scaling" — allocator scaling
+// sweeps (new workloads, not paper figures): how the first-fit and
+// best-fit heuristics and the exact optimum behave as the application
+// count grows beyond the paper's six-app case study.  "sweep_alloc" keeps
+// the original small grid (optimum only up to kMaxExactSize = 6, the
+// limit of the pre-optimization search); "sweep_alloc_scaling" runs the
+// exact optimum on every instance up to 12 applications, which the pruned
+// branch-and-bound (analysis/slot_allocation.cpp) made practical.
 //
-// The (size x trial) grid fans across ctx.jobs cores via SweepRunner;
-// every grid point draws only from its own task-seeded Rng, so the CSV is
-// bit-identical for any job count.  The exact optimum is only computed up
-// to kMaxExactSize apps (the branch-and-bound search grows
-// combinatorially).
+// Both (size x trial) grids fan across ctx.jobs cores via SweepRunner;
+// every grid point draws only from its own task-seeded Rng, so the CSVs
+// are bit-identical for any job count.
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -93,6 +95,89 @@ CPS_EXPERIMENT(sweep_alloc, "Sweep: allocator quality vs application-set size (p
                    std::to_string(feasible) + "/" + std::to_string(kTrialsPerSize),
                    format_fixed(ff_avg, 3), format_fixed(bf_avg, 3),
                    exact ? format_fixed(opt_avg, 3) : std::string("n/a")});
+  }
+  std::fprintf(ctx.out, "%s\n", table.render().c_str());
+  std::fprintf(ctx.out, "per-size averages written to %s\n\n", csv_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Experiment "sweep_alloc_scaling" — the same question at a scale the
+// pre-optimization branch-and-bound could not touch: the exact optimum on
+// every instance up to 12 applications (the old search visited a full
+// analyze_slot per node and blew up combinatorially past ~6 apps; the
+// pruned, memoized search handles n = 12 in milliseconds).  Reports the
+// first-fit optimality gap that the small grid above cannot see.
+
+namespace {
+
+constexpr int kScalingMinSize = 6;
+constexpr int kScalingMaxSize = 12;
+constexpr std::size_t kScalingTrials = 20;
+
+struct ScalingCell {
+  int size = 0;
+  bool feasible = false;
+  std::size_t first_fit = 0;
+  std::size_t best_fit = 0;
+  std::size_t optimal = 0;
+};
+
+ScalingCell run_scaling_cell(std::size_t index, Rng& rng) {
+  ScalingCell cell;
+  cell.size = kScalingMinSize + static_cast<int>(index / kScalingTrials);
+  const auto set = experiments::random_sched_params(rng, cell.size,
+                                                    experiments::allocator_ablation_ranges());
+  try {
+    cell.first_fit = first_fit_allocate(set).slot_count();
+    cell.best_fit = best_fit_allocate(set).slot_count();
+    cell.optimal = optimal_allocate(set).slot_count();
+    cell.feasible = true;
+  } catch (const InfeasibleError&) {
+    // Infeasible even on dedicated slots; excluded from the averages.
+  }
+  return cell;
+}
+
+}  // namespace
+
+CPS_EXPERIMENT(sweep_alloc_scaling,
+               "Sweep: exact optimum vs heuristics up to 12 apps (pruned B&B)") {
+  std::fprintf(ctx.out, "== Sweep: allocator scaling with the exact optimum to n = 12 ==\n");
+  std::fprintf(ctx.out, "(%zu random instances per size, %d jobs)\n\n", kScalingTrials,
+               ctx.jobs);
+
+  const std::size_t sizes = static_cast<std::size_t>(kScalingMaxSize - kScalingMinSize + 1);
+  runtime::SweepRunner sweep({ctx.jobs, ctx.seed});
+  const auto cells = sweep.run(sizes * kScalingTrials, run_scaling_cell);
+
+  const std::string csv_path = ctx.csv_path("sweep_alloc_scaling.csv");
+  CsvWriter csv(csv_path, {"n_apps", "feasible", "avg_first_fit", "avg_best_fit",
+                           "avg_optimal", "avg_ff_excess", "ff_optimal_pct"});
+  TextTable table(
+      {"n apps", "feasible", "avg first-fit", "avg best-fit", "avg optimum", "ff optimal"});
+  for (int size = kScalingMinSize; size <= kScalingMaxSize; ++size) {
+    int feasible = 0, ff_hits = 0;
+    double ff_sum = 0.0, bf_sum = 0.0, opt_sum = 0.0;
+    for (const auto& cell : cells) {
+      if (cell.size != size || !cell.feasible) continue;
+      ++feasible;
+      ff_sum += static_cast<double>(cell.first_fit);
+      bf_sum += static_cast<double>(cell.best_fit);
+      opt_sum += static_cast<double>(cell.optimal);
+      if (cell.first_fit == cell.optimal) ++ff_hits;
+    }
+    const double ff_avg = feasible ? ff_sum / feasible : 0.0;
+    const double bf_avg = feasible ? bf_sum / feasible : 0.0;
+    const double opt_avg = feasible ? opt_sum / feasible : 0.0;
+    const double ff_pct = feasible ? 100.0 * ff_hits / feasible : 0.0;
+    csv.write_row(std::vector<std::string>{
+        std::to_string(size), std::to_string(feasible), format_fixed(ff_avg, 4),
+        format_fixed(bf_avg, 4), format_fixed(opt_avg, 4),
+        format_fixed(ff_avg - opt_avg, 4), format_fixed(ff_pct, 1)});
+    table.add_row({std::to_string(size),
+                   std::to_string(feasible) + "/" + std::to_string(kScalingTrials),
+                   format_fixed(ff_avg, 3), format_fixed(bf_avg, 3),
+                   format_fixed(opt_avg, 3), format_fixed(ff_pct, 1) + "%"});
   }
   std::fprintf(ctx.out, "%s\n", table.render().c_str());
   std::fprintf(ctx.out, "per-size averages written to %s\n\n", csv_path.c_str());

@@ -35,17 +35,17 @@ CPS_EXPERIMENT(table1, "Table I: timing parameters of the six applications") {
   }
   std::fprintf(ctx.out, "%s\n", paper.render().c_str());
 
-  const auto fleet = plants::synthesize_fleet();
+  const auto fleet = experiments::paper_fleet();
   runtime::SweepRunner sweep({ctx.jobs, ctx.seed});
-  const auto curves = sweep.run(fleet.size(), [&fleet](std::size_t i, Rng&) {
-    return experiments::measure_synthesized_curve(fleet[i]);
+  const auto curves = sweep.run(fleet->size(), [&fleet](std::size_t i, Rng&) {
+    return experiments::measure_synthesized_curve((*fleet)[i]);
   });
 
   std::fprintf(ctx.out, "synthesized-plant measurements (paper value in parentheses):\n");
   TextTable synth({"app", "xi_TT", "xi_ET", "xi_M", "k_p", "non-monotonic"});
-  for (std::size_t i = 0; i < fleet.size(); ++i) {
-    const auto& app = fleet[i];
-    const auto& curve = curves[i];
+  for (std::size_t i = 0; i < fleet->size(); ++i) {
+    const auto& app = (*fleet)[i];
+    const auto& curve = *curves[i];
     synth.add_row(
         {app.target.name,
          format_fixed(curve.xi_tt(), 2) + " (" + format_fixed(app.target.xi_tt, 2) + ")",

@@ -34,12 +34,17 @@ struct ExperimentContext {
 /// A named, runnable reproduction target (one figure/table/ablation).
 class Experiment {
  public:
+  /// Experiment body: reads knobs from the context, writes artifacts.
   using RunFn = std::function<void(ExperimentContext&)>;
 
+  /// Wrap a runnable body under a unique name (empty names rejected).
   Experiment(std::string name, std::string description, RunFn run);
 
+  /// Unique registry key (also the CLI argument to cps_run).
   const std::string& name() const { return name_; }
+  /// One-line human-readable summary shown by `cps_run --list`.
   const std::string& description() const { return description_; }
+  /// Execute the experiment body with the given per-invocation knobs.
   void run(ExperimentContext& context) const { run_(context); }
 
  private:
@@ -62,6 +67,7 @@ class ExperimentRegistry {
   /// All experiments, sorted by name.
   std::vector<const Experiment*> list() const;
 
+  /// Number of registered experiments.
   std::size_t size() const { return experiments_.size(); }
 
  private:
@@ -70,6 +76,7 @@ class ExperimentRegistry {
 
 /// Static-initialization helper used by CPS_EXPERIMENT.
 struct ExperimentRegistrar {
+  /// Adds the experiment to ExperimentRegistry::instance() before main().
   ExperimentRegistrar(std::string name, std::string description, Experiment::RunFn run);
 };
 

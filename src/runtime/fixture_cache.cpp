@@ -1,0 +1,75 @@
+#include "runtime/fixture_cache.hpp"
+
+#include <cstring>
+
+namespace cps::runtime {
+
+FixtureKey::FixtureKey(std::string domain) : domain_(std::move(domain)) {}
+
+void FixtureKey::mix_bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= 0x100000001b3ULL;  // FNV-1a prime
+  }
+  material_.append(reinterpret_cast<const char*>(bytes), size);
+}
+
+FixtureKey& FixtureKey::add(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "IEEE-754 double expected");
+  std::memcpy(&bits, &value, sizeof(bits));
+  mix_bytes(&bits, sizeof(bits));
+  return *this;
+}
+
+FixtureKey& FixtureKey::add(std::uint64_t value) {
+  mix_bytes(&value, sizeof(value));
+  return *this;
+}
+
+FixtureKey& FixtureKey::add(std::string_view text) {
+  const std::uint64_t size = text.size();  // length prefix: "ab"+"c" != "a"+"bc"
+  mix_bytes(&size, sizeof(size));
+  mix_bytes(text.data(), text.size());
+  return *this;
+}
+
+FixtureKey& FixtureKey::add(const linalg::Matrix& m) {
+  add(static_cast<std::uint64_t>(m.rows()));
+  add(static_cast<std::uint64_t>(m.cols()));
+  for (const double v : m.data()) add(v);
+  return *this;
+}
+
+FixtureKey& FixtureKey::add(const linalg::Vector& v) {
+  add(static_cast<std::uint64_t>(v.size()));
+  for (const double x : v.data()) add(x);
+  return *this;
+}
+
+std::string FixtureKey::str() const {
+  static const char* hex = "0123456789abcdef";
+  std::string out = domain_;
+  out.push_back('/');
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out.push_back(hex[(hash_ >> shift) & 0xF]);
+  return out;
+}
+
+FixtureCache& FixtureCache::instance() {
+  static FixtureCache cache;
+  return cache;
+}
+
+FixtureCache::Stats FixtureCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+void FixtureCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace cps::runtime

@@ -1,0 +1,168 @@
+// Content-addressed fixture cache for the experiment-runner subsystem.
+//
+// A cps_run campaign executes many experiments that share expensive
+// deterministic inputs — the servo dwell/wait curve (fig3, fig4, benches),
+// the synthesized six-plant fleet and its hybrid loop designs (table1,
+// fig5, ablation_envelope), the per-application envelope curves.  Before
+// this cache each experiment re-derived them from scratch; now the first
+// requester computes a fixture once and every later requester (on any
+// ThreadPool worker) shares the immutable result.
+//
+// Keys are content-addressed: FixtureKey hashes every input that
+// determines the fixture (matrices entry by entry, scalars bit by bit),
+// so two requests share a slot exactly when their inputs are identical.
+// The full key material is stored alongside the digest and re-verified on
+// every hit, so a 64-bit hash collision surfaces as a loud error instead
+// of silently aliasing a stale fixture.  Values are
+// immutable (shared_ptr<const T>), which is what makes sharing across
+// SweepRunner tasks safe and keeps the determinism contract intact: a
+// cache hit returns the very object a miss would have computed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "util/error.hpp"
+
+namespace cps::runtime {
+
+/// Builder of content-addressed cache keys: FNV-1a over the bit patterns
+/// of every field added.  The rendered key is "<domain>/<16-hex-digits>",
+/// so the domain keeps keys debuggable while the hash carries the content.
+class FixtureKey {
+ public:
+  /// Start a key in `domain` (a short fixture-family name, e.g.
+  /// "dwell_wait_curve").
+  explicit FixtureKey(std::string domain);
+
+  FixtureKey& add(double value);             ///< mix the IEEE-754 bit pattern
+  FixtureKey& add(std::uint64_t value);      ///< mix an integer field
+  FixtureKey& add(std::string_view text);    ///< mix length-prefixed bytes
+  FixtureKey& add(const linalg::Matrix& m);  ///< dimensions + every entry
+  FixtureKey& add(const linalg::Vector& v);  ///< size + every entry
+
+  /// The rendered key; stable across processes and platforms with IEEE-754
+  /// doubles.
+  std::string str() const;
+
+  /// Every byte mixed into the hash, in order — stored by the cache and
+  /// compared on hits so a digest collision cannot alias fixtures.
+  const std::string& material() const { return material_; }
+
+ private:
+  void mix_bytes(const void* data, std::size_t size);
+
+  std::string domain_;
+  std::string material_;
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
+
+/// Process-wide, thread-safe store of computed fixtures.
+///
+/// Concurrency contract: the first thread to request a key computes the
+/// fixture *outside* the cache lock; every concurrent requester of the
+/// same key blocks on a shared future and receives the same shared_ptr
+/// (compute-once, share-everywhere).  A compute that throws propagates
+/// the exception to every waiter and releases the key so a later request
+/// can retry.
+class FixtureCache {
+ public:
+  /// The singleton shared by every experiment in the process.
+  static FixtureCache& instance();
+
+  /// Hit/miss/entry counters (monotonic within a process, except entries
+  /// which clear() resets).  A "miss" counts the requester that computes.
+  struct Stats {
+    std::size_t hits = 0;     ///< requests served from the cache
+    std::size_t misses = 0;   ///< requests that computed the fixture
+    std::size_t entries = 0;  ///< fixtures currently stored
+  };
+
+  /// Look up `key`; on a miss invoke `compute` (a callable returning T by
+  /// value) and store the result.  Throws cps::Error when the same key was
+  /// populated with a different type, or when a digest collision is
+  /// detected (stored key material differs).
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute(const FixtureKey& key, Fn&& compute) {
+    return get_or_compute_impl<T>(key.str(), key.material(), std::forward<Fn>(compute));
+  }
+
+  /// String-keyed overload for nullary fixtures whose content is the
+  /// (versioned) recipe name itself.
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute(const std::string& key, Fn&& compute) {
+    return get_or_compute_impl<T>(key, key, std::forward<Fn>(compute));
+  }
+
+ private:
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute_impl(const std::string& key,
+                                               const std::string& material, Fn&& compute) {
+    std::promise<std::shared_ptr<const void>> promise;
+    std::shared_future<std::shared_ptr<const void>> future;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        CPS_ENSURE(it->second.type == std::type_index(typeid(T)),
+                   "FixtureCache: type mismatch for key '" + key + "'");
+        CPS_ENSURE(it->second.material == material,
+                   "FixtureCache: digest collision for key '" + key + "'");
+        ++hits_;
+        future = it->second.future;
+      } else {
+        ++misses_;
+        future = promise.get_future().share();
+        entries_.emplace(key, Entry{future, std::type_index(typeid(T)), material});
+        owner = true;
+      }
+    }
+    if (!owner)  // the future resolves outside the lock: waiting cannot deadlock
+      return std::static_pointer_cast<const T>(future.get());
+    try {
+      auto value = std::shared_ptr<const T>(std::make_shared<T>(compute()));
+      promise.set_value(std::static_pointer_cast<const void>(value));
+      return value;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(key);  // release the key so a later request retries
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+
+ public:
+  /// Snapshot of the hit/miss/entry counters.
+  Stats stats() const;
+
+  /// Drop every entry (tests and long-lived embedders; experiments never
+  /// need this — fixtures are immutable).
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const void>> future;
+    std::type_index type;
+    std::string material;  ///< full key bytes, re-checked on every hit
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace cps::runtime

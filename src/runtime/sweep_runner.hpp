@@ -24,6 +24,7 @@ namespace cps::runtime {
 /// scheduling-independent per-task seeds.
 std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t index);
 
+/// Fan-out knobs of one sweep.
 struct SweepOptions {
   /// Worker threads; <= 1 runs inline on the calling thread.
   int jobs = 1;
@@ -31,11 +32,16 @@ struct SweepOptions {
   std::uint64_t seed = 0x5EED5EEDULL;
 };
 
+/// Deterministic parallel map over an index range (see file comment for
+/// the determinism contract).
 class SweepRunner {
  public:
+  /// Capture the fan-out options; no threads spawn until run().
   explicit SweepRunner(SweepOptions options = {}) : options_(options) {}
 
+  /// Worker-thread count the next run() will use.
   int jobs() const { return options_.jobs; }
+  /// Base seed the per-task Rngs derive from.
   std::uint64_t seed() const { return options_.seed; }
 
   /// Evaluate fn(index, rng) for every index in [0, count) and return the

@@ -26,6 +26,8 @@
 
 namespace cps::runtime {
 
+/// Work-stealing thread pool: per-worker deques, LIFO own-pop,
+/// FIFO steal-from-peer (see the file comment for the full protocol).
 class ThreadPool {
  public:
   /// Spawn `threads` workers; 0 means std::thread::hardware_concurrency()
@@ -38,6 +40,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Number of worker threads actually spawned.
   std::size_t thread_count() const { return workers_.size(); }
 
   /// Discard every not-yet-started task.  Their futures report

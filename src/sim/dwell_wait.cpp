@@ -1,6 +1,8 @@
 #include "sim/dwell_wait.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -56,6 +58,7 @@ DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
                                         const linalg::Vector& x0, double sampling_period,
                                         const DwellWaitSweepOptions& opts) {
   CPS_ENSURE(sampling_period > 0.0, "measure_dwell_wait_curve: h must be positive");
+  CPS_ENSURE(x0.size() == sys.dimension(), "measure_dwell_wait_curve: x0 dimension mismatch");
 
   // Pure-ET settling bounds the sweep: waiting longer than xi_et means the
   // disturbance was already rejected without ever using the TT slot.
@@ -64,10 +67,86 @@ DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
     throw NumericalError("dwell/wait sweep: ET loop did not settle within the cap");
   const std::size_t sweep_end = std::min(*et_settle, opts.max_wait_steps);
 
+  // Incremental sweep: the ET prefix state A1^w x0 is carried from grid
+  // point to grid point (one multiply per point instead of w), and the TT
+  // settling per point runs on the reusable buffers.  The per-step
+  // arithmetic matches the reference kernel exactly, so the measured curve
+  // is bit-identical.
+  std::vector<double> et_state = x0.data();  // A1^w x0 for the current w
+  std::vector<double> tt_state;              // settle scratch: clobbered per point
+  std::vector<double> scratch;
+
   std::vector<DwellWaitPoint> points;
   points.reserve(sweep_end + 1);
   for (std::size_t w = 0; w <= sweep_end; ++w) {
-    const auto dwell = dwell_steps(sys, x0, w, opts.settling);
+    tt_state = et_state;
+    const auto dwell =
+        detail::settle_in_place(sys.a_tt(), tt_state, scratch, sys.norm_dim(), opts.settling);
+    if (!dwell.has_value())
+      throw NumericalError("dwell/wait sweep: TT loop did not settle within the cap");
+    DwellWaitPoint p;
+    p.wait_steps = w;
+    p.dwell_steps = *dwell;
+    p.wait_s = static_cast<double>(w) * sampling_period;
+    p.dwell_s = static_cast<double>(*dwell) * sampling_period;
+    points.push_back(p);
+    if (w < sweep_end) {
+      detail::apply_into(sys.a_et(), et_state, scratch);
+      et_state.swap(scratch);
+    }
+  }
+  return DwellWaitCurve(sampling_period, std::move(points));
+}
+
+namespace {
+
+/// Verbatim copy of the seed's settle loop (linalg::Vector arithmetic,
+/// one allocation per step) — the baseline the golden tests compare
+/// against.
+std::optional<std::size_t> settle_under_reference(const linalg::Matrix& a, linalg::Vector x,
+                                                  std::size_t norm_dim,
+                                                  const SettlingOptions& opts) {
+  const double stop_level = opts.threshold * opts.decay_margin;
+  std::size_t last_violation = 0;
+  bool ever_violated = false;
+  for (std::size_t k = 0; k <= opts.max_steps; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < norm_dim; ++i) acc += x[i] * x[i];
+    const double norm = std::sqrt(acc);
+    if (!std::isfinite(norm)) return std::nullopt;
+    if (norm > opts.threshold) {
+      last_violation = k;
+      ever_violated = true;
+    } else if (norm <= stop_level) {
+      return ever_violated ? last_violation + 1 : 0;
+    }
+    x = a * x;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+DwellWaitCurve measure_dwell_wait_curve_reference(const SwitchedLinearSystem& sys,
+                                                  const linalg::Vector& x0,
+                                                  double sampling_period,
+                                                  const DwellWaitSweepOptions& opts) {
+  CPS_ENSURE(sampling_period > 0.0, "measure_dwell_wait_curve: h must be positive");
+  CPS_ENSURE(x0.size() == sys.dimension(), "measure_dwell_wait_curve: x0 dimension mismatch");
+
+  const auto et_settle = settle_under_reference(sys.a_et(), x0, sys.norm_dim(), opts.settling);
+  if (!et_settle.has_value())
+    throw NumericalError("dwell/wait sweep: ET loop did not settle within the cap");
+  const std::size_t sweep_end = std::min(*et_settle, opts.max_wait_steps);
+
+  std::vector<DwellWaitPoint> points;
+  points.reserve(sweep_end + 1);
+  for (std::size_t w = 0; w <= sweep_end; ++w) {
+    // O(w) prefix re-simulation per grid point: the cost the incremental
+    // kernel removes.
+    linalg::Vector x = x0;
+    for (std::size_t k = 0; k < w; ++k) x = sys.step(x, Mode::kEventTriggered);
+    const auto dwell = settle_under_reference(sys.a_tt(), x, sys.norm_dim(), opts.settling);
     if (!dwell.has_value())
       throw NumericalError("dwell/wait sweep: TT loop did not settle within the cap");
     DwellWaitPoint p;

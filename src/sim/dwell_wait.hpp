@@ -69,8 +69,25 @@ struct DwellWaitSweepOptions {
 
 /// Run the full sweep.  Throws NumericalError when either pure-mode loop
 /// fails to settle within the caps (e.g. unstable configurations).
+///
+/// Incremental kernel: the ET-mode state at wait w is advanced one step
+/// from the state at wait w - 1 (instead of re-simulating the w-step
+/// prefix from x0 per grid point), and the per-point TT settling runs on
+/// reusable buffers.  Both reuse the exact floating-point operation order
+/// of the naive kernel, so the curve is bit-identical to
+/// measure_dwell_wait_curve_reference for every input.
 DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
                                         const linalg::Vector& x0, double sampling_period,
                                         const DwellWaitSweepOptions& opts);
+
+/// The pre-optimization sweep kernel, frozen verbatim: re-simulates the
+/// ET prefix from x0 for every grid point through the naive vector code
+/// path.  Kept as the golden baseline for the bit-identity regression
+/// tests (tests/analysis_golden_test.cpp) and the speedup benches
+/// (bench/fig3_dwell_wait.cpp); not used by any experiment.
+DwellWaitCurve measure_dwell_wait_curve_reference(const SwitchedLinearSystem& sys,
+                                                  const linalg::Vector& x0,
+                                                  double sampling_period,
+                                                  const DwellWaitSweepOptions& opts);
 
 }  // namespace cps::sim

@@ -1,24 +1,31 @@
 #include "sim/settling.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace cps::sim {
 
-namespace {
+namespace detail {
 
-double partial_norm(const linalg::Vector& x, std::size_t norm_dim) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < norm_dim; ++i) acc += x[i] * x[i];
-  return std::sqrt(acc);
+void apply_into(const linalg::Matrix& a, const std::vector<double>& x, std::vector<double>& out) {
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  CPS_ENSURE(cols == x.size(), "apply_into: dimension mismatch");
+  CPS_ENSURE(&x != &out, "apply_into: x and out must not alias");
+  out.resize(rows);
+  const double* data = a.data().data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) acc += data[i * cols + j] * x[j];
+    out[i] = acc;
+  }
 }
 
-/// Core loop shared by both entry points: evolve x under `a`, track the
-/// last step whose norm exceeded the threshold, stop when the norm decays
-/// to threshold * margin.
-std::optional<std::size_t> settle_under(const linalg::Matrix& a, linalg::Vector x,
-                                        std::size_t norm_dim, const SettlingOptions& opts) {
+std::optional<std::size_t> settle_in_place(const linalg::Matrix& a, std::vector<double>& state,
+                                           std::vector<double>& scratch, std::size_t norm_dim,
+                                           const SettlingOptions& opts) {
   CPS_ENSURE(opts.threshold > 0.0, "settling: threshold must be positive");
   CPS_ENSURE(opts.decay_margin > 0.0 && opts.decay_margin < 1.0,
              "settling: decay margin must be in (0, 1)");
@@ -28,7 +35,9 @@ std::optional<std::size_t> settle_under(const linalg::Matrix& a, linalg::Vector 
   bool ever_violated = false;
 
   for (std::size_t k = 0; k <= opts.max_steps; ++k) {
-    const double norm = partial_norm(x, norm_dim);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < norm_dim; ++i) acc += state[i] * state[i];
+    const double norm = std::sqrt(acc);
     if (!std::isfinite(norm)) return std::nullopt;
     if (norm > opts.threshold) {
       last_violation = k;
@@ -36,26 +45,34 @@ std::optional<std::size_t> settle_under(const linalg::Matrix& a, linalg::Vector 
     } else if (norm <= stop_level) {
       return ever_violated ? last_violation + 1 : 0;
     }
-    x = a * x;
+    if (k == opts.max_steps) break;  // the final evolve would be discarded
+    apply_into(a, state, scratch);
+    state.swap(scratch);
   }
   return std::nullopt;
 }
 
-}  // namespace
+}  // namespace detail
 
 std::optional<std::size_t> settling_step(const linalg::Matrix& a, const linalg::Vector& x0,
                                          std::size_t norm_dim, const SettlingOptions& opts) {
   CPS_ENSURE(a.is_square() && a.rows() == x0.size(), "settling_step: dimension mismatch");
   CPS_ENSURE(norm_dim >= 1 && norm_dim <= x0.size(), "settling_step: norm_dim out of range");
-  return settle_under(a, x0, norm_dim, opts);
+  std::vector<double> state = x0.data();
+  std::vector<double> scratch;
+  return detail::settle_in_place(a, state, scratch, norm_dim, opts);
 }
 
 std::optional<std::size_t> dwell_steps(const SwitchedLinearSystem& sys, const linalg::Vector& x0,
                                        std::size_t wait_steps, const SettlingOptions& opts) {
   CPS_ENSURE(x0.size() == sys.dimension(), "dwell_steps: x0 dimension mismatch");
-  linalg::Vector x = x0;
-  for (std::size_t k = 0; k < wait_steps; ++k) x = sys.step(x, Mode::kEventTriggered);
-  return settle_under(sys.a_tt(), x, sys.norm_dim(), opts);
+  std::vector<double> state = x0.data();
+  std::vector<double> scratch;
+  for (std::size_t k = 0; k < wait_steps; ++k) {
+    detail::apply_into(sys.a_et(), state, scratch);
+    state.swap(scratch);
+  }
+  return detail::settle_in_place(sys.a_tt(), state, scratch, sys.norm_dim(), opts);
 }
 
 }  // namespace cps::sim

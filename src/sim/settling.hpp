@@ -39,4 +39,29 @@ std::optional<std::size_t> settling_step(const linalg::Matrix& a, const linalg::
 std::optional<std::size_t> dwell_steps(const SwitchedLinearSystem& sys, const linalg::Vector& x0,
                                        std::size_t wait_steps, const SettlingOptions& opts);
 
+namespace detail {
+
+/// Allocation-free hot-loop primitives shared by the settling entry points
+/// and the incremental dwell/wait sweep kernel (sim/dwell_wait.cpp).  Both
+/// reproduce the exact accumulation order of the linalg::Vector code paths
+/// they replace, so every result is bit-identical to the naive loops.
+
+/// out = a * x with the same per-row accumulation order as
+/// linalg::Matrix::operator*(const Vector&).  `out` is resized; `&x != &out`
+/// is required.
+void apply_into(const linalg::Matrix& a, const std::vector<double>& x, std::vector<double>& out);
+
+/// Core of settling_step/dwell_steps: evolve `state` under `a` (using
+/// `scratch` as the double buffer, both clobbered) and return the settling
+/// step exactly as the pre-optimization settle loop did: the first step k
+/// such that the threshold norm never exceeds opts.threshold from k on,
+/// trusting the last violation once the norm decays to
+/// threshold * decay_margin.  std::nullopt when opts.max_steps is reached
+/// first or the norm turns non-finite.
+std::optional<std::size_t> settle_in_place(const linalg::Matrix& a, std::vector<double>& state,
+                                           std::vector<double>& scratch, std::size_t norm_dim,
+                                           const SettlingOptions& opts);
+
+}  // namespace detail
+
 }  // namespace cps::sim

@@ -1,0 +1,158 @@
+// FixtureCache: compute-once semantics under concurrency, hit/miss
+// accounting, content-addressed keys, type safety, and failure retry.
+// The cache instance is process-global, so every test uses its own key
+// namespace and compares stats deltas.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "runtime/fixture_cache.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using cps::runtime::FixtureCache;
+using cps::runtime::FixtureKey;
+
+TEST(FixtureKeyTest, StableAndContentSensitive) {
+  const auto key = [] {
+    FixtureKey k("domain");
+    k.add(1.5).add(std::uint64_t{7}).add("text");
+    return k.str();
+  };
+  EXPECT_EQ(key(), key());  // deterministic
+  EXPECT_EQ(key().rfind("domain/", 0), 0u) << key();
+
+  FixtureKey other("domain");
+  other.add(1.5).add(std::uint64_t{7}).add("texu");
+  EXPECT_NE(key(), other.str());
+
+  // A changed double changes the key even at the last bit.
+  FixtureKey a("d"), b("d");
+  a.add(1.0);
+  b.add(std::nextafter(1.0, 2.0));
+  EXPECT_NE(a.str(), b.str());
+
+  // Length-prefixed strings: "ab"+"c" must not alias "a"+"bc".
+  FixtureKey ab_c("d"), a_bc("d");
+  ab_c.add("ab").add("c");
+  a_bc.add("a").add("bc");
+  EXPECT_NE(ab_c.str(), a_bc.str());
+}
+
+TEST(FixtureKeyTest, MatrixAndVectorIncludeShape) {
+  cps::linalg::Matrix m12(1, 2, 3.0);
+  cps::linalg::Matrix m21(2, 1, 3.0);
+  FixtureKey a("d"), b("d");
+  a.add(m12);
+  b.add(m21);
+  EXPECT_NE(a.str(), b.str());
+
+  cps::linalg::Vector v2(2, 3.0);
+  FixtureKey c("d");
+  c.add(v2);
+  EXPECT_NE(a.str(), c.str());
+}
+
+TEST(FixtureCacheTest, HitReturnsTheSameObject) {
+  auto& cache = FixtureCache::instance();
+  const auto before = cache.stats();
+  int computes = 0;
+  auto first = cache.get_or_compute<std::string>("test/hit-object", [&] {
+    ++computes;
+    return std::string("payload");
+  });
+  auto second = cache.get_or_compute<std::string>("test/hit-object", [&] {
+    ++computes;
+    return std::string("payload");
+  });
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first.get(), second.get());  // shared, not equal-but-copied
+  const auto after = cache.stats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.hits, before.hits + 1);
+}
+
+TEST(FixtureCacheTest, ComputesOnceUnderConcurrency) {
+  auto& cache = FixtureCache::instance();
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 16;
+  std::vector<std::shared_ptr<const int>> results(kThreads);
+  {
+    // Hammer one key from the same pool the experiments use.
+    cps::runtime::ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      futures.push_back(pool.submit([&cache, &computes, &results, t] {
+        results[t] = cache.get_or_compute<int>("test/concurrent", [&computes] {
+          ++computes;
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));  // widen the race
+          return 1234;
+        });
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(computes.load(), 1);
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_NE(results[t], nullptr);
+    EXPECT_EQ(results[t].get(), results[0].get());
+    EXPECT_EQ(*results[t], 1234);
+  }
+}
+
+TEST(FixtureCacheTest, TypeMismatchThrows) {
+  auto& cache = FixtureCache::instance();
+  cache.get_or_compute<int>("test/typed", [] { return 1; });
+  EXPECT_THROW(cache.get_or_compute<double>("test/typed", [] { return 2.0; }), cps::Error);
+}
+
+TEST(FixtureCacheTest, FailedComputeReleasesTheKey) {
+  auto& cache = FixtureCache::instance();
+  EXPECT_THROW(cache.get_or_compute<int>(
+                   "test/failing",
+                   []() -> int { throw std::runtime_error("fixture exploded"); }),
+               std::runtime_error);
+  // The key must be retryable after a failure.
+  auto value = cache.get_or_compute<int>("test/failing", [] { return 7; });
+  EXPECT_EQ(*value, 7);
+}
+
+TEST(FixtureCacheTest, DistinctKeysDistinctValues) {
+  auto& cache = FixtureCache::instance();
+  FixtureKey a("test/param"), b("test/param");
+  a.add(1.0);
+  b.add(2.0);
+  auto va = cache.get_or_compute<double>(a, [] { return 1.0; });
+  auto vb = cache.get_or_compute<double>(b, [] { return 2.0; });
+  EXPECT_NE(va.get(), vb.get());
+  EXPECT_EQ(*va, 1.0);
+  EXPECT_EQ(*vb, 2.0);
+}
+
+TEST(FixtureCacheTest, ClearEmptiesEntries) {
+  // Separate cache instance semantics are global; clear() then repopulate.
+  auto& cache = FixtureCache::instance();
+  cache.get_or_compute<int>("test/clear-me", [] { return 1; });
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  int computes = 0;
+  cache.get_or_compute<int>("test/clear-me", [&] {
+    ++computes;
+    return 1;
+  });
+  EXPECT_EQ(computes, 1);
+}
+
+}  // namespace

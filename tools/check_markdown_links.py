@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the repo's *.md files
+resolves to an existing file or directory.
+
+Usage: python3 tools/check_markdown_links.py [root]
+
+External links (http/https/mailto) are not fetched — CI must not depend
+on network reachability; this catches the class of rot we can verify
+hermetically: renamed docs, moved sources, typos in anchors to files.
+Exit status: 0 when all links resolve, 1 otherwise.
+"""
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", "build-asan", "build-docs"}
+# Verbatim scrapes of external papers/repos; their links reference the
+# original sources, not files in this repository.
+SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in SKIP_FILES:
+                yield os.path.join(dirpath, name)
+
+
+def check(root):
+    failures = []
+    for path in sorted(markdown_files(root)):
+        for lineno, line in enumerate(open(path, encoding="utf-8"), start=1):
+            for target in LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target.split("#")[0])
+                )
+                if not os.path.exists(resolved):
+                    failures.append(f"{path}:{lineno}: broken link -> {target}")
+    return failures
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = check(root)
+    for failure in failures:
+        print(failure)
+    count = sum(1 for _ in markdown_files(root))
+    print(f"checked {count} markdown files: "
+          f"{'all links OK' if not failures else f'{len(failures)} broken'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

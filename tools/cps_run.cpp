@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "runtime/experiment.hpp"
+#include "runtime/fixture_cache.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -83,6 +84,9 @@ int run_experiments(const std::vector<const Experiment*>& experiments,
                    error.what());
     }
   }
+  const auto cache = cps::runtime::FixtureCache::instance().stats();
+  std::fprintf(context.out, "[cps_run] fixture cache: %zu hits, %zu misses, %zu entries\n",
+               cache.hits, cache.misses, cache.entries);
   return failures == 0 ? 0 : 1;
 }
 
