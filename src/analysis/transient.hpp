@@ -40,8 +40,15 @@ struct TransientGrowthOptions {
 
 /// Compute the growth envelope of a Schur-stable `a`.  Throws
 /// NumericalError when `a` is not Schur stable (the envelope diverges).
+/// The matrix-power recursion runs on double-buffered in-place kernels.
 TransientGrowth transient_growth(const linalg::Matrix& a,
                                  const TransientGrowthOptions& opts = {});
+
+/// Frozen pre-optimization copy of transient_growth() (one matrix
+/// temporary per power step); bit-identical — the golden baseline of
+/// tests/sim_golden_test.cpp.
+TransientGrowth transient_growth_reference(const linalg::Matrix& a,
+                                           const TransientGrowthOptions& opts = {});
 
 /// Growth envelope restricted to the leading `norm_dim` coordinates on
 /// both sides: gamma = max_k ||P A^k P^T||_2 with P selecting the first
@@ -51,6 +58,11 @@ TransientGrowth transient_growth(const linalg::Matrix& a,
 /// held input is at its steady value when the excursion starts.
 TransientGrowth transient_growth_restricted(const linalg::Matrix& a, std::size_t norm_dim,
                                             const TransientGrowthOptions& opts = {});
+
+/// Frozen pre-optimization copy of transient_growth_restricted();
+/// bit-identical — the golden baseline of tests/sim_golden_test.cpp.
+TransientGrowth transient_growth_restricted_reference(
+    const linalg::Matrix& a, std::size_t norm_dim, const TransientGrowthOptions& opts = {});
 
 /// Upper bound on the steady-state excursion after a TT-slot release at
 /// norm threshold * release_factor: peak_gain * release_factor * threshold.

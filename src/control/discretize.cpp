@@ -1,6 +1,7 @@
 #include "control/discretize.hpp"
 
 #include "linalg/expm.hpp"
+#include "linalg/kernels.hpp"
 #include "util/error.hpp"
 
 namespace cps::control {
@@ -36,27 +37,54 @@ DiscreteSystem::Augmented DiscreteSystem::augmented() const {
   return Augmented{std::move(abar), std::move(bbar)};
 }
 
-DiscreteSystem c2d(const StateSpace& plant, double h, double d) {
-  CPS_ENSURE(h > 0.0, "c2d: sampling period must be positive");
-  CPS_ENSURE(d >= 0.0 && d <= h, "c2d: delay must satisfy 0 <= d <= h");
+namespace {
 
+/// Build the delayed model from the (shared) full-period factorization.
+/// Phi = e^{Ah}; Gamma0 = int_0^{h-d} e^{As} ds B;
+/// Gamma1 = e^{A(h-d)} int_0^d e^{As} ds B.
+DiscreteSystem c2d_from_full(const StateSpace& plant, const linalg::ZohPair& full, double h,
+                             double d) {
   const linalg::Matrix& a = plant.a();
   const linalg::Matrix& b = plant.b();
 
-  // Phi = e^{Ah}; Gamma0 = int_0^{h-d} e^{As} ds B;
-  // Gamma1 = e^{A(h-d)} int_0^d e^{As} ds B.
-  const auto [phi_full, gamma_h] = linalg::zoh_integrals(a, b, h);
-
   if (d == 0.0) {
-    return DiscreteSystem(phi_full, gamma_h, linalg::Matrix::zero(a.rows(), b.cols()),
+    return DiscreteSystem(full.phi, full.gamma, linalg::Matrix::zero(a.rows(), b.cols()),
+                          plant.c(), h, d);
+  }
+  if (d == h) {
+    // Full-sample delay (the paper's ET worst case): h - d = 0 makes
+    // Gamma0 the zero-length integral and Gamma1 = e^{A*0} * Gamma(h).
+    // Both short-circuits reproduce the general path bit-for-bit
+    // (zoh_integrals(.., 0) is exactly {I, 0}, and multiplying by I is
+    // exact), without refactorizing e^{Ah} a second time.
+    return DiscreteSystem(full.phi, linalg::Matrix::zero(a.rows(), b.cols()), full.gamma,
                           plant.c(), h, d);
   }
 
   const auto [phi_hd, gamma0] = linalg::zoh_integrals(a, b, h - d);
   const auto [phi_d, gamma_d] = linalg::zoh_integrals(a, b, d);
   (void)phi_d;
-  const linalg::Matrix gamma1 = phi_hd * gamma_d;
-  return DiscreteSystem(phi_full, gamma0, gamma1, plant.c(), h, d);
+  linalg::Matrix gamma1;
+  linalg::multiply_into(phi_hd, gamma_d, gamma1);
+  return DiscreteSystem(full.phi, gamma0, gamma1, plant.c(), h, d);
+}
+
+}  // namespace
+
+DiscreteSystem c2d(const StateSpace& plant, double h, double d) {
+  CPS_ENSURE(h > 0.0, "c2d: sampling period must be positive");
+  CPS_ENSURE(d >= 0.0 && d <= h, "c2d: delay must satisfy 0 <= d <= h");
+  const linalg::ZohPair full = linalg::zoh_integrals(plant.a(), plant.b(), h);
+  return c2d_from_full(plant, full, h, d);
+}
+
+std::pair<DiscreteSystem, DiscreteSystem> c2d_pair(const StateSpace& plant, double h,
+                                                   double d_first, double d_second) {
+  CPS_ENSURE(h > 0.0, "c2d: sampling period must be positive");
+  CPS_ENSURE(d_first >= 0.0 && d_first <= h, "c2d: delay must satisfy 0 <= d <= h");
+  CPS_ENSURE(d_second >= 0.0 && d_second <= h, "c2d: delay must satisfy 0 <= d <= h");
+  const linalg::ZohPair full = linalg::zoh_integrals(plant.a(), plant.b(), h);
+  return {c2d_from_full(plant, full, h, d_first), c2d_from_full(plant, full, h, d_second)};
 }
 
 }  // namespace cps::control

@@ -17,6 +17,8 @@
 // models a full-sample worst-case delay (Gamma0 = 0), the paper's ET case.
 #pragma once
 
+#include <utility>
+
 #include "control/state_space.hpp"
 #include "linalg/matrix.hpp"
 
@@ -68,5 +70,12 @@ class DiscreteSystem {
 /// Discretize a continuous plant with sampling period `h` and constant
 /// sensor-to-actuator delay `d` (0 <= d <= h).
 DiscreteSystem c2d(const StateSpace& plant, double h, double d = 0.0);
+
+/// Discretize one plant for two delays at once, factorizing e^{Ah} (which
+/// is delay-independent) a single time.  Bit-identical to
+/// {c2d(plant, h, d_first), c2d(plant, h, d_second)}; this is the form the
+/// two-mode loop design uses, where both mode models share h.
+std::pair<DiscreteSystem, DiscreteSystem> c2d_pair(const StateSpace& plant, double h,
+                                                   double d_first, double d_second);
 
 }  // namespace cps::control

@@ -40,8 +40,8 @@ HybridLoopDesign design_hybrid_loops(const StateSpace& plant, const HybridLoopSp
   CPS_ENSURE(spec.r_tt.rows() == m && spec.r_tt.cols() == m, "r_tt must be m x m");
   CPS_ENSURE(spec.r_et.rows() == m && spec.r_et.cols() == m, "r_et must be m x m");
 
-  DiscreteSystem sys_tt = c2d(plant, spec.sampling_period, spec.delay_tt);
-  DiscreteSystem sys_et = c2d(plant, spec.sampling_period, spec.delay_et);
+  auto [sys_tt, sys_et] =
+      c2d_pair(plant, spec.sampling_period, spec.delay_tt, spec.delay_et);
 
   // Design each mode's LQR on its augmented realization so the gain acts on
   // the common state z = [x; u_prev].
@@ -92,8 +92,8 @@ HybridLoopDesign design_hybrid_loops(const StateSpace& plant,
   for (const auto& p : spec.poles_et)
     CPS_ENSURE(std::abs(p) < 1.0, "poles_et must lie inside the unit disc");
 
-  DiscreteSystem sys_tt = c2d(plant, spec.sampling_period, spec.delay_tt);
-  DiscreteSystem sys_et = c2d(plant, spec.sampling_period, spec.delay_et);
+  auto [sys_tt, sys_et] =
+      c2d_pair(plant, spec.sampling_period, spec.delay_tt, spec.delay_et);
   const auto aug_tt = sys_tt.augmented();
   const auto aug_et = sys_et.augmented();
 

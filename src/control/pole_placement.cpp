@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "control/state_space.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/lu.hpp"
 #include "util/error.hpp"
 
@@ -10,15 +11,18 @@ namespace cps::control {
 
 std::vector<double> characteristic_polynomial(const std::vector<std::complex<double>>& roots) {
   // Multiply out prod (z - r_i) keeping complex coefficients, then verify
-  // the imaginary parts vanish (conjugation-closed root set).
-  std::vector<std::complex<double>> coeff{1.0};  // leading first
+  // the imaginary parts vanish (conjugation-closed root set).  The two
+  // coefficient buffers live inline (pole sets are tiny).
+  linalg::detail::SmallStore<std::complex<double>, 16> coeff(1, 1.0);  // leading first
+  linalg::detail::SmallStore<std::complex<double>, 16> next;
   for (const auto& r : roots) {
-    std::vector<std::complex<double>> next(coeff.size() + 1, 0.0);
+    next.resize_discard(coeff.size() + 1);
+    for (std::size_t i = 0; i < next.size(); ++i) next[i] = 0.0;
     for (std::size_t i = 0; i < coeff.size(); ++i) {
       next[i] += coeff[i];
       next[i + 1] -= coeff[i] * r;
     }
-    coeff = std::move(next);
+    coeff.swap(next);
   }
   std::vector<double> out(roots.size());
   for (std::size_t i = 1; i < coeff.size(); ++i) {
@@ -41,13 +45,16 @@ linalg::Matrix place_poles(const linalg::Matrix& a, const linalg::Matrix& b,
   const std::size_t n = a.rows();
   const linalg::Matrix ctrb = controllability_matrix(a, b);
 
-  // alpha(A) = A^n + c_{n-1} A^{n-1} + ... + c_0 I.
+  // alpha(A) = A^n + c_{n-1} A^{n-1} + ... + c_0 I, accumulated with the
+  // in-place kernels on reusable buffers.
   const std::vector<double> c = characteristic_polynomial(poles);
   linalg::Matrix alpha = a.pow(static_cast<unsigned>(n));
   linalg::Matrix ak = linalg::Matrix::identity(n);
+  linalg::Matrix scratch;
   for (std::size_t j = 0; j < n; ++j) {
-    alpha += ak * c[j];
-    ak = ak * a;
+    linalg::add_scaled_into(alpha, ak, c[j]);
+    linalg::multiply_into(ak, a, scratch);
+    ak.swap(scratch);
   }
 
   // K = e_n^T Ctrb^{-1} alpha(A).
@@ -59,7 +66,10 @@ linalg::Matrix place_poles(const linalg::Matrix& a, const linalg::Matrix& b,
   } catch (const NumericalError&) {
     throw NumericalError("place_poles: (A, B) is not controllable");
   }
-  return en * ctrb_inv * alpha;
+  linalg::Matrix en_inv, k;
+  linalg::multiply_into(en, ctrb_inv, en_inv);
+  linalg::multiply_into(en_inv, alpha, k);
+  return k;
 }
 
 }  // namespace cps::control

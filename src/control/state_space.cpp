@@ -1,6 +1,7 @@
 #include "control/state_space.hpp"
 
 #include "linalg/eigen.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/qr.hpp"
 #include "util/error.hpp"
 
@@ -24,11 +25,17 @@ bool StateSpace::is_stable() const { return linalg::is_hurwitz_stable(a_); }
 linalg::Matrix controllability_matrix(const linalg::Matrix& a, const linalg::Matrix& b) {
   CPS_ENSURE(a.is_square() && b.rows() == a.rows(), "controllability: dimension mismatch");
   const std::size_t n = a.rows();
-  linalg::Matrix ctrb = b;
+  const std::size_t m = b.cols();
+  // Preallocated [B, AB, ..., A^{n-1}B] (same values the old hstack chain
+  // assembled, without the quadratic re-copying).
+  linalg::Matrix ctrb(n, n * m);
   linalg::Matrix akb = b;
+  linalg::Matrix scratch;
+  ctrb.set_block(0, 0, akb);
   for (std::size_t k = 1; k < n; ++k) {
-    akb = a * akb;
-    ctrb = linalg::Matrix::hstack(ctrb, akb);
+    linalg::multiply_into(a, akb, scratch);
+    akb.swap(scratch);
+    ctrb.set_block(0, k * m, akb);
   }
   return ctrb;
 }

@@ -66,14 +66,26 @@ Matrix hessenberg(const Matrix& a) {
   return h;
 }
 
-std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
+namespace {
+
+/// QR-iteration core shared by eigenvalues() and spectral_radius(); fills
+/// `eigs` (resized to n) in the same order the public API returns.  Runs
+/// entirely on inline storage for inline-sized matrices, so the spectral-
+/// radius checks inside the loop-design hot path never allocate.
+void eigenvalues_impl(const Matrix& a,
+                      detail::SmallStore<std::complex<double>, 16>& eigs) {
   if (!a.is_square()) throw DimensionMismatch("eigenvalues requires a square matrix");
   const std::size_t n0 = a.rows();
-  std::vector<std::complex<double>> eigs;
-  eigs.reserve(n0);
-  if (n0 == 0) return eigs;
+  eigs.resize_discard(n0);
+  std::size_t filled = 0;
+  if (n0 == 0) return;
 
   Matrix h = hessenberg(a);
+  // The QR sweeps below run on the raw row-major storage (stride n0): the
+  // same element reads/writes as the checked h(i, j) form, minus the
+  // per-access bounds test in the innermost rotation loops.
+  double* hd = h.data();
+  const std::size_t stride = n0;
   std::size_t n = n0;  // active trailing dimension
   const double scale = std::max(h.max_abs(), 1.0);
   const double eps = 1e-14 * scale;
@@ -81,19 +93,24 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
   int total_iters = 0;
   const int max_iters = 100 * static_cast<int>(n0) + 200;
 
+  // Rotation buffers for the implicit QR steps, hoisted out of the
+  // iteration (every step fully rewrites the [l, n) range it reads).
+  detail::SmallStore<double, 16> cs(n0, 1.0), sn(n0, 0.0);
+
   while (n > 0) {
     if (n == 1) {
-      eigs.emplace_back(h(0, 0), 0.0);
+      eigs[filled++] = std::complex<double>(hd[0], 0.0);
       break;
     }
 
     // Look for a negligible subdiagonal entry to deflate at.
     std::size_t l = n - 1;
     while (l > 0) {
-      const double sub = std::fabs(h(l, l - 1));
-      const double diag_sum = std::fabs(h(l - 1, l - 1)) + std::fabs(h(l, l));
+      const double sub = std::fabs(hd[l * stride + l - 1]);
+      const double diag_sum =
+          std::fabs(hd[(l - 1) * stride + l - 1]) + std::fabs(hd[l * stride + l]);
       if (sub <= eps || sub <= 1e-14 * diag_sum) {
-        h(l, l - 1) = 0.0;
+        hd[l * stride + l - 1] = 0.0;
         break;
       }
       --l;
@@ -101,15 +118,17 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
 
     if (l == n - 1) {
       // 1x1 block deflated at the bottom.
-      eigs.emplace_back(h(n - 1, n - 1), 0.0);
+      eigs[filled++] = std::complex<double>(hd[(n - 1) * stride + n - 1], 0.0);
       --n;
       continue;
     }
     if (l == n - 2) {
       // 2x2 trailing block — real pair or complex-conjugate pair.
-      auto [e1, e2] = eig2x2(h(n - 2, n - 2), h(n - 2, n - 1), h(n - 1, n - 2), h(n - 1, n - 1));
-      eigs.push_back(e1);
-      eigs.push_back(e2);
+      auto [e1, e2] =
+          eig2x2(hd[(n - 2) * stride + n - 2], hd[(n - 2) * stride + n - 1],
+                 hd[(n - 1) * stride + n - 2], hd[(n - 1) * stride + n - 1]);
+      eigs[filled++] = e1;
+      eigs[filled++] = e2;
       n -= 2;
       continue;
     }
@@ -118,8 +137,8 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
       throw NumericalError("eigenvalues: QR iteration failed to converge");
 
     // Wilkinson shift from the trailing 2x2 of the active block [l, n).
-    const double am = h(n - 2, n - 2), bm = h(n - 2, n - 1);
-    const double cm = h(n - 1, n - 2), dm = h(n - 1, n - 1);
+    const double am = hd[(n - 2) * stride + n - 2], bm = hd[(n - 2) * stride + n - 1];
+    const double cm = hd[(n - 1) * stride + n - 2], dm = hd[(n - 1) * stride + n - 1];
     auto [s1, s2] = eig2x2(am, bm, cm, dm);
     double shift;
     if (s1.imag() == 0.0) {
@@ -129,17 +148,18 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
       // Complex pair: use its real part (ad-hoc exceptional shift also mixed
       // in occasionally to break symmetry cycles).
       shift = s1.real();
-      if (total_iters % 17 == 0) shift += 0.5 * std::fabs(h(n - 1, n - 2));
+      if (total_iters % 17 == 0) shift += 0.5 * std::fabs(hd[(n - 1) * stride + n - 2]);
     }
 
     // Implicit shifted QR step on the active window via Givens rotations:
     // factorize (H - shift I) = Q R, then H <- R Q + shift I.
-    for (std::size_t i = l; i < n; ++i) h(i, i) -= shift;
+    for (std::size_t i = l; i < n; ++i) hd[i * stride + i] -= shift;
 
     // Store rotation (c, s) per column for the RQ recombination.
-    std::vector<double> cs(n, 1.0), sn(n, 0.0);
     for (std::size_t k = l; k + 1 < n; ++k) {
-      const double x = h(k, k), y = h(k + 1, k);
+      double* rowk = hd + k * stride;
+      double* rowk1 = hd + (k + 1) * stride;
+      const double x = rowk[k], y = rowk1[k];
       const double r = std::hypot(x, y);
       if (r == 0.0) {
         cs[k] = 1.0;
@@ -151,9 +171,9 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
       sn[k] = s;
       // Apply G^T to rows k, k+1 (columns k..n-1).
       for (std::size_t j = k; j < n; ++j) {
-        const double t1 = h(k, j), t2 = h(k + 1, j);
-        h(k, j) = c * t1 + s * t2;
-        h(k + 1, j) = -s * t1 + c * t2;
+        const double t1 = rowk[j], t2 = rowk1[j];
+        rowk[j] = c * t1 + s * t2;
+        rowk1[j] = -s * t1 + c * t2;
       }
     }
     // H <- R Q: apply rotations on the right.
@@ -161,27 +181,37 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
       const double c = cs[k], s = sn[k];
       const std::size_t top = l;
       for (std::size_t i = top; i <= std::min(k + 1, n - 1); ++i) {
-        const double t1 = h(i, k), t2 = h(i, k + 1);
-        h(i, k) = c * t1 + s * t2;
-        h(i, k + 1) = -s * t1 + c * t2;
+        double* rowi = hd + i * stride;
+        const double t1 = rowi[k], t2 = rowi[k + 1];
+        rowi[k] = c * t1 + s * t2;
+        rowi[k + 1] = -s * t1 + c * t2;
       }
       // Row k+2 may have picked up a bulge entry h(k+2, k+1) only — within
       // Hessenberg structure this stays banded, nothing more to do.
       if (k + 2 < n) {
-        const double t1 = h(k + 2, k), t2 = h(k + 2, k + 1);
-        h(k + 2, k) = c * t1 + s * t2;
-        h(k + 2, k + 1) = -s * t1 + c * t2;
+        double* rowk2 = hd + (k + 2) * stride;
+        const double t1 = rowk2[k], t2 = rowk2[k + 1];
+        rowk2[k] = c * t1 + s * t2;
+        rowk2[k + 1] = -s * t1 + c * t2;
       }
     }
-    for (std::size_t i = l; i < n; ++i) h(i, i) += shift;
+    for (std::size_t i = l; i < n; ++i) hd[i * stride + i] += shift;
   }
+}
 
-  return eigs;
+}  // namespace
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
+  detail::SmallStore<std::complex<double>, 16> eigs;
+  eigenvalues_impl(a, eigs);
+  return std::vector<std::complex<double>>(eigs.begin(), eigs.end());
 }
 
 double spectral_radius(const Matrix& a) {
+  detail::SmallStore<std::complex<double>, 16> eigs;
+  eigenvalues_impl(a, eigs);
   double best = 0.0;
-  for (const auto& e : eigenvalues(a)) best = std::max(best, std::abs(e));
+  for (const auto& e : eigs) best = std::max(best, std::abs(e));
   return best;
 }
 

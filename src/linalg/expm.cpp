@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "linalg/lu.hpp"
 #include "util/error.hpp"
 
@@ -26,21 +27,29 @@ Matrix expm(const Matrix& a) {
   // N = sum c_k x^k, D = sum c_k (-x)^k, c_k = (2m-k)! m! / ((2m)! k! (m-k)!).
   constexpr double c[7] = {1.0,         1.0 / 2.0,    5.0 / 44.0,  1.0 / 66.0,
                            1.0 / 792.0, 1.0 / 15840.0, 1.0 / 665280.0};
-  const Matrix eye = Matrix::identity(n);
-  Matrix xk = eye;  // x^k
-  Matrix num = eye * c[0];
-  Matrix den = eye * c[0];
+  // One identity build feeds the power and, scaled in place by c[0], both
+  // Padé accumulators; the in-place kernels then run the accumulation on
+  // two reusable buffers with zero temporaries.
+  Matrix xk = Matrix::identity(n);  // x^k
+  Matrix num = xk;
+  num *= c[0];
+  Matrix den = num;
+  Matrix scratch;
   double sign = 1.0;
   for (int k = 1; k <= 6; ++k) {
-    xk = xk * x;
+    multiply_into(xk, x, scratch);
+    xk.swap(scratch);
     sign = -sign;
-    num += xk * c[k];
-    den += xk * (c[k] * sign);
+    add_scaled_into(num, xk, c[k]);
+    add_scaled_into(den, xk, c[k] * sign);
   }
   Matrix result = solve(den, num);
 
   // Undo the scaling by repeated squaring.
-  for (int i = 0; i < s; ++i) result = result * result;
+  for (int i = 0; i < s; ++i) {
+    multiply_into(result, result, scratch);
+    result.swap(scratch);
+  }
   if (!result.all_finite()) throw NumericalError("expm produced non-finite entries");
   return result;
 }
@@ -53,6 +62,12 @@ ZohPair zoh_integrals(const Matrix& a, const Matrix& b, double t) {
   // Van Loan block trick: expm([[A, B], [0, 0]] t) = [[Phi, Gamma], [0, I]].
   const std::size_t n = a.rows();
   const std::size_t m = b.cols();
+  if (t == 0.0) {
+    // The Padé path on the zero block reproduces the identity exactly
+    // (x = 0 gives N = D = I, and the LU solve of I against I is exact),
+    // so the factorization can be skipped bit-identically.
+    return ZohPair{Matrix::identity(n), Matrix::zero(n, m)};
+  }
   Matrix block(n + m, n + m);
   block.set_block(0, 0, a * t);
   block.set_block(0, n, b * t);

@@ -1,0 +1,158 @@
+#include "linalg/kernels.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace cps::linalg {
+
+namespace {
+
+/// Shape `out` as rows x cols of zeros without allocating when the shape is
+/// already right (the accumulation kernels overwrite every entry anyway,
+/// but the operator forms start from a zero matrix, so the zero fill is
+/// part of the bit-identity contract only in that every entry is written
+/// by += starting from 0.0 — exactly what Matrix(rows, cols) does).
+void reset(Matrix& out, std::size_t rows, std::size_t cols) {
+  if (out.rows() != rows || out.cols() != cols) out = Matrix(rows, cols);
+  double* p = out.data();
+  const std::size_t n = rows * cols;
+  for (std::size_t i = 0; i < n; ++i) p[i] = 0.0;
+}
+
+void check_no_alias(const Matrix& out, const Matrix& a, const char* kernel) {
+  if (&out == &a) throw InvalidArgument(std::string(kernel) + ": out must not alias an input");
+}
+
+}  // namespace
+
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_no_alias(out, a, "multiply_into");
+  check_no_alias(out, b, "multiply_into");
+  if (a.cols() != b.rows())
+    throw DimensionMismatch("multiply_into: " + std::to_string(a.rows()) + "x" +
+                            std::to_string(a.cols()) + " times " + std::to_string(b.rows()) +
+                            "x" + std::to_string(b.cols()));
+  const std::size_t rows = a.rows();
+  const std::size_t inner = a.cols();
+  const std::size_t cols = b.cols();
+  reset(out, rows, cols);
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* od = out.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double aik = ad[i * inner + k];
+      if (aik == 0.0) continue;
+      const double* brow = bd + k * cols;
+      double* orow = od + i * cols;
+      for (std::size_t j = 0; j < cols; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void multiply_transpose_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_no_alias(out, a, "multiply_transpose_into");
+  check_no_alias(out, b, "multiply_transpose_into");
+  if (a.cols() != b.cols())
+    throw DimensionMismatch("multiply_transpose_into: " + std::to_string(a.rows()) + "x" +
+                            std::to_string(a.cols()) + " times transposed " +
+                            std::to_string(b.rows()) + "x" + std::to_string(b.cols()));
+  const std::size_t rows = a.rows();
+  const std::size_t inner = a.cols();   // = b.cols()
+  const std::size_t cols = b.rows();    // columns of b^T
+  reset(out, rows, cols);
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* od = out.data();
+  // Row k of b^T is column k of b: stride b.cols() starting at bd[k].
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double aik = ad[i * inner + k];
+      if (aik == 0.0) continue;
+      double* orow = od + i * cols;
+      for (std::size_t j = 0; j < cols; ++j) orow[j] += aik * bd[j * inner + k];
+    }
+  }
+}
+
+void transpose_multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_no_alias(out, a, "transpose_multiply_into");
+  check_no_alias(out, b, "transpose_multiply_into");
+  if (a.rows() != b.rows())
+    throw DimensionMismatch("transpose_multiply_into: transposed " + std::to_string(a.rows()) +
+                            "x" + std::to_string(a.cols()) + " times " +
+                            std::to_string(b.rows()) + "x" + std::to_string(b.cols()));
+  const std::size_t rows = a.cols();    // rows of a^T
+  const std::size_t inner = a.rows();
+  const std::size_t cols = b.cols();
+  reset(out, rows, cols);
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* od = out.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double aik = ad[k * rows + i];  // a^T(i, k) = a(k, i)
+      if (aik == 0.0) continue;
+      const double* brow = bd + k * cols;
+      double* orow = od + i * cols;
+      for (std::size_t j = 0; j < cols; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void transpose_into(const Matrix& a, Matrix& out) {
+  check_no_alias(out, a, "transpose_into");
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  if (out.rows() != cols || out.cols() != rows) out = Matrix(cols, rows);
+  const double* ad = a.data();
+  double* od = out.data();
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) od[j * rows + i] = ad[i * cols + j];
+}
+
+void add_scaled_into(Matrix& acc, const Matrix& x, double s) {
+  check_no_alias(acc, x, "add_scaled_into");
+  if (acc.rows() != x.rows() || acc.cols() != x.cols())
+    throw DimensionMismatch("add_scaled_into requires equal dimensions");
+  const std::size_t n = acc.element_count();
+  double* ad = acc.data();
+  const double* xd = x.data();
+  for (std::size_t i = 0; i < n; ++i) ad[i] += xd[i] * s;
+}
+
+void add_identity_into(Matrix& m) {
+  if (!m.is_square()) throw DimensionMismatch("add_identity_into requires a square matrix");
+  const std::size_t n = m.rows();
+  double* md = m.data();
+  for (std::size_t i = 0; i < n; ++i) md[i * n + i] += 1.0;
+}
+
+void symmetrize_in_place(Matrix& x) {
+  if (!x.is_square()) throw DimensionMismatch("symmetrize_in_place requires a square matrix");
+  const std::size_t n = x.rows();
+  double* xd = x.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    xd[i * n + i] = (xd[i * n + i] + xd[i * n + i]) * 0.5;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = (xd[i * n + j] + xd[j * n + i]) * 0.5;
+      xd[i * n + j] = v;
+      xd[j * n + i] = v;
+    }
+  }
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw DimensionMismatch("max_abs_diff requires equal dimensions");
+  const std::size_t n = a.element_count();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double best = 0.0;
+  for (std::size_t i = 0; i < n; ++i) best = std::max(best, std::fabs(ad[i] - bd[i]));
+  return best;
+}
+
+}  // namespace cps::linalg

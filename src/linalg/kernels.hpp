@@ -1,0 +1,82 @@
+// In-place small-matrix kernels for the campaign hot paths.
+//
+// Every kernel writes into a caller-owned output object instead of
+// returning a fresh matrix, so loops that run thousands of products (expm
+// Padé accumulation, DARE doubling, matrix-power transients, simulation
+// steps) reuse two or three buffers and perform zero allocations once the
+// buffers have their final shape (Matrix/Vector storage is inline below
+// Matrix::kInlineCapacity anyway; the kernels additionally remove the
+// temporary churn and copies of the operator forms).
+//
+// FP-order contract: each kernel performs exactly the floating-point
+// operations of the operator expression named in its comment, in the same
+// order, so results are bit-identical to the expression it replaces.  The
+// *_transpose_* variants never materialize the transpose — they reindex the
+// operand — which preserves the accumulation order of the
+// `a * b.transpose()` / `a.transpose() * b` forms exactly.  Kernels where
+// the contract instead relies on IEEE-754 addition being commutative
+// (x + y == y + x bitwise for non-NaN operands) say so explicitly.
+//
+// Aliasing: `out` must not alias any input (checked); inputs may alias
+// each other (e.g. multiply_into(x, x, out) squares x).
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "util/error.hpp"
+
+namespace cps::linalg {
+
+/// out = a * b.  Bit-identical to Matrix::operator*(const Matrix&).
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T without forming b^T.  Bit-identical to a * b.transpose().
+void multiply_transpose_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b without forming a^T.  Bit-identical to a.transpose() * b.
+void transpose_multiply_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T.  Bit-identical to Matrix::transpose().
+void transpose_into(const Matrix& a, Matrix& out);
+
+/// acc += x * s.  Bit-identical to acc += (x * s).
+void add_scaled_into(Matrix& acc, const Matrix& x, double s);
+
+/// m += I (square only).  Bit-identical to Matrix::identity(n) + m by
+/// commutativity of IEEE addition.
+void add_identity_into(Matrix& m);
+
+/// x = (x + x^T) * 0.5 in place (square only).  Bit-identical to
+/// (x + x.transpose()) * 0.5 by commutativity of IEEE addition.
+void symmetrize_in_place(Matrix& x);
+
+/// out = a * x.  Bit-identical to Matrix::operator*(const Vector&).
+/// Defined inline: this is the one kernel sitting inside every per-step
+/// simulation loop, where the cross-TU call would dominate a 3x3 matvec.
+inline void apply_into(const Matrix& a, const Vector& x, Vector& out) {
+  if (&out == &x) throw InvalidArgument("apply_into: out must not alias x");
+  if (a.cols() != x.size())
+    throw DimensionMismatch("apply_into: " + std::to_string(a.rows()) + "x" +
+                            std::to_string(a.cols()) + " times vector of size " +
+                            std::to_string(x.size()));
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  if (out.size() != rows) out = Vector(rows);
+  const double* ad = a.data();
+  const double* xd = x.data();
+  double* od = out.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    const double* arow = ad + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) acc += arow[j] * xd[j];
+    od[i] = acc;
+  }
+}
+
+/// max_ij |a_ij - b_ij| (equal dimensions required).  Bit-identical to
+/// (a - b).max_abs() without the difference temporary.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace cps::linalg

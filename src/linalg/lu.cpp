@@ -17,7 +17,7 @@ LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a), perm_(a.rows()) {
 
   // Scale factors for scaled partial pivoting improve robustness on badly
   // row-scaled systems (common for mixed-unit state-space models).
-  std::vector<double> scale(n, 0.0);
+  detail::SmallStore<double, 8> scale(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     double big = 0.0;
     for (std::size_t j = 0; j < n; ++j) big = std::max(big, std::fabs(lu_(i, j)));
@@ -76,14 +76,37 @@ Vector LuDecomposition::solve(const Vector& b) const {
 }
 
 Matrix LuDecomposition::solve(const Matrix& b) const {
+  Matrix x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuDecomposition::solve_into(const Matrix& b, Matrix& out) const {
+  if (&out == &b) throw InvalidArgument("LU solve_into: out must not alias b");
   const std::size_t n = lu_.rows();
   if (b.rows() != n) throw DimensionMismatch("LU solve: rhs row count mismatch");
-  Matrix x(n, b.cols());
-  for (std::size_t c = 0; c < b.cols(); ++c) {
-    const Vector xc = solve(b.col(c));
-    for (std::size_t i = 0; i < n; ++i) x(i, c) = xc[i];
+  const std::size_t cols = b.cols();
+  if (out.rows() != n || out.cols() != cols) out = Matrix(n, cols);
+  const double* lud = lu_.data();
+  const double* bd = b.data();
+  double* od = out.data();
+  detail::SmallStore<double, 8> y(n);
+  for (std::size_t c = 0; c < cols; ++c) {
+    // Forward substitution on the permuted column (identical accumulation
+    // order to the Vector overload above).
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = bd[perm_[i] * cols + c];
+      for (std::size_t j = 0; j < i; ++j) acc -= lud[i * n + j] * y[j];
+      y[i] = acc;
+    }
+    // Back substitution, written straight into column c of out.
+    for (std::size_t ii = n; ii > 0; --ii) {
+      const std::size_t i = ii - 1;
+      double acc = y[i];
+      for (std::size_t j = i + 1; j < n; ++j) acc -= lud[i * n + j] * od[j * cols + c];
+      od[i * cols + c] = acc / lud[i * n + i];
+    }
   }
-  return x;
 }
 
 double LuDecomposition::determinant() const {

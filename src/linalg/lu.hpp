@@ -3,6 +3,7 @@
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/small_store.hpp"
 #include "linalg/vector.hpp"
 
 namespace cps::linalg {
@@ -23,6 +24,11 @@ class LuDecomposition {
   /// Solve A X = B column-by-column.
   Matrix solve(const Matrix& b) const;
 
+  /// Solve A X = B into `out` (raw-storage substitution, no per-column
+  /// Vector round trips; same FP order as solve(const Matrix&), so the
+  /// result is bit-identical).  `out` must not alias `b`.
+  void solve_into(const Matrix& b, Matrix& out) const;
+
   /// det(A), including the pivoting sign.
   double determinant() const;
 
@@ -33,7 +39,9 @@ class LuDecomposition {
 
  private:
   Matrix lu_;
-  std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
+  // Row permutation: row i of PA is row perm_[i] of A.  Inline storage so
+  // factorizing an inline-sized matrix performs zero heap allocations.
+  detail::SmallStore<std::size_t, 8> perm_;
   int sign_ = 1;
 };
 

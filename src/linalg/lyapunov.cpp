@@ -1,6 +1,7 @@
 #include "linalg/lyapunov.hpp"
 
 #include "linalg/eigen.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/lu.hpp"
 #include "util/error.hpp"
 
@@ -13,14 +14,18 @@ Matrix solve_discrete_lyapunov(const Matrix& a, const Matrix& q, double tol, int
     throw NumericalError("discrete Lyapunov (Smith iteration) requires rho(A) < 1");
 
   // X = sum_k (A^T)^k Q A^k, accumulated with squaring:
-  //   X_{j+1} = X_j + A_j^T X_j A_j,  A_{j+1} = A_j^2.
+  //   X_{j+1} = X_j + A_j^T X_j A_j,  A_{j+1} = A_j^2
+  // on four reusable buffers (in-place kernels, zero temporaries).
   Matrix x = q;
   Matrix ak = a;
+  Matrix atx, increment, scratch;
   for (int it = 0; it < max_iter; ++it) {
-    const Matrix increment = ak.transpose() * x * ak;
+    transpose_multiply_into(ak, x, atx);
+    multiply_into(atx, ak, increment);  // (A^T X) A
     x += increment;
     if (increment.max_abs() <= tol * std::max(1.0, x.max_abs())) return x;
-    ak = ak * ak;
+    multiply_into(ak, ak, scratch);
+    ak.swap(scratch);
   }
   throw NumericalError("discrete Lyapunov: Smith iteration did not converge");
 }

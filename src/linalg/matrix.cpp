@@ -15,10 +15,11 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
   cols_ = rows_ == 0 ? 0 : rows.begin()->size();
-  data_.reserve(rows_ * cols_);
+  data_.resize_discard(rows_ * cols_);
+  double* out = data_.data();
   for (const auto& r : rows) {
     if (r.size() != cols_) throw DimensionMismatch("Matrix initializer rows have unequal lengths");
-    data_.insert(data_.end(), r.begin(), r.end());
+    for (const double v : r) *out++ = v;
   }
 }
 
@@ -36,16 +37,17 @@ Matrix Matrix::diagonal(const std::vector<double>& diag) {
   return m;
 }
 
-std::size_t Matrix::index(std::size_t r, std::size_t c) const {
-  if (r >= rows_ || c >= cols_)
-    throw DimensionMismatch("Matrix index (" + std::to_string(r) + "," + std::to_string(c) +
-                            ") out of range for " + std::to_string(rows_) + "x" +
-                            std::to_string(cols_));
-  return r * cols_ + c;
+void Matrix::throw_index_error(std::size_t r, std::size_t c) const {
+  throw DimensionMismatch("Matrix index (" + std::to_string(r) + "," + std::to_string(c) +
+                          ") out of range for " + std::to_string(rows_) + "x" +
+                          std::to_string(cols_));
 }
 
-double& Matrix::operator()(std::size_t r, std::size_t c) { return data_[index(r, c)]; }
-double Matrix::operator()(std::size_t r, std::size_t c) const { return data_[index(r, c)]; }
+void Matrix::swap(Matrix& other) noexcept {
+  std::swap(rows_, other.rows_);
+  std::swap(cols_, other.cols_);
+  data_.swap(other.data_);
+}
 
 Matrix Matrix::operator+(const Matrix& rhs) const {
   Matrix out = *this;

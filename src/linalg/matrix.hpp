@@ -1,9 +1,13 @@
 // Dense, row-major, double-precision matrix.
 //
 // Sized for control-engineering workloads: plant/closed-loop matrices have a
-// handful of states, so the implementation favours clarity and checked
-// access over blocking/vectorization.  All operations validate dimensions
-// and throw cps::DimensionMismatch on incompatibility.
+// handful of states, so storage is inline (small_store.hpp) up to
+// kInlineCapacity doubles — an 8x8 matrix lives entirely inside the object
+// and construction/copy/temporaries never touch the allocator; larger
+// matrices spill to the heap transparently.  All operations validate
+// dimensions and throw cps::DimensionMismatch on incompatibility; the
+// checked operator() is the public element access, while kernels
+// (linalg/kernels.hpp) use the unchecked data()/row_data() pointers.
 #pragma once
 
 #include <cstddef>
@@ -11,12 +15,17 @@
 #include <string>
 #include <vector>
 
+#include "linalg/small_store.hpp"
+
 namespace cps::linalg {
 
 class Vector;
 
 class Matrix {
  public:
+  /// Inline storage capacity in doubles (8x8); larger matrices go to the heap.
+  static constexpr std::size_t kInlineCapacity = 64;
+
   /// Empty 0x0 matrix.
   Matrix() = default;
 
@@ -39,12 +48,15 @@ class Matrix {
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
+  /// rows() * cols(): the length of the row-major data() payload.
+  std::size_t element_count() const { return rows_ * cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
   bool is_square() const { return rows_ == cols_; }
 
-  /// Checked element access.
-  double& operator()(std::size_t r, std::size_t c);
-  double operator()(std::size_t r, std::size_t c) const;
+  /// Checked element access (inline fast path; the throw on an
+  /// out-of-range index is out of line).
+  double& operator()(std::size_t r, std::size_t c) { return data_[index(r, c)]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[index(r, c)]; }
 
   // Arithmetic (dimension-checked).
   Matrix operator+(const Matrix& rhs) const;
@@ -107,15 +119,31 @@ class Matrix {
   /// Human-readable multi-line rendering (for diagnostics and tests).
   std::string to_string(int precision = 6) const;
 
-  /// Raw storage (row-major), primarily for serialization.
-  const std::vector<double>& data() const { return data_; }
+  /// Raw row-major storage, unchecked: for kernels and serialization.
+  /// Release hot loops use these to skip the per-element bounds check of
+  /// operator(); callers own the range [data(), data() + element_count()).
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Unchecked pointer to the first element of row r.
+  double* row_data(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_data(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// Exchange payloads with `other`; never allocates, so kernels can
+  /// double-buffer (multiply_into + swap) inside allocation-free loops.
+  void swap(Matrix& other) noexcept;
 
  private:
-  std::size_t index(std::size_t r, std::size_t c) const;
+  std::size_t index(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw_index_error(r, c);
+    return r * cols_ + c;
+  }
+
+  [[noreturn]] void throw_index_error(std::size_t r, std::size_t c) const;
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  detail::SmallStore<double, kInlineCapacity> data_;
 };
 
 Matrix operator*(double s, const Matrix& m);

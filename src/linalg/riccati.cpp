@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "linalg/lu.hpp"
 #include "util/error.hpp"
 
@@ -20,28 +21,48 @@ void check_dare_inputs(const Matrix& a, const Matrix& b, const Matrix& q, const 
   if (!r.approx_equal(r.transpose(), 1e-9)) throw InvalidArgument("DARE: R must be symmetric");
 }
 
-/// One application of the Riccati map f(X).
-Matrix riccati_map(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
-                   const Matrix& x) {
-  const Matrix btx = b.transpose() * x;
-  const Matrix s = r + btx * b;          // R + B'XB
-  const Matrix k = solve(s, btx * a);    // (R + B'XB)^-1 B'XA
-  return a.transpose() * x * a - (a.transpose() * x * b) * k + q;
-}
+/// Scratch buffers for one application of the Riccati map f(X); hoisting
+/// them lets the iterative solver run its fixed point allocation-free.
+struct RiccatiMapWork {
+  Matrix btx;   // B'X
+  Matrix s;     // R + B'XB
+  Matrix btxa;  // B'XA
+  Matrix k;     // (R + B'XB)^-1 B'XA
+  Matrix atx;   // A'X
+  Matrix axb;   // A'XB
+  Matrix axbk;  // (A'XB) K
+};
 
-Matrix symmetrize(const Matrix& x) { return (x + x.transpose()) * 0.5; }
+/// f(X) -> out.  Same FP order as the expression form:
+/// A'XA - (A'XB)((R + B'XB)^-1 B'XA) + Q.
+void riccati_map_into(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
+                      const Matrix& x, RiccatiMapWork& w, Matrix& out) {
+  transpose_multiply_into(b, x, w.btx);
+  multiply_into(w.btx, b, w.s);
+  w.s += r;  // r + btx*b, commutative add
+  multiply_into(w.btx, a, w.btxa);
+  w.k = LuDecomposition(w.s).solve(w.btxa);
+  transpose_multiply_into(a, x, w.atx);
+  multiply_into(w.atx, a, out);  // A'XA
+  multiply_into(w.atx, b, w.axb);
+  multiply_into(w.axb, w.k, w.axbk);
+  out -= w.axbk;
+  out += q;
+}
 
 }  // namespace
 
 double dare_residual(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
                      const Matrix& x) {
-  return (x - riccati_map(a, b, q, r, x)).max_abs();
+  RiccatiMapWork w;
+  Matrix fx;
+  riccati_map_into(a, b, q, r, x, w, fx);
+  return max_abs_diff(x, fx);
 }
 
 DareResult solve_dare(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
                       const DareOptions& opts) {
   check_dare_inputs(a, b, q, r);
-  const std::size_t n = a.rows();
 
   // SDA-1 (Chu, Fan, Lin 2005):
   //   A_0 = A, G_0 = B R^-1 B^T, H_0 = Q, then iterate
@@ -50,15 +71,18 @@ DareResult solve_dare(const Matrix& a, const Matrix& b, const Matrix& q, const M
   //   G_1   = G_k + A_k W^-1 G_k A_k^T
   //   H_1   = H_k + A_k^T H_k W^-1 A_k
   //   (H_k -> X, the stabilizing solution, quadratically).
+  //
+  // Every iterate lives in one of the buffers below; the in-place kernels
+  // keep the whole doubling loop allocation-free for inline-sized systems.
   Matrix ak = a;
   Matrix gk = b * solve(r, b.transpose());
   Matrix hk = q;
-  const Matrix eye = Matrix::identity(n);
+  Matrix w, winv_ak, winv_gk, a_next, g_next, h_next, t;
 
   int it = 0;
   for (; it < opts.max_iterations; ++it) {
-    const Matrix w = eye + gk * hk;
-    Matrix winv_ak, winv_gk;
+    multiply_into(gk, hk, w);
+    add_identity_into(w);  // I + G H, commutative add
     try {
       const LuDecomposition lu(w);
       winv_ak = lu.solve(ak);
@@ -67,21 +91,28 @@ DareResult solve_dare(const Matrix& a, const Matrix& b, const Matrix& q, const M
       throw NumericalError("DARE(SDA): I + G H became singular — problem may not admit a "
                            "stabilizing solution");
     }
-    const Matrix a_next = ak * winv_ak;
-    const Matrix g_next = symmetrize(gk + ak * winv_gk * ak.transpose());
-    const Matrix h_next = symmetrize(hk + ak.transpose() * hk * winv_ak);
+    multiply_into(ak, winv_ak, a_next);
+    multiply_into(ak, winv_gk, t);
+    multiply_transpose_into(t, ak, g_next);  // (A W^-1 G) A^T
+    g_next += gk;                            // gk + ..., commutative add
+    symmetrize_in_place(g_next);
+    transpose_multiply_into(ak, hk, t);
+    multiply_into(t, winv_ak, h_next);  // (A^T H) W^-1 A
+    h_next += hk;                       // hk + ..., commutative add
+    symmetrize_in_place(h_next);
 
-    const double delta = (h_next - hk).max_abs();
-    ak = a_next;
-    gk = g_next;
-    hk = h_next;
+    const double delta = max_abs_diff(h_next, hk);
+    ak.swap(a_next);
+    gk.swap(g_next);
+    hk.swap(h_next);
     if (!hk.all_finite()) throw NumericalError("DARE(SDA): divergence (non-finite iterate)");
     if (delta <= opts.tolerance * std::max(1.0, hk.max_abs())) break;
   }
   if (it >= opts.max_iterations) throw NumericalError("DARE(SDA): did not converge");
 
   DareResult out;
-  out.x = symmetrize(hk);
+  out.x = hk;
+  symmetrize_in_place(out.x);
   out.iterations = it + 1;
   out.residual = dare_residual(a, b, q, r, out.x);
   if (out.residual > 1e-6 * std::max(1.0, out.x.max_abs()))
@@ -93,11 +124,14 @@ DareResult solve_dare_iterative(const Matrix& a, const Matrix& b, const Matrix& 
                                 const Matrix& r, const DareOptions& opts) {
   check_dare_inputs(a, b, q, r);
   Matrix x = q;
+  Matrix x_next;
+  RiccatiMapWork w;
   int it = 0;
   for (; it < opts.max_iterations; ++it) {
-    const Matrix x_next = symmetrize(riccati_map(a, b, q, r, x));
-    const double delta = (x_next - x).max_abs();
-    x = x_next;
+    riccati_map_into(a, b, q, r, x, w, x_next);
+    symmetrize_in_place(x_next);
+    const double delta = max_abs_diff(x_next, x);
+    x.swap(x_next);
     if (!x.all_finite())
       throw NumericalError("DARE(iterative): divergence (non-finite iterate)");
     if (delta <= opts.tolerance * std::max(1.0, x.max_abs())) break;
@@ -112,8 +146,12 @@ DareResult solve_dare_iterative(const Matrix& a, const Matrix& b, const Matrix& 
 }
 
 Matrix lqr_gain_from_dare(const Matrix& a, const Matrix& b, const Matrix& r, const Matrix& x) {
-  const Matrix btx = b.transpose() * x;
-  return solve(r + btx * b, btx * a);
+  Matrix btx, s, btxa;
+  transpose_multiply_into(b, x, btx);
+  multiply_into(btx, b, s);
+  s += r;  // r + btx*b, commutative add
+  multiply_into(btx, a, btxa);
+  return LuDecomposition(s).solve(btxa);
 }
 
 }  // namespace cps::linalg

@@ -1,0 +1,156 @@
+// Small-object storage for the linalg types: a fixed inline buffer that
+// spills to the heap only above `N` elements.
+//
+// Control-engineering objects in this codebase are tiny (plant and
+// closed-loop matrices of 2-10 states), so the dynamic Matrix/Vector can
+// keep their payload inside the object itself and never touch the
+// allocator on the hot paths.  The store deliberately has no
+// size-preserving resize and no spare-capacity bookkeeping: every user
+// either constructs at a final size or overwrites the whole payload
+// (resize_discard), which keeps the invariant trivial — the heap block,
+// when present, holds exactly size() elements.
+//
+// Invariant: heap_ != nullptr  <=>  size() > N.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace cps::linalg::detail {
+
+/// Inline-first buffer of trivially copyable `T` with heap fallback.
+/// Moves never allocate (inline payloads are copied element-wise), so
+/// swap() is safe inside allocation-free kernels.
+template <typename T, std::size_t N>
+class SmallStore {
+ public:
+  static constexpr std::size_t kInlineCapacity = N;
+
+  SmallStore() = default;
+
+  explicit SmallStore(std::size_t n, T fill = T()) {
+    resize_discard(n);
+    T* p = data();
+    for (std::size_t i = 0; i < n; ++i) p[i] = fill;
+  }
+
+  SmallStore(const SmallStore& other) { assign(other); }
+
+  SmallStore& operator=(const SmallStore& other) {
+    if (this != &other) assign(other);
+    return *this;
+  }
+
+  SmallStore(SmallStore&& other) noexcept { steal(other); }
+
+  SmallStore& operator=(SmallStore&& other) noexcept {
+    if (this != &other) {
+      delete[] heap_;
+      heap_ = nullptr;
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~SmallStore() { delete[] heap_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool is_inline() const { return heap_ == nullptr; }
+
+  T* data() { return heap_ ? heap_ : inline_; }
+  const T* data() const { return heap_ ? heap_ : inline_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  /// Resize without preserving contents; new elements are indeterminate.
+  /// Never allocates when the size is unchanged or fits inline, so kernels
+  /// that reuse an output buffer of constant shape stay allocation-free.
+  void resize_discard(std::size_t n) {
+    if (n == size_) return;
+    if (n > N) {
+      T* fresh = new T[n];
+      delete[] heap_;
+      heap_ = fresh;
+    } else if (heap_ != nullptr) {
+      delete[] heap_;
+      heap_ = nullptr;
+    }
+    size_ = n;
+  }
+
+  /// Exchange payloads; never allocates (see move semantics above).
+  void swap(SmallStore& other) noexcept {
+    if (heap_ == nullptr && other.heap_ == nullptr) {
+      // Both inline (the double-buffering hot case): swap the common
+      // prefix, copy the one-sided tail.
+      const std::size_t lo = size_ < other.size_ ? size_ : other.size_;
+      for (std::size_t i = 0; i < lo; ++i) {
+        const T tmp = inline_[i];
+        inline_[i] = other.inline_[i];
+        other.inline_[i] = tmp;
+      }
+      if (size_ > other.size_) {
+        for (std::size_t i = lo; i < size_; ++i) other.inline_[i] = inline_[i];
+      } else {
+        for (std::size_t i = lo; i < other.size_; ++i) inline_[i] = other.inline_[i];
+      }
+      std::swap(size_, other.size_);
+      return;
+    }
+    if (heap_ != nullptr && other.heap_ != nullptr) {
+      std::swap(heap_, other.heap_);
+      std::swap(size_, other.size_);
+      return;
+    }
+    // Mixed inline/heap: three-way move (still never allocates).
+    SmallStore tmp(std::move(*this));
+    *this = std::move(other);
+    other = std::move(tmp);
+  }
+
+  bool operator==(const SmallStore& other) const {
+    if (size_ != other.size_) return false;
+    const T* a = data();
+    const T* b = other.data();
+    for (std::size_t i = 0; i < size_; ++i)
+      if (!(a[i] == b[i])) return false;
+    return true;
+  }
+
+ private:
+  void assign(const SmallStore& other) {
+    resize_discard(other.size_);
+    const T* src = other.data();
+    T* dst = data();
+    for (std::size_t i = 0; i < size_; ++i) dst[i] = src[i];
+  }
+
+  /// Take `other`'s payload, leaving it empty.  Inline payloads are copied
+  /// (N elements at most), heap payloads change owner.
+  void steal(SmallStore& other) noexcept {
+    size_ = other.size_;
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      other.heap_ = nullptr;
+    } else {
+      heap_ = nullptr;
+      T* dst = inline_;
+      const T* src = other.inline_;
+      for (std::size_t i = 0; i < size_; ++i) dst[i] = src[i];
+    }
+    other.size_ = 0;
+  }
+
+  std::size_t size_ = 0;
+  T* heap_ = nullptr;
+  T inline_[N];
+};
+
+}  // namespace cps::linalg::detail

@@ -9,6 +9,22 @@
 
 namespace cps::linalg {
 
+Vector::Vector(std::initializer_list<double> values) {
+  data_.resize_discard(values.size());
+  double* out = data_.data();
+  for (const double v : values) *out++ = v;
+}
+
+Vector::Vector(const std::vector<double>& values) {
+  data_.resize_discard(values.size());
+  double* out = data_.data();
+  for (const double v : values) *out++ = v;
+}
+
+std::vector<double> Vector::to_std_vector() const {
+  return std::vector<double>(data_.begin(), data_.end());
+}
+
 Vector Vector::unit(std::size_t n, std::size_t i) {
   if (i >= n) throw DimensionMismatch("Vector::unit index out of range");
   Vector v(n);
@@ -16,14 +32,8 @@ Vector Vector::unit(std::size_t n, std::size_t i) {
   return v;
 }
 
-double& Vector::operator[](std::size_t i) {
-  if (i >= data_.size()) throw DimensionMismatch("Vector index out of range");
-  return data_[i];
-}
-
-double Vector::operator[](std::size_t i) const {
-  if (i >= data_.size()) throw DimensionMismatch("Vector index out of range");
-  return data_[i];
+void Vector::throw_index_error() const {
+  throw DimensionMismatch("Vector index out of range");
 }
 
 Vector Vector::operator+(const Vector& rhs) const {

@@ -38,13 +38,15 @@ FixtureKey& FixtureKey::add(std::string_view text) {
 FixtureKey& FixtureKey::add(const linalg::Matrix& m) {
   add(static_cast<std::uint64_t>(m.rows()));
   add(static_cast<std::uint64_t>(m.cols()));
-  for (const double v : m.data()) add(v);
+  const double* data = m.data();
+  for (std::size_t i = 0; i < m.element_count(); ++i) add(data[i]);
   return *this;
 }
 
 FixtureKey& FixtureKey::add(const linalg::Vector& v) {
   add(static_cast<std::uint64_t>(v.size()));
-  for (const double x : v.data()) add(x);
+  const double* data = v.data();
+  for (std::size_t i = 0; i < v.size(); ++i) add(data[i]);
   return *this;
 }
 

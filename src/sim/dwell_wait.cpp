@@ -72,7 +72,7 @@ DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
   // settling per point runs on the reusable buffers.  The per-step
   // arithmetic matches the reference kernel exactly, so the measured curve
   // is bit-identical.
-  std::vector<double> et_state = x0.data();  // A1^w x0 for the current w
+  std::vector<double> et_state = x0.to_std_vector();  // A1^w x0 for the current w
   std::vector<double> tt_state;              // settle scratch: clobbered per point
   std::vector<double> scratch;
 

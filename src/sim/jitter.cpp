@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/kernels.hpp"
 #include "util/error.hpp"
 
 namespace cps::sim {
@@ -39,6 +40,42 @@ const linalg::Matrix& JitteryClosedLoop::loop_matrix(std::size_t delay_index) co
 
 std::optional<std::size_t> JitteryClosedLoop::settle_under_random_delays(
     const linalg::Vector& z0, double threshold, Rng& rng, std::size_t max_steps) const {
+  CPS_ENSURE(z0.size() == loops_.front().rows(), "settle: z0 dimension mismatch");
+  CPS_ENSURE(threshold > 0.0, "settle: threshold must be positive");
+
+  // Double-buffered inner loop: apply_into + swap evolve z with zero
+  // per-step allocations.  Same delay draws and FP order as the frozen
+  // reference below — settling steps are bit-identical
+  // (tests/sim_golden_test.cpp).
+  linalg::Vector z = z0;
+  linalg::Vector scratch(z0.size());
+  std::size_t last_violation = 0;
+  bool ever_violated = false;
+  const double stop_level = threshold * 1e-3;
+  for (std::size_t k = 0; k <= max_steps; ++k) {
+    const double* zd = z.data();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) acc += zd[i] * zd[i];
+    const double norm = std::sqrt(acc);
+    if (!std::isfinite(norm)) return std::nullopt;
+    if (norm > threshold) {
+      last_violation = k;
+      ever_violated = true;
+    } else if (norm <= stop_level) {
+      return ever_violated ? last_violation + 1 : 0;
+    }
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(loops_.size()) - 1));
+    linalg::apply_into(loops_[pick], z, scratch);
+    z.swap(scratch);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> JitteryClosedLoop::settle_under_random_delays_reference(
+    const linalg::Vector& z0, double threshold, Rng& rng, std::size_t max_steps) const {
+  // Frozen pre-optimization kernel: one Vector temporary per step through
+  // step()/operator*.  Kept verbatim as the golden baseline.
   CPS_ENSURE(z0.size() == loops_.front().rows(), "settle: z0 dimension mismatch");
   CPS_ENSURE(threshold > 0.0, "settle: threshold must be positive");
 

@@ -46,9 +46,18 @@ class JitteryClosedLoop {
 
   /// Settling step of the norm of the first n components under uniformly
   /// random per-step delays; std::nullopt if the cap is hit.
+  /// Allocation-free per step (in-place matvec, double-buffered state).
   std::optional<std::size_t> settle_under_random_delays(const linalg::Vector& z0,
                                                         double threshold, Rng& rng,
                                                         std::size_t max_steps = 20000) const;
+
+  /// Frozen pre-optimization copy of settle_under_random_delays() (one
+  /// Vector temporary per step).  Draws the same delay sequence from `rng`
+  /// and returns a bit-identical settling step — the golden baseline of
+  /// tests/sim_golden_test.cpp.
+  std::optional<std::size_t> settle_under_random_delays_reference(
+      const linalg::Vector& z0, double threshold, Rng& rng,
+      std::size_t max_steps = 20000) const;
 
  private:
   std::size_t n_;

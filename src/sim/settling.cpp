@@ -15,7 +15,7 @@ void apply_into(const linalg::Matrix& a, const std::vector<double>& x, std::vect
   CPS_ENSURE(cols == x.size(), "apply_into: dimension mismatch");
   CPS_ENSURE(&x != &out, "apply_into: x and out must not alias");
   out.resize(rows);
-  const double* data = a.data().data();
+  const double* data = a.data();
   for (std::size_t i = 0; i < rows; ++i) {
     double acc = 0.0;
     for (std::size_t j = 0; j < cols; ++j) acc += data[i * cols + j] * x[j];
@@ -58,7 +58,7 @@ std::optional<std::size_t> settling_step(const linalg::Matrix& a, const linalg::
                                          std::size_t norm_dim, const SettlingOptions& opts) {
   CPS_ENSURE(a.is_square() && a.rows() == x0.size(), "settling_step: dimension mismatch");
   CPS_ENSURE(norm_dim >= 1 && norm_dim <= x0.size(), "settling_step: norm_dim out of range");
-  std::vector<double> state = x0.data();
+  std::vector<double> state = x0.to_std_vector();
   std::vector<double> scratch;
   return detail::settle_in_place(a, state, scratch, norm_dim, opts);
 }
@@ -66,7 +66,7 @@ std::optional<std::size_t> settling_step(const linalg::Matrix& a, const linalg::
 std::optional<std::size_t> dwell_steps(const SwitchedLinearSystem& sys, const linalg::Vector& x0,
                                        std::size_t wait_steps, const SettlingOptions& opts) {
   CPS_ENSURE(x0.size() == sys.dimension(), "dwell_steps: x0 dimension mismatch");
-  std::vector<double> state = x0.data();
+  std::vector<double> state = x0.to_std_vector();
   std::vector<double> scratch;
   for (std::size_t k = 0; k < wait_steps; ++k) {
     detail::apply_into(sys.a_et(), state, scratch);

@@ -1,6 +1,7 @@
 #include "sim/switched_system.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -46,6 +47,50 @@ linalg::Vector SwitchedLinearSystem::step(const linalg::Vector& state, Mode mode
 Trajectory SwitchedLinearSystem::simulate(const linalg::Vector& x0, std::size_t switch_step,
                                           std::size_t total_steps,
                                           double sampling_period) const {
+  CPS_ENSURE(x0.size() == dimension(), "simulate: x0 dimension mismatch");
+  std::vector<Sample> samples;
+  samples.reserve(total_steps + 1);
+
+  // Double-buffered inner loop on two raw state buffers with pointer
+  // swapping: zero per-step allocations, and each Sample is built directly
+  // inside the storage reserved above (no temporary + move; inline Vector
+  // payload, so the state copy is heap-free too).  The matvec and the
+  // threshold norm run the same FP operations in the same order as the
+  // reference kernel below — trajectories are bit-identical
+  // (tests/sim_golden_test.cpp).
+  const std::size_t dim = dimension();
+  linalg::Vector xbuf = x0;
+  linalg::Vector sbuf(dim);
+  double* cur = xbuf.data();
+  double* nxt = sbuf.data();
+  for (std::size_t k = 0; k <= total_steps; ++k) {
+    const Mode mode = k < switch_step ? Mode::kEventTriggered : Mode::kTimeTriggered;
+    Sample& sample = samples.emplace_back();
+    sample.state.assign(cur, dim);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < norm_dim_; ++i) acc += cur[i] * cur[i];
+    sample.norm = std::sqrt(acc);  // same accumulation as threshold_norm()
+    sample.mode = mode;
+    if (k == total_steps) break;
+    const double* ad =
+        (mode == Mode::kEventTriggered ? a_et_ : a_tt_).data();  // same a * x matvec
+    for (std::size_t i = 0; i < dim; ++i) {
+      double row_acc = 0.0;
+      const double* arow = ad + i * dim;
+      for (std::size_t j = 0; j < dim; ++j) row_acc += arow[j] * cur[j];
+      nxt[i] = row_acc;
+    }
+    std::swap(cur, nxt);
+  }
+  return Trajectory(sampling_period, std::move(samples));
+}
+
+Trajectory SwitchedLinearSystem::simulate_reference(const linalg::Vector& x0,
+                                                    std::size_t switch_step,
+                                                    std::size_t total_steps,
+                                                    double sampling_period) const {
+  // Frozen pre-optimization kernel: one full Vector temporary per step
+  // through step()/operator*.  Kept verbatim as the golden baseline.
   CPS_ENSURE(x0.size() == dimension(), "simulate: x0 dimension mismatch");
   std::vector<Sample> samples;
   samples.reserve(total_steps + 1);

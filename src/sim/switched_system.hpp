@@ -74,8 +74,15 @@ class SwitchedLinearSystem {
   /// Simulate `total_steps` steps from x0, switching ET -> TT at step
   /// `switch_step` (never switches if switch_step >= total_steps).
   /// `sampling_period` only scales the recorded time axis.
+  /// Allocation-free per step (in-place matvec, double-buffered state).
   Trajectory simulate(const linalg::Vector& x0, std::size_t switch_step,
                       std::size_t total_steps, double sampling_period) const;
+
+  /// Frozen pre-optimization copy of simulate() (one Vector temporary per
+  /// step); bit-identical to simulate() — the golden baseline of
+  /// tests/sim_golden_test.cpp.
+  Trajectory simulate_reference(const linalg::Vector& x0, std::size_t switch_step,
+                                std::size_t total_steps, double sampling_period) const;
 
  private:
   linalg::Matrix a_et_;

@@ -1,0 +1,317 @@
+// Unit tests for the in-place kernel layer (linalg/kernels.hpp) and the
+// small-object storage underneath it (linalg/small_store.hpp).
+//
+// The kernels promise bit-identical results to the operator expressions
+// they replace, so every comparison here is EXPECT_EQ on exact doubles —
+// no tolerances — across randomized sizes 1..12, which crosses the inline
+// -> heap storage boundary of both Matrix (8x8 inline) and Vector
+// (8 inline) in both directions.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/small_store.hpp"
+#include "linalg/vector.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::linalg;
+
+Matrix random_matrix(Rng& rng, std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      // Sprinkle exact zeros so the zero-skip branch of the product
+      // kernels is exercised.
+      m(i, j) = rng.bernoulli(0.15) ? 0.0 : rng.uniform(-2.0, 2.0);
+    }
+  return m;
+}
+
+Vector random_vector(Rng& rng, std::size_t n) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+void expect_bits_equal(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) EXPECT_EQ(a(i, j), b(i, j)) << i << "," << j;
+}
+
+TEST(Kernels, MultiplyIntoMatchesOperator) {
+  Rng rng(0xC0FFEEULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const Matrix a = random_matrix(rng, m, k);
+    const Matrix b = random_matrix(rng, k, n);
+    Matrix out;
+    multiply_into(a, b, out);
+    expect_bits_equal(out, a * b);
+  }
+}
+
+TEST(Kernels, MultiplyIntoReusesBufferAcrossShapes) {
+  Rng rng(0xBADF00DULL);
+  Matrix out;  // deliberately reused for every shape
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const Matrix a = random_matrix(rng, m, k);
+    const Matrix b = random_matrix(rng, k, m);
+    multiply_into(a, b, out);
+    expect_bits_equal(out, a * b);
+  }
+}
+
+TEST(Kernels, MultiplySquaresAliasedInputs) {
+  Rng rng(0xABCDULL);
+  for (std::size_t n : {1, 3, 8, 9, 12}) {
+    const Matrix a = random_matrix(rng, n, n);
+    Matrix out;
+    multiply_into(a, a, out);  // inputs may alias each other
+    expect_bits_equal(out, a * a);
+  }
+}
+
+TEST(Kernels, MultiplyTransposeIntoMatchesOperator) {
+  Rng rng(0x7E57ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const Matrix a = random_matrix(rng, m, k);
+    const Matrix b = random_matrix(rng, n, k);  // b^T is k x n
+    Matrix out;
+    multiply_transpose_into(a, b, out);
+    expect_bits_equal(out, a * b.transpose());
+  }
+}
+
+TEST(Kernels, TransposeMultiplyIntoMatchesOperator) {
+  Rng rng(0xFEEDULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const Matrix a = random_matrix(rng, k, m);  // a^T is m x k
+    const Matrix b = random_matrix(rng, k, n);
+    Matrix out;
+    transpose_multiply_into(a, b, out);
+    expect_bits_equal(out, a.transpose() * b);
+  }
+}
+
+TEST(Kernels, TransposeIntoMatchesOperator) {
+  Rng rng(0xDEAFULL);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const Matrix a = random_matrix(rng, m, n);
+    Matrix out;
+    transpose_into(a, out);
+    expect_bits_equal(out, a.transpose());
+  }
+}
+
+TEST(Kernels, AddScaledIntoMatchesOperator) {
+  Rng rng(0x5CA1EULL);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const Matrix x = random_matrix(rng, m, n);
+    const double s = rng.uniform(-3.0, 3.0);
+    Matrix acc = random_matrix(rng, m, n);
+    Matrix expected = acc;
+    expected += x * s;
+    add_scaled_into(acc, x, s);
+    expect_bits_equal(acc, expected);
+  }
+}
+
+TEST(Kernels, AddIdentityIntoMatchesOperator) {
+  Rng rng(0x1DE47ULL);
+  for (std::size_t n : {1, 2, 5, 8, 9, 12}) {
+    const Matrix m0 = random_matrix(rng, n, n);
+    Matrix m = m0;
+    add_identity_into(m);
+    expect_bits_equal(m, Matrix::identity(n) + m0);
+  }
+}
+
+TEST(Kernels, SymmetrizeInPlaceMatchesOperator) {
+  Rng rng(0x51DEULL);
+  for (std::size_t n : {1, 2, 5, 8, 9, 12}) {
+    const Matrix x0 = random_matrix(rng, n, n);
+    Matrix x = x0;
+    symmetrize_in_place(x);
+    expect_bits_equal(x, (x0 + x0.transpose()) * 0.5);
+  }
+}
+
+TEST(Kernels, ApplyIntoMatchesOperator) {
+  Rng rng(0xAB1EULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const Matrix a = random_matrix(rng, m, n);
+    const Vector x = random_vector(rng, n);
+    Vector out;
+    apply_into(a, x, out);
+    const Vector expected = a * x;
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], expected[i]);
+  }
+}
+
+TEST(Kernels, MaxAbsDiffMatchesOperator) {
+  Rng rng(0xD1FFULL);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const Matrix a = random_matrix(rng, m, n);
+    const Matrix b = random_matrix(rng, m, n);
+    EXPECT_EQ(max_abs_diff(a, b), (a - b).max_abs());
+  }
+}
+
+TEST(Kernels, AliasedOutputThrows) {
+  Matrix a = Matrix::identity(3);
+  Matrix b = Matrix::identity(3);
+  EXPECT_THROW(multiply_into(a, b, a), InvalidArgument);
+  EXPECT_THROW(multiply_into(a, b, b), InvalidArgument);
+  EXPECT_THROW(multiply_transpose_into(a, b, b), InvalidArgument);
+  EXPECT_THROW(transpose_multiply_into(a, b, a), InvalidArgument);
+  EXPECT_THROW(transpose_into(a, a), InvalidArgument);
+  EXPECT_THROW(add_scaled_into(a, a, 2.0), InvalidArgument);
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_THROW(apply_into(a, v, v), InvalidArgument);
+}
+
+TEST(Kernels, DimensionMismatchThrows) {
+  const Matrix a(2, 3, 1.0);
+  const Matrix b(2, 3, 1.0);
+  Matrix out;
+  EXPECT_THROW(multiply_into(a, b, out), DimensionMismatch);
+  EXPECT_THROW(add_identity_into(out = a), DimensionMismatch);
+  Matrix sq = a;
+  EXPECT_THROW(symmetrize_in_place(sq), DimensionMismatch);
+  EXPECT_THROW(max_abs_diff(a, Matrix(3, 2)), DimensionMismatch);
+}
+
+// --- small-object storage semantics across the inline/heap boundary ---
+
+TEST(SmallStore, InlineAndHeapRoundTrip) {
+  using Store = linalg::detail::SmallStore<double, 4>;
+  Store s(3, 1.5);
+  EXPECT_TRUE(s.is_inline());
+  EXPECT_EQ(s.size(), 3u);
+  s.resize_discard(9);
+  EXPECT_FALSE(s.is_inline());
+  EXPECT_EQ(s.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) s[i] = static_cast<double>(i);
+  s.resize_discard(2);  // back to inline, heap released
+  EXPECT_TRUE(s.is_inline());
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(SmallStore, CopyAndMoveAcrossBoundary) {
+  using Store = linalg::detail::SmallStore<double, 4>;
+  Store small(3);
+  for (std::size_t i = 0; i < 3; ++i) small[i] = static_cast<double>(i + 1);
+  Store big(7);
+  for (std::size_t i = 0; i < 7; ++i) big[i] = static_cast<double>(10 + i);
+
+  Store copy = big;
+  EXPECT_TRUE(copy == big);
+  copy = small;  // heap -> inline shrink via copy assignment
+  EXPECT_TRUE(copy == small);
+
+  Store moved = std::move(big);
+  EXPECT_EQ(moved.size(), 7u);
+  EXPECT_EQ(moved[6], 16.0);
+
+  Store target(2, 0.0);
+  target = std::move(moved);
+  EXPECT_EQ(target.size(), 7u);
+  EXPECT_EQ(target[0], 10.0);
+}
+
+TEST(SmallStore, SwapAllCombinations) {
+  using Store = linalg::detail::SmallStore<double, 4>;
+  auto filled = [](std::size_t n, double base) {
+    Store s(n);
+    for (std::size_t i = 0; i < n; ++i) s[i] = base + static_cast<double>(i);
+    return s;
+  };
+  // inline/inline (unequal sizes), heap/heap, inline/heap.
+  for (auto [na, nb] : {std::pair<std::size_t, std::size_t>{2, 4},
+                        {6, 9},
+                        {3, 8},
+                        {8, 3}}) {
+    Store a = filled(na, 1.0);
+    Store b = filled(nb, 100.0);
+    const Store a0 = a;
+    const Store b0 = b;
+    a.swap(b);
+    EXPECT_TRUE(a == b0);
+    EXPECT_TRUE(b == a0);
+  }
+}
+
+TEST(MatrixStorage, InlineBoundaryOperations) {
+  // 8x8 = 64 doubles sits exactly at the inline capacity; 9x9 spills.
+  Rng rng(0xB0DULL);
+  for (std::size_t n : {8, 9}) {
+    const Matrix a = random_matrix(rng, n, n);
+    const Matrix b = random_matrix(rng, n, n);
+    Matrix sum = a;
+    sum += b;
+    const Matrix prod = a * b;
+    Matrix prod2;
+    multiply_into(a, b, prod2);
+    expect_bits_equal(prod2, prod);
+    Matrix moved = std::move(sum);
+    EXPECT_EQ(moved.rows(), n);
+    Matrix swapped(1, 1, 0.0);
+    swapped.swap(moved);
+    EXPECT_EQ(swapped.rows(), n);
+    EXPECT_EQ(moved.rows(), 1u);
+  }
+}
+
+TEST(VectorStorage, RawAccessorsMatchChecked) {
+  Rng rng(0xACEULL);
+  for (std::size_t n : {1, 8, 9, 24}) {
+    const Vector v = random_vector(rng, n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(v.data()[i], v[i]);
+    Vector filled;
+    filled.assign(v.data(), n);
+    EXPECT_TRUE(filled == v);
+    const auto std_copy = v.to_std_vector();
+    ASSERT_EQ(std_copy.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(std_copy[i], v[i]);
+  }
+}
+
+TEST(MatrixStorage, RowDataMatchesChecked) {
+  Rng rng(0xF00ULL);
+  const Matrix m = random_matrix(rng, 5, 7);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 7; ++c) {
+      EXPECT_EQ(m.row_data(r)[c], m(r, c));
+      EXPECT_EQ(m.data()[r * 7 + c], m(r, c));
+    }
+  EXPECT_EQ(m.element_count(), 35u);
+}
+
+}  // namespace

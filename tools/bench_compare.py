@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare a fresh Google Benchmark run against the committed snapshots.
+
+The repo commits Release bench results under bench/results/BENCH_*.json so
+the perf trajectory is recorded in-tree.  CI re-runs the benches on every
+push and calls this script to diff the fresh JSON against the committed
+baselines: any benchmark whose ns/op regressed by more than the threshold
+(default 1.3x) produces a warning (GitHub annotation with --github), and
+the full comparison table is written for upload as a build artifact.
+
+Benchmarks are matched by name across all JSON files in each directory, so
+renaming a snapshot file does not break the comparison; benchmarks present
+on only one side are reported but never fail the run (hardware differences
+between the snapshot machine and CI make absolute numbers advisory, which
+is why regressions warn instead of erroring by default).
+
+Usage:
+  python3 tools/bench_compare.py --fresh-dir bench-fresh \
+      [--baseline-dir bench/results] [--threshold 1.3] [--github] \
+      [--output bench-compare.txt] [--strict]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_benchmarks(directory):
+    """Map benchmark name -> real_time (ns) across all JSON files in a dir."""
+    results = {}
+    for path in sorted(glob.glob(os.path.join(directory, "*.json"))):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping unreadable {path}: {err}", file=sys.stderr)
+            continue
+        for bench in data.get("benchmarks", []):
+            name = bench.get("name")
+            time = bench.get("real_time")
+            unit = bench.get("time_unit", "ns")
+            if name is None or time is None:
+                continue
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+            if scale is None:
+                print(f"warning: {name}: unknown time_unit {unit}", file=sys.stderr)
+                continue
+            results[name] = time * scale
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default="bench/results",
+                        help="directory with the committed BENCH_*.json snapshots")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory with the freshly produced bench JSON")
+    parser.add_argument("--threshold", type=float, default=1.3,
+                        help="warn when fresh/baseline ns/op exceeds this ratio")
+    parser.add_argument("--github", action="store_true",
+                        help="emit ::warning:: annotations for regressions")
+    parser.add_argument("--output", default=None,
+                        help="also write the comparison table to this file")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any regression exceeds the threshold")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline_dir)
+    fresh = load_benchmarks(args.fresh_dir)
+    if not baseline:
+        print(f"error: no benchmarks found under {args.baseline_dir}", file=sys.stderr)
+        return 2
+    if not fresh:
+        print(f"error: no benchmarks found under {args.fresh_dir}", file=sys.stderr)
+        return 2
+
+    lines = []
+    regressions = []
+    name_width = max(len(name) for name in sorted(set(baseline) | set(fresh)))
+    header = (f"{'benchmark':<{name_width}}  {'baseline ns':>14}  {'fresh ns':>14}"
+              f"  {'ratio':>7}  verdict")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(set(baseline) | set(fresh)):
+        base_time = baseline.get(name)
+        fresh_time = fresh.get(name)
+        if base_time is None:
+            lines.append(f"{name:<{name_width}}  {'-':>14}  {fresh_time:>14.1f}"
+                         f"  {'-':>7}  new (no baseline)")
+            continue
+        if fresh_time is None:
+            lines.append(f"{name:<{name_width}}  {base_time:>14.1f}  {'-':>14}"
+                         f"  {'-':>7}  missing from fresh run")
+            continue
+        ratio = fresh_time / base_time if base_time > 0 else float("inf")
+        verdict = "ok"
+        if ratio > args.threshold:
+            verdict = f"REGRESSION (> {args.threshold:.2f}x)"
+            regressions.append((name, base_time, fresh_time, ratio))
+        elif ratio < 1.0 / args.threshold:
+            verdict = "improved"
+        lines.append(f"{name:<{name_width}}  {base_time:>14.1f}  {fresh_time:>14.1f}"
+                     f"  {ratio:>6.2f}x  {verdict}")
+
+    report = "\n".join(lines) + "\n"
+    print(report, end="")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+
+    for name, base_time, fresh_time, ratio in regressions:
+        message = (f"bench regression: {name} {base_time:.0f} -> {fresh_time:.0f} ns/op "
+                   f"({ratio:.2f}x > {args.threshold:.2f}x)")
+        if args.github:
+            print(f"::warning title=bench regression::{message}")
+        else:
+            print(f"warning: {message}", file=sys.stderr)
+
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
