@@ -10,16 +10,24 @@
 namespace cps::analysis {
 
 TransientGrowth transient_growth(const linalg::Matrix& a, const TransientGrowthOptions& opts) {
+  TransientWorkspace workspace;
+  return transient_growth(a, opts, workspace);
+}
+
+TransientGrowth transient_growth(const linalg::Matrix& a, const TransientGrowthOptions& opts,
+                                 TransientWorkspace& workspace) {
   CPS_ENSURE(a.is_square(), "transient_growth: matrix must be square");
   if (!linalg::is_schur_stable(a, 0.0))
     throw NumericalError("transient_growth: loop is not Schur stable");
 
   // power = A^k evolves on two reusable buffers (multiply_into + swap),
   // same FP order as the power = power * a recursion of the frozen
-  // reference below.
+  // reference below.  The buffers live in the caller's workspace so
+  // sweep bodies computing many envelopes reuse them across calls.
   TransientGrowth out;
-  linalg::Matrix power = linalg::Matrix::identity(a.rows());
-  linalg::Matrix scratch;
+  linalg::Matrix& power = workspace.power;
+  linalg::Matrix& scratch = workspace.scratch;
+  power = linalg::Matrix::identity(a.rows());
   for (std::size_t k = 1; k <= opts.max_steps; ++k) {
     linalg::multiply_into(power, a, scratch);
     power.swap(scratch);
@@ -59,6 +67,13 @@ TransientGrowth transient_growth_reference(const linalg::Matrix& a,
 
 TransientGrowth transient_growth_restricted(const linalg::Matrix& a, std::size_t norm_dim,
                                             const TransientGrowthOptions& opts) {
+  TransientWorkspace workspace;
+  return transient_growth_restricted(a, norm_dim, opts, workspace);
+}
+
+TransientGrowth transient_growth_restricted(const linalg::Matrix& a, std::size_t norm_dim,
+                                            const TransientGrowthOptions& opts,
+                                            TransientWorkspace& workspace) {
   CPS_ENSURE(a.is_square(), "transient_growth_restricted: matrix must be square");
   CPS_ENSURE(norm_dim >= 1 && norm_dim <= a.rows(),
              "transient_growth_restricted: norm_dim out of range");
@@ -66,8 +81,9 @@ TransientGrowth transient_growth_restricted(const linalg::Matrix& a, std::size_t
     throw NumericalError("transient_growth_restricted: loop is not Schur stable");
 
   TransientGrowth out;
-  linalg::Matrix power = linalg::Matrix::identity(a.rows());
-  linalg::Matrix scratch;
+  linalg::Matrix& power = workspace.power;
+  linalg::Matrix& scratch = workspace.scratch;
+  power = linalg::Matrix::identity(a.rows());
   double running_full = 1.0;
   for (std::size_t k = 1; k <= opts.max_steps; ++k) {
     linalg::multiply_into(power, a, scratch);

@@ -59,12 +59,15 @@ CPS_EXPERIMENT(ablation_jitter, "Ablation: worst-case ET design vs actual delay 
   };
 
   runtime::SweepRunner sweep({ctx.jobs, ctx.seed});
-  const auto results =
-      sweep.run(scenarios.size(), [&](std::size_t i, Rng& rng) {
+  // One JitterWorkspace per worker: all 500 settle runs of a scenario
+  // (and every scenario a worker picks up) share the same state-buffer
+  // pair instead of reconstructing it per run.
+  const auto results = sweep.run_with_workspace<sim::JitterWorkspace>(
+      scenarios.size(), [&](std::size_t i, Rng& rng, sim::JitterWorkspace& workspace) {
         const sim::JitteryClosedLoop loop(plant, exp.sampling_period, scenarios[i].delays,
                                           design.gain_et);
-        return sim::run_jitter_campaign(loop, z0, exp.threshold, exp.sampling_period, 500,
-                                        rng);
+        return sim::run_jitter_campaign(loop, z0, exp.threshold, exp.sampling_period, 500, rng,
+                                        workspace);
       });
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     table.add_row({scenarios[i].label, format_fixed(results[i].mean_settle_s, 2),

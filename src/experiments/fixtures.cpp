@@ -16,7 +16,181 @@ namespace cps::experiments {
 namespace {
 
 using runtime::FixtureCache;
+using runtime::FixtureCodec;
 using runtime::FixtureKey;
+using util::BinaryReader;
+using util::BinaryWriter;
+
+// ---------------------------------------------------------------------------
+// Fixture codecs: how each cached fixture type persists to the on-disk
+// store (`cps_run --fixture-store DIR`).  Every double goes through its
+// IEEE-754 bit pattern, so a disk hit is bit-identical to a fresh
+// compute and experiment CSVs cannot depend on the store's state.  Bump
+// a codec's /vN tag whenever its layout changes — stale files are then
+// recomputed instead of misread.
+
+void encode_discrete_system(const control::DiscreteSystem& sys, BinaryWriter& out) {
+  out.write_matrix(sys.phi());
+  out.write_matrix(sys.gamma0());
+  out.write_matrix(sys.gamma1());
+  out.write_matrix(sys.c());
+  out.write_double(sys.sampling_period());
+  out.write_double(sys.delay());
+}
+
+control::DiscreteSystem decode_discrete_system(BinaryReader& in) {
+  auto phi = in.read_matrix();
+  auto gamma0 = in.read_matrix();
+  auto gamma1 = in.read_matrix();
+  auto c = in.read_matrix();
+  const double h = in.read_double();
+  const double d = in.read_double();
+  return control::DiscreteSystem(std::move(phi), std::move(gamma0), std::move(gamma1),
+                                 std::move(c), h, d);
+}
+
+const FixtureCodec<control::HybridLoopDesign>& design_codec() {
+  static const FixtureCodec<control::HybridLoopDesign> codec{
+      "hybrid_design/v1",
+      [](const control::HybridLoopDesign& design, BinaryWriter& out) {
+        encode_discrete_system(design.sys_tt, out);
+        encode_discrete_system(design.sys_et, out);
+        out.write_matrix(design.gain_tt);
+        out.write_matrix(design.gain_et);
+        out.write_matrix(design.a_tt);
+        out.write_matrix(design.a_et);
+        out.write_u64(design.state_dim);
+        out.write_u64(design.input_dim);
+        out.write_double(design.rho_tt);
+        out.write_double(design.rho_et);
+      },
+      [](BinaryReader& in) {
+        control::HybridLoopDesign design{decode_discrete_system(in),
+                                         decode_discrete_system(in),
+                                         {}, {}, {}, {}, 0, 0, 0.0, 0.0};
+        design.gain_tt = in.read_matrix();
+        design.gain_et = in.read_matrix();
+        design.a_tt = in.read_matrix();
+        design.a_et = in.read_matrix();
+        design.state_dim = static_cast<std::size_t>(in.read_u64());
+        design.input_dim = static_cast<std::size_t>(in.read_u64());
+        design.rho_tt = in.read_double();
+        design.rho_et = in.read_double();
+        return design;
+      }};
+  return codec;
+}
+
+const FixtureCodec<sim::DwellWaitCurve>& curve_codec() {
+  static const FixtureCodec<sim::DwellWaitCurve> codec{
+      "dwell_wait_curve/v1",
+      [](const sim::DwellWaitCurve& curve, BinaryWriter& out) {
+        out.write_double(curve.sampling_period());
+        out.write_u64(curve.points().size());
+        for (const auto& p : curve.points()) {
+          out.write_u64(p.wait_steps);
+          out.write_u64(p.dwell_steps);
+          out.write_double(p.wait_s);
+          out.write_double(p.dwell_s);
+        }
+      },
+      [](BinaryReader& in) {
+        const double h = in.read_double();
+        const std::size_t count = static_cast<std::size_t>(in.read_u64());
+        std::vector<sim::DwellWaitPoint> points(count);
+        for (auto& p : points) {
+          p.wait_steps = static_cast<std::size_t>(in.read_u64());
+          p.dwell_steps = static_cast<std::size_t>(in.read_u64());
+          p.wait_s = in.read_double();
+          p.dwell_s = in.read_double();
+        }
+        return sim::DwellWaitCurve(h, std::move(points));
+      }};
+  return codec;
+}
+
+const FixtureCodec<std::vector<plants::SynthesizedApp>>& fleet_codec() {
+  static const FixtureCodec<std::vector<plants::SynthesizedApp>> codec{
+      "fleet_synthesis/v1",
+      [](const std::vector<plants::SynthesizedApp>& fleet, BinaryWriter& out) {
+        out.write_u64(fleet.size());
+        for (const auto& app : fleet) {
+          out.write_string(app.target.name);
+          out.write_double(app.target.r);
+          out.write_double(app.target.xi_d);
+          out.write_double(app.target.xi_tt);
+          out.write_double(app.target.xi_et);
+          out.write_double(app.target.xi_m);
+          out.write_double(app.target.k_p);
+          out.write_double(app.target.xi_m_mono);
+          out.write_matrix(app.plant.a());
+          out.write_matrix(app.plant.b());
+          out.write_matrix(app.plant.c());
+          out.write_matrix(app.plant.d());
+          out.write_double(app.spec.sampling_period);
+          out.write_double(app.spec.delay_tt);
+          out.write_double(app.spec.delay_et);
+          out.write_u64(app.spec.poles_tt.size());
+          for (const auto& p : app.spec.poles_tt) {
+            out.write_double(p.real());
+            out.write_double(p.imag());
+          }
+          out.write_u64(app.spec.poles_et.size());
+          for (const auto& p : app.spec.poles_et) {
+            out.write_double(p.real());
+            out.write_double(p.imag());
+          }
+          out.write_vector(app.x0);
+          out.write_double(app.threshold);
+        }
+      },
+      [](BinaryReader& in) {
+        const std::size_t count = static_cast<std::size_t>(in.read_u64());
+        std::vector<plants::SynthesizedApp> fleet;
+        fleet.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          plants::AppTimingParams target;
+          target.name = in.read_string();
+          target.r = in.read_double();
+          target.xi_d = in.read_double();
+          target.xi_tt = in.read_double();
+          target.xi_et = in.read_double();
+          target.xi_m = in.read_double();
+          target.k_p = in.read_double();
+          target.xi_m_mono = in.read_double();
+          auto a = in.read_matrix();
+          auto b = in.read_matrix();
+          auto c = in.read_matrix();
+          auto d = in.read_matrix();
+          control::PolePlacementLoopSpec spec;
+          spec.sampling_period = in.read_double();
+          spec.delay_tt = in.read_double();
+          spec.delay_et = in.read_double();
+          const std::size_t tt = static_cast<std::size_t>(in.read_u64());
+          spec.poles_tt.reserve(tt);
+          for (std::size_t k = 0; k < tt; ++k) {
+            const double re = in.read_double();
+            const double im = in.read_double();
+            spec.poles_tt.emplace_back(re, im);
+          }
+          const std::size_t et = static_cast<std::size_t>(in.read_u64());
+          spec.poles_et.reserve(et);
+          for (std::size_t k = 0; k < et; ++k) {
+            const double re = in.read_double();
+            const double im = in.read_double();
+            spec.poles_et.emplace_back(re, im);
+          }
+          auto x0 = in.read_vector();
+          const double threshold = in.read_double();
+          fleet.push_back(plants::SynthesizedApp{
+              std::move(target),
+              control::StateSpace(std::move(a), std::move(b), std::move(c), std::move(d)),
+              std::move(spec), std::move(x0), threshold});
+        }
+        return fleet;
+      }};
+  return codec;
+}
 
 /// Content key of a pole-placement design problem: the continuous plant
 /// plus every spec field that shapes the two closed loops.
@@ -35,7 +209,8 @@ FixtureKey design_key(const control::StateSpace& plant,
 std::shared_ptr<const control::HybridLoopDesign> cached_design(
     const control::StateSpace& plant, const control::PolePlacementLoopSpec& spec) {
   return FixtureCache::instance().get_or_compute<control::HybridLoopDesign>(
-      design_key(plant, spec), [&] { return control::design_hybrid_loops(plant, spec); });
+      design_key(plant, spec), design_codec(),
+      [&] { return control::design_hybrid_loops(plant, spec); });
 }
 
 /// Measure the dwell/wait curve of a designed application once and share
@@ -48,7 +223,7 @@ std::shared_ptr<const sim::DwellWaitCurve> cached_curve(const control::HybridLoo
   FixtureKey key("dwell_wait_curve");
   key.add(design.a_et).add(design.a_tt).add(std::uint64_t{design.state_dim});
   key.add(x0_aug).add(design.sys_tt.sampling_period()).add(threshold);
-  return FixtureCache::instance().get_or_compute<sim::DwellWaitCurve>(key, [&] {
+  return FixtureCache::instance().get_or_compute<sim::DwellWaitCurve>(key, curve_codec(), [&] {
     sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
     sim::DwellWaitSweepOptions opts;
     opts.settling.threshold = threshold;
@@ -74,7 +249,7 @@ std::shared_ptr<const sim::DwellWaitCurve> measure_synthesized_curve(
 std::shared_ptr<const std::vector<plants::SynthesizedApp>> paper_fleet() {
   // Nullary synthesis: the content is the (versioned) recipe itself.
   return FixtureCache::instance().get_or_compute<std::vector<plants::SynthesizedApp>>(
-      "fleet_synthesis/table1-v1", [] { return plants::synthesize_fleet(); });
+      "fleet_synthesis/table1-v1", fleet_codec(), [] { return plants::synthesize_fleet(); });
 }
 
 std::vector<core::ControlApplication> build_paper_fleet() {

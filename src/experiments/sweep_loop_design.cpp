@@ -2,9 +2,10 @@
 // synthesized Table I fleet (new workload, not a paper figure): every
 // (application x repeat) grid cell runs the full design pipeline from
 // scratch — c2d_pair discretization (shared e^{Ah} factorization),
-// Ackermann pole placement on the augmented realizations, and the
-// spectral-radius stability audit — exercising the allocation-free linalg
-// path end-to-end under cps_run.  A second phase fetches the same designs
+// Ackermann pole placement on the augmented realizations, the
+// spectral-radius stability audit, and the ET-loop transient-envelope
+// audit (matrix powers on the worker's reusable TransientWorkspace) —
+// exercising the allocation-free linalg path end-to-end under cps_run.  A second phase fetches the same designs
 // through the content-addressed FixtureCache (one miss per application,
 // hits afterwards) and cross-checks the cached gains bit-for-bit against
 // the freshly computed ones.
@@ -17,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/transient.hpp"
 #include "control/loop_design.hpp"
 #include "experiments/fixtures.hpp"
 #include "plants/table1.hpp"
@@ -37,6 +39,7 @@ struct DesignCell {
   std::size_t app_index = 0;
   double rho_tt = 0.0;
   double rho_et = 0.0;
+  double gamma_et = 1.0;   // ET-loop transient envelope peak (plant states)
   linalg::Matrix gain_tt;  // kept whole so the cache cross-check is elementwise
   linalg::Matrix gain_et;
   double design_seconds = 0.0;  // narrative only — never written to the CSV
@@ -52,22 +55,30 @@ CPS_EXPERIMENT(sweep_loop_design,
   std::fprintf(ctx.out, "(%zu applications x %zu repeats, %d jobs)\n\n", apps,
                kRepeatsPerApp, ctx.jobs);
 
-  // Phase 1: cold batch design — every cell runs the full pipeline.
+  // Phase 1: cold batch design — every cell runs the full pipeline,
+  // then audits the ET loop's transient envelope (the growth that
+  // produces the Fig. 3 non-monotonicity) on the worker's reusable
+  // matrix-power workspace.
   runtime::SweepRunner sweep({ctx.jobs, ctx.seed});
-  const auto cells = sweep.run(apps * kRepeatsPerApp, [&](std::size_t index, Rng&) {
-    DesignCell cell;
-    cell.app_index = index % apps;
-    const auto& app = (*fleet)[cell.app_index];
-    const auto start = std::chrono::steady_clock::now();
-    const auto design = control::design_hybrid_loops(app.plant, app.spec);
-    const auto stop = std::chrono::steady_clock::now();
-    cell.design_seconds = std::chrono::duration<double>(stop - start).count();
-    cell.rho_tt = design.rho_tt;
-    cell.rho_et = design.rho_et;
-    cell.gain_tt = design.gain_tt;
-    cell.gain_et = design.gain_et;
-    return cell;
-  });
+  const auto cells = sweep.run_with_workspace<analysis::TransientWorkspace>(
+      apps * kRepeatsPerApp,
+      [&](std::size_t index, Rng&, analysis::TransientWorkspace& workspace) {
+        DesignCell cell;
+        cell.app_index = index % apps;
+        const auto& app = (*fleet)[cell.app_index];
+        const auto start = std::chrono::steady_clock::now();
+        const auto design = control::design_hybrid_loops(app.plant, app.spec);
+        const auto growth = analysis::transient_growth_restricted(
+            design.a_et, design.state_dim, {}, workspace);
+        const auto stop = std::chrono::steady_clock::now();
+        cell.design_seconds = std::chrono::duration<double>(stop - start).count();
+        cell.rho_tt = design.rho_tt;
+        cell.rho_et = design.rho_et;
+        cell.gamma_et = growth.peak_gain;
+        cell.gain_tt = design.gain_tt;
+        cell.gain_et = design.gain_et;
+        return cell;
+      });
 
   double batch_seconds = 0.0;
   for (const auto& cell : cells) batch_seconds += cell.design_seconds;
@@ -92,9 +103,9 @@ CPS_EXPERIMENT(sweep_loop_design,
 
   const std::string csv_path = ctx.csv_path("sweep_loop_design.csv");
   CsvWriter csv(csv_path,
-                {"app", "state_dim", "input_dim", "rho_tt", "rho_et", "gain_tt_fro",
-                 "gain_et_fro"});
-  TextTable table({"app", "n", "m", "rho_tt", "rho_et", "|K_tt|", "|K_et|"});
+                {"app", "state_dim", "input_dim", "rho_tt", "rho_et", "gamma_et",
+                 "gain_tt_fro", "gain_et_fro"});
+  TextTable table({"app", "n", "m", "rho_tt", "rho_et", "gamma_et", "|K_tt|", "|K_et|"});
   for (std::size_t i = 0; i < apps; ++i) {
     const auto& app = (*fleet)[i];
     const auto& cell = cells[i];
@@ -103,19 +114,19 @@ CPS_EXPERIMENT(sweep_loop_design,
     csv.write_row(std::vector<std::string>{
         app.target.name, std::to_string(app.plant.state_dim()),
         std::to_string(app.plant.input_dim()), format_fixed(cell.rho_tt, 12),
-        format_fixed(cell.rho_et, 12), format_fixed(gain_tt_norm, 12),
-        format_fixed(gain_et_norm, 12)});
+        format_fixed(cell.rho_et, 12), format_fixed(cell.gamma_et, 12),
+        format_fixed(gain_tt_norm, 12), format_fixed(gain_et_norm, 12)});
     table.add_row({app.target.name, std::to_string(app.plant.state_dim()),
                    std::to_string(app.plant.input_dim()), format_fixed(cell.rho_tt, 4),
-                   format_fixed(cell.rho_et, 4), format_fixed(gain_tt_norm, 3),
-                   format_fixed(gain_et_norm, 3)});
+                   format_fixed(cell.rho_et, 4), format_fixed(cell.gamma_et, 3),
+                   format_fixed(gain_tt_norm, 3), format_fixed(gain_et_norm, 3)});
   }
   std::fprintf(ctx.out, "%s\n", table.render().c_str());
 
   const double per_design_us = batch_seconds * 1e6 / static_cast<double>(cells.size());
   std::fprintf(ctx.out,
                "batch: %zu designs in %.1f ms (%.2f us/design, includes the "
-               "spectral-radius audit)\n",
+               "spectral-radius and transient-envelope audits)\n",
                cells.size(), batch_seconds * 1e3, per_design_us);
   std::fprintf(ctx.out, "cache: +%zu misses, +%zu hits while building the fleet; gains %s\n",
                stats_after.misses - stats_before.misses, stats_after.hits - stats_before.hits,

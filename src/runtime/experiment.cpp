@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "runtime/shard.hpp"
 #include "util/error.hpp"
 
 namespace cps::runtime {
@@ -14,10 +15,23 @@ std::string ExperimentContext::csv_path(const std::string& filename) const {
   return csv_dir + "/" + filename;
 }
 
+std::string ExperimentContext::artifact_path(const std::string& filename) const {
+  return csv_path(filename) + shard_suffix(shard_index, shard_count);
+}
+
 Experiment::Experiment(std::string name, std::string description, RunFn run)
-    : name_(std::move(name)), description_(std::move(description)), run_(std::move(run)) {
+    : Experiment(std::move(name), std::move(description), std::move(run), {}) {}
+
+Experiment::Experiment(std::string name, std::string description, RunFn run,
+                       std::vector<std::string> sweep_artifacts)
+    : name_(std::move(name)),
+      description_(std::move(description)),
+      sweep_artifacts_(std::move(sweep_artifacts)),
+      run_(std::move(run)) {
   CPS_ENSURE(!name_.empty(), "Experiment: name must be non-empty");
   CPS_ENSURE(static_cast<bool>(run_), "Experiment: run function must be callable");
+  for (const auto& artifact : sweep_artifacts_)
+    CPS_ENSURE(!artifact.empty(), "Experiment: sweep artifact names must be non-empty");
 }
 
 ExperimentRegistry& ExperimentRegistry::instance() {
@@ -44,10 +58,15 @@ std::vector<const Experiment*> ExperimentRegistry::list() const {
 }
 
 ExperimentRegistrar::ExperimentRegistrar(std::string name, std::string description,
-                                         Experiment::RunFn run) {
+                                         Experiment::RunFn run)
+    : ExperimentRegistrar(std::move(name), std::move(description), std::move(run), {}) {}
+
+ExperimentRegistrar::ExperimentRegistrar(std::string name, std::string description,
+                                         Experiment::RunFn run,
+                                         std::vector<std::string> sweep_artifacts) {
   try {
-    ExperimentRegistry::instance().add(
-        Experiment(std::move(name), std::move(description), std::move(run)));
+    ExperimentRegistry::instance().add(Experiment(std::move(name), std::move(description),
+                                                  std::move(run), std::move(sweep_artifacts)));
   } catch (const std::exception& error) {
     // Registrars run during static initialization, where an escaping
     // exception terminates with no diagnostic; name the clash first.

@@ -26,9 +26,22 @@ struct ExperimentContext {
   std::string csv_dir;
   /// Narrative output stream (tables, verdicts).
   std::FILE* out = stdout;
+  /// Campaign shard this process runs (`cps_run --shard i/N`); sweep
+  /// experiments thread these into SweepOptions so each process
+  /// evaluates only its contiguous block of every sweep's index range.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+
+  /// True when this invocation is one shard of a multi-process campaign.
+  bool sharded() const { return shard_count > 1; }
 
   /// Join `filename` onto csv_dir.
   std::string csv_path(const std::string& filename) const;
+
+  /// csv_path() plus the shard suffix (".shard0of2", ...; empty when
+  /// unsharded) — where a sweep experiment writes its per-point rows so
+  /// `cps_run --merge` can concatenate shards into the canonical file.
+  std::string artifact_path(const std::string& filename) const;
 };
 
 /// A named, runnable reproduction target (one figure/table/ablation).
@@ -40,16 +53,29 @@ class Experiment {
   /// Wrap a runnable body under a unique name (empty names rejected).
   Experiment(std::string name, std::string description, RunFn run);
 
+  /// Shardable sweep experiment: `sweep_artifacts` names the per-point
+  /// CSVs (leading global-index column) whose shard partials
+  /// `cps_run --merge` concatenates into the canonical files.
+  Experiment(std::string name, std::string description, RunFn run,
+             std::vector<std::string> sweep_artifacts);
+
   /// Unique registry key (also the CLI argument to cps_run).
   const std::string& name() const { return name_; }
   /// One-line human-readable summary shown by `cps_run --list`.
   const std::string& description() const { return description_; }
+  /// Per-point sweep CSVs this experiment writes (empty for experiments
+  /// that cannot run sharded).
+  const std::vector<std::string>& sweep_artifacts() const { return sweep_artifacts_; }
+  /// True when the experiment honours ExperimentContext::shard_* and may
+  /// be run under `cps_run --shard` / merged with `--merge`.
+  bool shardable() const { return !sweep_artifacts_.empty(); }
   /// Execute the experiment body with the given per-invocation knobs.
   void run(ExperimentContext& context) const { run_(context); }
 
  private:
   std::string name_;
   std::string description_;
+  std::vector<std::string> sweep_artifacts_;
   RunFn run_;
 };
 
@@ -78,6 +104,9 @@ class ExperimentRegistry {
 struct ExperimentRegistrar {
   /// Adds the experiment to ExperimentRegistry::instance() before main().
   ExperimentRegistrar(std::string name, std::string description, Experiment::RunFn run);
+  /// Shardable-sweep flavour: also records the per-point CSV artifacts.
+  ExperimentRegistrar(std::string name, std::string description, Experiment::RunFn run,
+                      std::vector<std::string> sweep_artifacts);
 };
 
 }  // namespace cps::runtime
@@ -91,4 +120,18 @@ struct ExperimentRegistrar {
   static void cps_experiment_##id(::cps::runtime::ExperimentContext& ctx);    \
   static const ::cps::runtime::ExperimentRegistrar cps_experiment_reg_##id(   \
       #id, description, &cps_experiment_##id);                                \
+  static void cps_experiment_##id(::cps::runtime::ExperimentContext& ctx)
+
+/// Define and register a SHARDABLE sweep experiment.  The trailing
+/// arguments name its per-point CSV artifacts (written via
+/// ctx.artifact_path(), leading global-index column); the body must
+/// honour ctx.shard_index / ctx.shard_count by threading them into
+/// SweepOptions:
+///
+///   CPS_SWEEP_EXPERIMENT(sweep_x, "Sweep: ...", "sweep_x.csv") { ... }
+#define CPS_SWEEP_EXPERIMENT(id, description, ...)                            \
+  static void cps_experiment_##id(::cps::runtime::ExperimentContext& ctx);    \
+  static const ::cps::runtime::ExperimentRegistrar cps_experiment_reg_##id(   \
+      #id, description, &cps_experiment_##id,                                 \
+      std::vector<std::string>{__VA_ARGS__});                                 \
   static void cps_experiment_##id(::cps::runtime::ExperimentContext& ctx)

@@ -74,4 +74,14 @@ void FixtureCache::clear() {
   entries_.clear();
 }
 
+void FixtureCache::set_store(std::shared_ptr<FixtureStore> store) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<FixtureStore> FixtureCache::store() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_;
+}
+
 }  // namespace cps::runtime

@@ -21,6 +21,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -32,7 +34,9 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "runtime/fixture_store.hpp"
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 
 namespace cps::runtime {
 
@@ -67,6 +71,22 @@ class FixtureKey {
   std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
 };
 
+/// Binary codec for one fixture type: how the two-level cache persists a
+/// T to the on-disk store and restores it bit-identically.
+///
+/// `format` is the versioned layout tag (e.g. "dwell_wait_curve/v1");
+/// bump the version whenever encode/decode change, so stale files are
+/// recomputed instead of misread.  decode(encode(x)) must reproduce x
+/// EXACTLY — every double via its IEEE-754 bit pattern
+/// (util/serialize.hpp) — because experiment outputs must not depend on
+/// whether a fixture came from compute or from disk.
+template <typename T>
+struct FixtureCodec {
+  std::string format;
+  std::function<void(const T&, util::BinaryWriter&)> encode;
+  std::function<T(util::BinaryReader&)> decode;
+};
+
 /// Process-wide, thread-safe store of computed fixtures.
 ///
 /// Concurrency contract: the first thread to request a key computes the
@@ -75,6 +95,13 @@ class FixtureKey {
 /// (compute-once, share-everywhere).  A compute that throws propagates
 /// the exception to every waiter and releases the key so a later request
 /// can retry.
+///
+/// Two-level operation: attach a FixtureStore (set_store) and the
+/// codec-carrying get_or_compute overloads consult the disk layer on a
+/// memory miss — a valid store file is decoded instead of computed, and
+/// a fresh compute is persisted for the next process.  Without a store
+/// (or for codec-less calls) behaviour is exactly the PR-2 single-level
+/// cache.
 class FixtureCache {
  public:
   /// The singleton shared by every experiment in the process.
@@ -104,7 +131,69 @@ class FixtureCache {
     return get_or_compute_impl<T>(key, key, std::forward<Fn>(compute));
   }
 
+  /// Codec-carrying overloads: same compute-once semantics, plus the
+  /// on-disk layer when a store is attached (disk hit -> decode; miss ->
+  /// compute + persist).  Bit-identical results either way.
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute(const FixtureKey& key, const FixtureCodec<T>& codec,
+                                          Fn&& compute) {
+    return get_or_compute_impl<T>(key.str(), key.material(),
+                                  stored_compute<T>(key.str(), key.material(), codec,
+                                                    std::forward<Fn>(compute)));
+  }
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute(const std::string& key, const FixtureCodec<T>& codec,
+                                          Fn&& compute) {
+    return get_or_compute_impl<T>(key, key,
+                                  stored_compute<T>(key, key, codec, std::forward<Fn>(compute)));
+  }
+
+  /// Attach (or detach, with nullptr) the persistent second level.  Set
+  /// once at process start — cps_run wires --fixture-store here before
+  /// any experiment runs.
+  void set_store(std::shared_ptr<FixtureStore> store);
+
+  /// The attached store, or nullptr.
+  std::shared_ptr<FixtureStore> store() const;
+
  private:
+  /// Wrap `compute` with the disk layer: on a memory miss the owner
+  /// thread first tries the store, and persists what it computes.
+  template <typename T, typename Fn>
+  auto stored_compute(const std::string& key, const std::string& material,
+                      const FixtureCodec<T>& codec, Fn&& compute) {
+    return [this, key, material, codec, compute = std::forward<Fn>(compute)]() -> T {
+      const auto store = this->store();
+      if (store) {
+        if (auto payload = store->load(key, codec.format, material)) {
+          try {
+            util::BinaryReader reader(*payload);
+            T value = codec.decode(reader);
+            reader.expect_end();
+            return value;
+          } catch (const std::exception& error) {
+            // Truncation (SerializeError) or a value-invariant violation
+            // thrown by a constructor inside decode: either way the file
+            // is unusable — same warn-and-recompute contract as a failed
+            // checksum, never a failed campaign.
+            store->record_undecodable();
+            std::fprintf(stderr,
+                         "[fixture-store] WARNING: %s: payload undecodable (%s) — "
+                         "recomputing\n",
+                         key.c_str(), error.what());
+          }
+        }
+      }
+      T value = compute();
+      if (store) {
+        util::BinaryWriter writer;
+        codec.encode(value, writer);
+        store->save(key, codec.format, material, writer.bytes());
+      }
+      return value;
+    };
+  }
+
   template <typename T, typename Fn>
   std::shared_ptr<const T> get_or_compute_impl(const std::string& key,
                                                const std::string& material, Fn&& compute) {
@@ -161,6 +250,7 @@ class FixtureCache {
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Entry> entries_;
+  std::shared_ptr<FixtureStore> store_;  ///< optional persistent level
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

@@ -1,0 +1,179 @@
+#include "runtime/fixture_store.hpp"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+
+namespace cps::runtime {
+
+namespace {
+
+// File layout (everything after the magic is BinaryWriter-encoded):
+//   magic            "CPSFIXS\n" (8 bytes)
+//   u64              container version (util::kSerializeFormatVersion)
+//   string           codec format tag, e.g. "dwell_wait_curve/v1"
+//   string           full FixtureKey material (re-verified on load)
+//   string           codec payload
+//   u64              FNV-1a 64 over every byte between magic and here
+constexpr char kMagic[8] = {'C', 'P', 'S', 'F', 'I', 'X', 'S', '\n'};
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+FixtureStore::FixtureStore(std::string directory) : directory_(std::move(directory)) {
+  CPS_ENSURE(!directory_.empty(), "FixtureStore: directory must be non-empty");
+  std::error_code error;
+  std::filesystem::create_directories(directory_, error);
+  if (error)
+    throw Error("FixtureStore: cannot create '" + directory_ + "': " + error.message());
+}
+
+std::string FixtureStore::path_of(const std::string& key) const {
+  // Keys are "<domain>/<16 hex digits>"; the domain becomes a
+  // subdirectory so stores stay browsable per fixture family.
+  return directory_ + "/" + key + ".fix";
+}
+
+std::optional<std::string> FixtureStore::load(const std::string& key, std::string_view format,
+                                              std::string_view material) const {
+  const std::string path = path_of(key);
+  std::string blob;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.disk_misses;
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    blob = std::move(buffer).str();
+  }
+
+  auto invalid = [&](const std::string& why) -> std::optional<std::string> {
+    std::fprintf(stderr,
+                 "[fixture-store] WARNING: %s: %s — recomputing this fixture "
+                 "(the file will be overwritten)\n",
+                 path.c_str(), why.c_str());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.invalid;
+    ++stats_.disk_misses;
+    return std::nullopt;
+  };
+
+  if (blob.size() < sizeof(kMagic) + 8 ||
+      blob.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0)
+    return invalid("not a fixture-store file (bad magic or truncated)");
+
+  const std::string_view body(blob.data() + sizeof(kMagic),
+                              blob.size() - sizeof(kMagic) - 8);
+  {
+    util::BinaryReader trailer(
+        std::string_view(blob.data() + blob.size() - 8, 8));
+    if (trailer.read_u64() != fnv1a(body)) return invalid("checksum mismatch (corrupt file)");
+  }
+
+  try {
+    util::BinaryReader reader(body);
+    if (reader.read_u64() != util::kSerializeFormatVersion)
+      return invalid("container version skew");
+    const std::string stored_format = reader.read_string();
+    if (stored_format != format)
+      return invalid("codec format skew (stored '" + stored_format + "', expected '" +
+                     std::string(format) + "')");
+    const std::string stored_material = reader.read_string();
+    // The loud-collision contract of the in-memory layer: a matching
+    // digest with different key material is a real 64-bit collision and
+    // must never alias — fail the run instead of returning a wrong value.
+    if (stored_material != material)
+      throw Error("FixtureStore: digest collision for key '" + key +
+                  "' (stored key material differs); use a different fixture domain");
+    std::string payload = reader.read_string();
+    reader.expect_end();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_hits;
+    return payload;
+  } catch (const util::SerializeError& error) {
+    return invalid(std::string("undecodable (") + error.what() + ")");
+  }
+}
+
+void FixtureStore::save(const std::string& key, std::string_view format,
+                        std::string_view material, std::string_view payload) const {
+  const std::string path = path_of(key);
+
+  util::BinaryWriter writer;
+  writer.write_u64(util::kSerializeFormatVersion);
+  writer.write_string(format);
+  writer.write_string(material);
+  writer.write_string(payload);
+  const std::uint64_t checksum = fnv1a(writer.bytes());
+
+  auto warn = [&](const std::string& why) {
+    std::fprintf(stderr, "[fixture-store] WARNING: cannot persist %s: %s\n", path.c_str(),
+                 why.c_str());
+  };
+
+  std::error_code error;
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path(), error);
+  if (error) return warn(error.message());
+
+  // Unique temp name per process+object so concurrent shards warming the
+  // same store never interleave writes; rename() then publishes the file
+  // atomically (POSIX), so readers see either nothing or a whole file.
+  std::ostringstream temp_name;
+  temp_name << path << ".tmp." << ::getpid() << "." << this;
+  const std::string temp_path = temp_name.str();
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return warn("cannot open temp file");
+    out.write(kMagic, sizeof(kMagic));
+    out.write(writer.bytes().data(), static_cast<std::streamsize>(writer.bytes().size()));
+    util::BinaryWriter trailer;
+    trailer.write_u64(checksum);
+    out.write(trailer.bytes().data(), static_cast<std::streamsize>(trailer.bytes().size()));
+    if (!out) {
+      warn("short write");
+      std::filesystem::remove(temp_path, error);
+      return;
+    }
+  }
+  std::filesystem::rename(temp_path, path, error);
+  if (error) {
+    warn("rename failed: " + error.message());
+    std::filesystem::remove(temp_path, error);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+}
+
+FixtureStore::Stats FixtureStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FixtureStore::record_undecodable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.disk_hits > 0) --stats_.disk_hits;
+  ++stats_.disk_misses;
+  ++stats_.invalid;
+}
+
+}  // namespace cps::runtime

@@ -1,0 +1,84 @@
+// Persistent, content-addressed on-disk layer of the fixture cache.
+//
+// One cps_run process computes a fixture once and shares it in memory
+// (runtime/fixture_cache.hpp); a CAMPAIGN — many cps_run processes, e.g.
+// the shards of `--shard i/N` or successive invocations reproducing
+// different figures — previously recomputed every fixture per process.
+// FixtureStore makes the cache two-level: fixtures whose codec is
+// registered are persisted under `--fixture-store DIR`, so the first
+// process in a campaign pays the compute and every later process (on
+// this or any other machine sharing the directory) loads bytes instead.
+//
+// Contracts, mirroring the in-memory layer:
+//  * Content addressing: the file name is the FixtureKey digest, and the
+//    FULL key material is stored in the file and re-verified on every
+//    load — a 64-bit digest collision throws loudly instead of silently
+//    aliasing a different fixture (same contract as a memory hit).
+//  * Bit identity: codecs round-trip IEEE-754 bit patterns exactly
+//    (util/serialize.hpp), so a disk hit returns a value bit-identical
+//    to what a miss would compute and experiment CSVs do not depend on
+//    the store being cold, warm, or absent.
+//  * Corruption is loud but survivable: a truncated, checksummed-wrong,
+//    or version-skewed file warns on stderr, counts in stats().invalid,
+//    and falls back to recompute (which then overwrites the bad file).
+//  * Concurrent writers are safe: files are published with a
+//    write-to-temp + atomic-rename, so a reader never observes a torn
+//    file even while the shards of a campaign warm the store in parallel.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cps::runtime {
+
+class FixtureStore {
+ public:
+  /// Open (creating if needed) the store rooted at `directory`.  Throws
+  /// cps::Error when the directory cannot be created.
+  explicit FixtureStore(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Look up `key` ("<domain>/<digest>") on disk.  Returns the payload
+  /// bytes when a valid file with matching `format` and `material` is
+  /// present; std::nullopt when the file is absent, format-skewed, or
+  /// corrupt (the latter two warn and count as invalid).  Throws
+  /// cps::Error when the stored key material differs from `material` —
+  /// a digest collision must never silently alias a fixture.
+  std::optional<std::string> load(const std::string& key, std::string_view format,
+                                  std::string_view material) const;
+
+  /// Persist `payload` for `key` atomically (temp file + rename).  A
+  /// failure to write warns and is otherwise ignored: the store is an
+  /// accelerator, never a correctness dependency.
+  void save(const std::string& key, std::string_view format, std::string_view material,
+            std::string_view payload) const;
+
+  /// Monotonic per-process counters.
+  struct Stats {
+    std::size_t disk_hits = 0;    ///< loads served from a valid file
+    std::size_t disk_misses = 0;  ///< loads that found no usable file
+    std::size_t writes = 0;       ///< files published by save()
+    std::size_t invalid = 0;      ///< corrupt/skewed files encountered
+  };
+  Stats stats() const;
+
+  /// Reclassify the most recent load() hit whose payload then failed to
+  /// decode at the cache layer (hit -> miss + invalid).  The store
+  /// verifies the container; only the codec can judge the payload — this
+  /// keeps the counters cps_run prints honest for that split.
+  void record_undecodable() const;
+
+  /// Filesystem path a key maps to (exposed for tests and diagnostics).
+  std::string path_of(const std::string& key) const;
+
+ private:
+  std::string directory_;
+  mutable std::mutex mutex_;
+  mutable Stats stats_;
+};
+
+}  // namespace cps::runtime

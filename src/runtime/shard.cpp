@@ -1,0 +1,171 @@
+#include "runtime/shard.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace cps::runtime {
+
+ShardRange shard_range(std::size_t count, std::size_t shard_index, std::size_t shard_count) {
+  CPS_ENSURE(shard_count >= 1, "shard_range: shard count must be >= 1");
+  CPS_ENSURE(shard_index < shard_count, "shard_range: shard index out of range");
+  // count * i stays well inside 64 bits for any realistic grid (the
+  // driver caps shard counts; grids are << 2^32 points).
+  return ShardRange{count * shard_index / shard_count,
+                    count * (shard_index + 1) / shard_count};
+}
+
+std::string shard_suffix(std::size_t shard_index, std::size_t shard_count) {
+  CPS_ENSURE(shard_count >= 1 && shard_index < shard_count,
+             "shard_suffix: invalid shard spec");
+  if (shard_count == 1) return std::string();
+  return ".shard" + std::to_string(shard_index) + "of" + std::to_string(shard_count);
+}
+
+namespace {
+
+/// Read every line of a shard file verbatim (newline stripped);
+/// throws cps::Error when the file is absent or empty.
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw Error("merge: missing shard file '" + path +
+                "' (was this shard run, and with the same --shard N?)");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  if (lines.empty()) throw Error("merge: shard file '" + path + "' is empty");
+  return lines;
+}
+
+/// Render the sidecar contents for (seed, i/N, row count) — also the
+/// comparison form merge uses.
+std::string meta_contents(std::uint64_t seed, std::size_t shard_index,
+                          std::size_t shard_count, std::size_t rows) {
+  char seed_hex[32];
+  std::snprintf(seed_hex, sizeof(seed_hex), "%016llx",
+                static_cast<unsigned long long>(seed));
+  return "seed=0x" + std::string(seed_hex) + "\nshard=" + std::to_string(shard_index) + "/" +
+         std::to_string(shard_count) + "\nrows=" + std::to_string(rows) + "\n";
+}
+
+/// Parse the leading `index` field of a data row.
+std::size_t leading_index(const std::string& row, const std::string& path) {
+  const std::size_t comma = row.find(',');
+  const std::string field = comma == std::string::npos ? row : row.substr(0, comma);
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(field, &consumed);
+    if (consumed != field.size()) throw std::invalid_argument(field);
+    return static_cast<std::size_t>(value);
+  } catch (const std::exception&) {
+    throw Error("merge: row in '" + path + "' has a non-numeric index field '" + field +
+                "' (sweep artifacts must lead with the global sweep index)");
+  }
+}
+
+}  // namespace
+
+void write_shard_meta(const std::string& csv_path, std::uint64_t seed,
+                      std::size_t shard_index, std::size_t shard_count) {
+  // Count the partial's data rows NOW, while the file is known-complete:
+  // the sidecar then lets merge detect a partial truncated in transit —
+  // a lost tail of the FINAL shard is invisible to the index-contiguity
+  // check alone.
+  const std::size_t rows = read_lines(csv_path).size() - 1;  // minus header
+  const std::string path = csv_path + ".meta";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("shard meta: cannot open '" + path + "' for writing");
+  out << meta_contents(seed, shard_index, shard_count, rows);
+  if (!out) throw Error("shard meta: short write to '" + path + "'");
+}
+
+std::size_t merge_sweep_csv(const std::string& canonical_path, std::size_t shard_count) {
+  CPS_ENSURE(shard_count >= 1, "merge: shard count must be >= 1");
+
+  // Provenance first: every shard's sidecar must exist, claim the slot
+  // its filename claims, and carry the SAME campaign seed.  The index
+  // checks below verify structure; only the sidecar catches a stale
+  // partial left behind by an earlier campaign (re-run with a different
+  // --seed, or only some shards re-run).
+  std::string seed_line;
+  std::vector<std::size_t> expected_rows(shard_count, 0);
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    const std::string path =
+        canonical_path + shard_suffix(shard, shard_count) + ".meta";
+    std::ifstream in(path);
+    if (!in)
+      throw Error("merge: missing shard sidecar '" + path +
+                  "' (shards must be produced by `cps_run --shard " +
+                  std::to_string(shard) + "/" + std::to_string(shard_count) + "`)");
+    std::string this_seed, this_shard, this_rows;
+    std::getline(in, this_seed);
+    std::getline(in, this_shard);
+    std::getline(in, this_rows);
+    const std::string expected_shard =
+        "shard=" + std::to_string(shard) + "/" + std::to_string(shard_count);
+    if (this_shard != expected_shard)
+      throw Error("merge: sidecar '" + path + "' claims '" + this_shard + "', expected '" +
+                  expected_shard + "' (renamed or wrong-N shard file?)");
+    if (shard == 0) {
+      seed_line = this_seed;
+    } else if (this_seed != seed_line) {
+      throw Error("merge: shard seeds differ ('" + this_seed + "' in '" + path + "' vs '" +
+                  seed_line + "' in shard 0) — partials from different campaigns; re-run "
+                  "every shard with one --seed");
+    }
+    if (this_rows.rfind("rows=", 0) != 0)
+      throw Error("merge: sidecar '" + path + "' has no rows line (old or corrupt sidecar)");
+    try {
+      expected_rows[shard] = static_cast<std::size_t>(std::stoull(this_rows.substr(5)));
+    } catch (const std::exception&) {
+      throw Error("merge: sidecar '" + path + "' has a malformed rows line '" + this_rows +
+                  "'");
+    }
+  }
+
+  std::string header;
+  std::vector<std::string> merged_rows;
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    const std::string path = canonical_path + shard_suffix(shard, shard_count);
+    const auto lines = read_lines(path);
+    // Row-count-vs-sidecar check: a partial truncated AFTER its sidecar
+    // was stamped (interrupted copy from a shard machine) would pass the
+    // index-contiguity check below when it is the last shard; the
+    // recorded count catches it regardless of position.
+    if (lines.size() - 1 != expected_rows[shard])
+      throw Error("merge: '" + path + "' has " + std::to_string(lines.size() - 1) +
+                  " data rows but its sidecar recorded " +
+                  std::to_string(expected_rows[shard]) + " (truncated or modified partial)");
+    if (shard == 0) {
+      header = lines.front();
+    } else if (lines.front() != header) {
+      throw Error("merge: header of '" + path + "' differs from shard 0 ('" + lines.front() +
+                  "' vs '" + header + "')");
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const std::size_t index = leading_index(lines[i], path);
+      const std::size_t expected = merged_rows.size();
+      if (index < expected)
+        throw Error("merge: overlap at index " + std::to_string(index) + " in '" + path +
+                    "' (already covered by an earlier shard)");
+      if (index > expected)
+        throw Error("merge: gap before index " + std::to_string(index) + " in '" + path +
+                    "' (expected index " + std::to_string(expected) +
+                    " next; a shard is missing rows)");
+      merged_rows.push_back(lines[i]);
+    }
+  }
+
+  std::ofstream out(canonical_path, std::ios::trunc);
+  if (!out) throw Error("merge: cannot open '" + canonical_path + "' for writing");
+  out << header << '\n';
+  for (const auto& row : merged_rows) out << row << '\n';
+  if (!out) throw Error("merge: short write to '" + canonical_path + "'");
+  return merged_rows.size();
+}
+
+}  // namespace cps::runtime

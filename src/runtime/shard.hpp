@@ -1,0 +1,64 @@
+// Deterministic campaign sharding: index-range partitioning and the
+// shard-CSV merge.
+//
+// A sweep experiment maps a global index range [0, count) through
+// task_seed(seed, index); because every per-point result depends ONLY on
+// its global index, any partition of the range reproduces the unsharded
+// results bit-for-bit.  `cps_run --shard i/N` assigns each shard the
+// CONTIGUOUS block shard_range(count, i, N) so that concatenating the
+// shards' per-point CSV rows in shard order *is* the canonical
+// (unsharded) artifact — that is the whole merge invariant.
+//
+// Shard artifacts carry a leading `index` column with the global sweep
+// index; merge_sweep_csv re-verifies that the concatenation covers
+// exactly 0..total-1 with no gaps or overlaps and fails loudly
+// otherwise (a missing shard, a shard run with the wrong N, or a
+// truncated file must never produce a silently short canonical CSV).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cps::runtime {
+
+/// Half-open global index range of one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Contiguous block partition of [0, count) into `shard_count` ranges;
+/// block sizes differ by at most one.  shard_range(c, i, N).end ==
+/// shard_range(c, i+1, N).begin, so the blocks tile the range exactly.
+ShardRange shard_range(std::size_t count, std::size_t shard_index, std::size_t shard_count);
+
+/// Filename suffix of one shard's partial artifact: ".shard0of2" etc.;
+/// empty for the unsharded (canonical) run.
+std::string shard_suffix(std::size_t shard_index, std::size_t shard_count);
+
+/// Write the provenance sidecar of one shard artifact
+/// (`csv_path + ".meta"`): the campaign seed and the shard spec.  The
+/// driver writes it after a sharded experiment succeeds; merge_sweep_csv
+/// requires it and refuses to concatenate shards whose seeds differ —
+/// structural index checks alone cannot tell a stale partial from a
+/// re-run campaign, the sidecar can.  Kept OUTSIDE the CSV so the
+/// merged bytes stay identical to the unsharded artifact.
+void write_shard_meta(const std::string& csv_path, std::uint64_t seed,
+                      std::size_t shard_index, std::size_t shard_count);
+
+/// Merge the `shard_count` partial CSVs of `canonical_path` (the files
+/// at canonical_path + shard_suffix(i, N)) into the canonical file.
+/// Verifies every shard file and its .meta sidecar exist, all sidecars
+/// carry the SAME campaign seed and the expected shard spec (stale or
+/// mixed-campaign partials fail here), all headers are identical, and
+/// the concatenated `index` column is exactly 0, 1, ..., total-1;
+/// throws cps::Error naming the offending file on any gap, overlap, or
+/// mismatch.  Returns the number of data rows merged.  The merged bytes
+/// equal what an unsharded run writes (same header, same rows, same
+/// order), so `cmp` against a single-process artifact must pass.
+std::size_t merge_sweep_csv(const std::string& canonical_path, std::size_t shard_count);
+
+}  // namespace cps::runtime

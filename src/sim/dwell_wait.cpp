@@ -57,6 +57,14 @@ bool DwellWaitCurve::is_non_monotonic() const {
 DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
                                         const linalg::Vector& x0, double sampling_period,
                                         const DwellWaitSweepOptions& opts) {
+  DwellWaitWorkspace workspace;
+  return measure_dwell_wait_curve(sys, x0, sampling_period, opts, workspace);
+}
+
+DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
+                                        const linalg::Vector& x0, double sampling_period,
+                                        const DwellWaitSweepOptions& opts,
+                                        DwellWaitWorkspace& workspace) {
   CPS_ENSURE(sampling_period > 0.0, "measure_dwell_wait_curve: h must be positive");
   CPS_ENSURE(x0.size() == sys.dimension(), "measure_dwell_wait_curve: x0 dimension mismatch");
 
@@ -69,12 +77,13 @@ DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
 
   // Incremental sweep: the ET prefix state A1^w x0 is carried from grid
   // point to grid point (one multiply per point instead of w), and the TT
-  // settling per point runs on the reusable buffers.  The per-step
-  // arithmetic matches the reference kernel exactly, so the measured curve
-  // is bit-identical.
-  std::vector<double> et_state = x0.to_std_vector();  // A1^w x0 for the current w
-  std::vector<double> tt_state;              // settle scratch: clobbered per point
-  std::vector<double> scratch;
+  // settling per point runs on the workspace buffers (caller-reusable
+  // across sweeps).  The per-step arithmetic matches the reference kernel
+  // exactly, so the measured curve is bit-identical.
+  std::vector<double>& et_state = workspace.et_state;  // A1^w x0 for the current w
+  std::vector<double>& tt_state = workspace.tt_state;  // settle scratch: clobbered per point
+  std::vector<double>& scratch = workspace.scratch;
+  et_state.assign(x0.data(), x0.data() + x0.size());
 
   std::vector<DwellWaitPoint> points;
   points.reserve(sweep_end + 1);

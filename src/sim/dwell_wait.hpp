@@ -67,6 +67,19 @@ struct DwellWaitSweepOptions {
   std::size_t max_wait_steps = 100000;
 };
 
+/// Reusable scratch of one dwell/wait sweep: the carried ET prefix
+/// state, the per-point TT settle buffer and the shared matvec scratch.
+/// A SweepRunner worker keeps one of these across every curve it
+/// measures (runtime/sweep_runner.hpp, run_with_workspace), so
+/// back-to-back sweeps stop paying the three per-call allocations.  All
+/// contents are fully overwritten per call — results never depend on
+/// what a previous sweep left behind.
+struct DwellWaitWorkspace {
+  std::vector<double> et_state;
+  std::vector<double> tt_state;
+  std::vector<double> scratch;
+};
+
 /// Run the full sweep.  Throws NumericalError when either pure-mode loop
 /// fails to settle within the caps (e.g. unstable configurations).
 ///
@@ -79,6 +92,14 @@ struct DwellWaitSweepOptions {
 DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
                                         const linalg::Vector& x0, double sampling_period,
                                         const DwellWaitSweepOptions& opts);
+
+/// Workspace-threading overload for sweep bodies that measure many
+/// curves: identical arithmetic (bit-identical curve), scratch reused
+/// from `workspace` instead of allocated per call.
+DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
+                                        const linalg::Vector& x0, double sampling_period,
+                                        const DwellWaitSweepOptions& opts,
+                                        DwellWaitWorkspace& workspace);
 
 /// The pre-optimization sweep kernel, frozen verbatim: re-simulates the
 /// ET prefix from x0 for every grid point through the naive vector code

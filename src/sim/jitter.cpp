@@ -40,15 +40,23 @@ const linalg::Matrix& JitteryClosedLoop::loop_matrix(std::size_t delay_index) co
 
 std::optional<std::size_t> JitteryClosedLoop::settle_under_random_delays(
     const linalg::Vector& z0, double threshold, Rng& rng, std::size_t max_steps) const {
+  JitterWorkspace workspace;
+  return settle_under_random_delays(z0, threshold, rng, max_steps, workspace);
+}
+
+std::optional<std::size_t> JitteryClosedLoop::settle_under_random_delays(
+    const linalg::Vector& z0, double threshold, Rng& rng, std::size_t max_steps,
+    JitterWorkspace& workspace) const {
   CPS_ENSURE(z0.size() == loops_.front().rows(), "settle: z0 dimension mismatch");
   CPS_ENSURE(threshold > 0.0, "settle: threshold must be positive");
 
   // Double-buffered inner loop: apply_into + swap evolve z with zero
-  // per-step allocations.  Same delay draws and FP order as the frozen
-  // reference below — settling steps are bit-identical
-  // (tests/sim_golden_test.cpp).
-  linalg::Vector z = z0;
-  linalg::Vector scratch(z0.size());
+  // per-step allocations, on buffers the caller may reuse across runs.
+  // Same delay draws and FP order as the frozen reference below —
+  // settling steps are bit-identical (tests/sim_golden_test.cpp).
+  linalg::Vector& z = workspace.state;
+  linalg::Vector& scratch = workspace.scratch;
+  z.assign(z0.data(), z0.size());
   std::size_t last_violation = 0;
   bool ever_violated = false;
   const double stop_level = threshold * 1e-3;
@@ -108,13 +116,22 @@ std::optional<std::size_t> JitteryClosedLoop::settle_under_random_delays_referen
 JitterCampaignResult run_jitter_campaign(const JitteryClosedLoop& loop,
                                          const linalg::Vector& z0, double threshold,
                                          double sampling_period, std::size_t runs, Rng& rng) {
+  JitterWorkspace workspace;
+  return run_jitter_campaign(loop, z0, threshold, sampling_period, runs, rng, workspace);
+}
+
+JitterCampaignResult run_jitter_campaign(const JitteryClosedLoop& loop,
+                                         const linalg::Vector& z0, double threshold,
+                                         double sampling_period, std::size_t runs, Rng& rng,
+                                         JitterWorkspace& workspace) {
   CPS_ENSURE(runs > 0, "run_jitter_campaign: need at least one run");
   JitterCampaignResult out;
   out.runs = runs;
   out.best_settle_s = std::numeric_limits<double>::infinity();
   double sum = 0.0;
   for (std::size_t r = 0; r < runs; ++r) {
-    const auto settle = loop.settle_under_random_delays(z0, threshold, rng);
+    const auto settle =
+        loop.settle_under_random_delays(z0, threshold, rng, kDefaultJitterMaxSteps, workspace);
     if (!settle.has_value()) continue;
     const double seconds = static_cast<double>(*settle) * sampling_period;
     ++out.settled_runs;

@@ -26,6 +26,20 @@
 
 namespace cps::sim {
 
+/// Default settle-loop cap shared by every settle_under_random_delays
+/// overload and run_jitter_campaign — one constant, so the overloads can
+/// never silently diverge on it (they promise bit-identical results).
+inline constexpr std::size_t kDefaultJitterMaxSteps = 20000;
+
+/// Reusable scratch of the jitter settle loop: the double-buffered state
+/// pair.  One workspace per SweepRunner worker keeps randomized jitter
+/// campaigns allocation-free across runs (the buffers are fully
+/// overwritten per call; results never depend on previous contents).
+struct JitterWorkspace {
+  linalg::Vector state;
+  linalg::Vector scratch;
+};
+
 /// Closed loop with a per-step selectable delay realization.
 class JitteryClosedLoop {
  public:
@@ -47,9 +61,17 @@ class JitteryClosedLoop {
   /// Settling step of the norm of the first n components under uniformly
   /// random per-step delays; std::nullopt if the cap is hit.
   /// Allocation-free per step (in-place matvec, double-buffered state).
+  std::optional<std::size_t> settle_under_random_delays(
+      const linalg::Vector& z0, double threshold, Rng& rng,
+      std::size_t max_steps = kDefaultJitterMaxSteps) const;
+
+  /// Workspace-threading overload: identical draws and arithmetic
+  /// (bit-identical settling step), state buffers reused from
+  /// `workspace` instead of constructed per call.
   std::optional<std::size_t> settle_under_random_delays(const linalg::Vector& z0,
                                                         double threshold, Rng& rng,
-                                                        std::size_t max_steps = 20000) const;
+                                                        std::size_t max_steps,
+                                                        JitterWorkspace& workspace) const;
 
   /// Frozen pre-optimization copy of settle_under_random_delays() (one
   /// Vector temporary per step).  Draws the same delay sequence from `rng`
@@ -57,7 +79,7 @@ class JitteryClosedLoop {
   /// tests/sim_golden_test.cpp.
   std::optional<std::size_t> settle_under_random_delays_reference(
       const linalg::Vector& z0, double threshold, Rng& rng,
-      std::size_t max_steps = 20000) const;
+      std::size_t max_steps = kDefaultJitterMaxSteps) const;
 
  private:
   std::size_t n_;
@@ -77,5 +99,13 @@ struct JitterCampaignResult {
 JitterCampaignResult run_jitter_campaign(const JitteryClosedLoop& loop,
                                          const linalg::Vector& z0, double threshold,
                                          double sampling_period, std::size_t runs, Rng& rng);
+
+/// Workspace-threading overload: one state-buffer pair serves all
+/// `runs` simulations (and, through SweepRunner's per-worker workspace,
+/// every campaign a worker executes).  Bit-identical summary.
+JitterCampaignResult run_jitter_campaign(const JitteryClosedLoop& loop,
+                                         const linalg::Vector& z0, double threshold,
+                                         double sampling_period, std::size_t runs, Rng& rng,
+                                         JitterWorkspace& workspace);
 
 }  // namespace cps::sim

@@ -1,0 +1,91 @@
+// Versioned binary serialization for the persistent fixture store.
+//
+// The on-disk layer of runtime::FixtureCache must hand back values that
+// are BIT-IDENTICAL to what a fresh compute would produce — otherwise a
+// warm store could change experiment CSVs.  These codecs therefore
+// round-trip every double through its raw IEEE-754 bit pattern (NaN
+// payloads, signed zeros and denormals survive exactly; no text
+// formatting is ever involved) and every integer through a fixed
+// little-endian layout, so files written on one machine decode to the
+// same bits on any other IEEE-754 platform.
+//
+// BinaryWriter appends to an in-memory byte buffer; BinaryReader walks a
+// byte view and throws cps::SerializeError on any truncation or
+// malformed length, which the fixture store maps to "corrupt file:
+// recompute loudly".  kSerializeFormatVersion stamps the container
+// format; per-fixture codecs additionally version their own layout via
+// the format string they register with the store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "util/error.hpp"
+
+namespace cps::util {
+
+/// Container-format version embedded in every fixture-store file.  Bump
+/// when the BinaryWriter/BinaryReader wire layout itself changes (stored
+/// files from older versions are then recomputed, never misread).
+inline constexpr std::uint64_t kSerializeFormatVersion = 1;
+
+/// Thrown on truncated input, trailing bytes, or malformed lengths.  The
+/// fixture store treats it as "corrupt store file": warn and recompute.
+class SerializeError : public Error {
+ public:
+  explicit SerializeError(const std::string& what) : Error(what) {}
+};
+
+/// Append-only binary encoder.  All multi-byte values are little-endian
+/// regardless of host byte order.
+class BinaryWriter {
+ public:
+  void write_u64(std::uint64_t value);
+  /// Exact IEEE-754 bit pattern (NaN payloads and -0.0 included).
+  void write_double(double value);
+  /// Length-prefixed raw bytes.
+  void write_string(std::string_view text);
+  /// size + every component's bit pattern.
+  void write_vector(const linalg::Vector& v);
+  /// rows + cols + every entry's bit pattern, row-major.
+  void write_matrix(const linalg::Matrix& m);
+
+  const std::string& bytes() const { return buffer_; }
+  std::string take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Sequential decoder over a byte view (the view must outlive the
+/// reader).  Every read throws SerializeError when the remaining bytes
+/// cannot satisfy it.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint64_t read_u64();
+  double read_double();
+  std::string read_string();
+  linalg::Vector read_vector();
+  linalg::Matrix read_matrix();
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+
+  /// Throws SerializeError unless every byte was consumed — catches
+  /// codec/version skew that would otherwise pass silently.
+  void expect_end() const;
+
+ private:
+  const unsigned char* take(std::size_t count);
+
+  std::string_view bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace cps::util

@@ -1,12 +1,19 @@
 // FixtureCache: compute-once semantics under concurrency, hit/miss
 // accounting, content-addressed keys, type safety, and failure retry.
-// The cache instance is process-global, so every test uses its own key
-// namespace and compares stats deltas.
+// The in-memory cache instance is process-global, so every test uses its
+// own key namespace and compares stats deltas; the persistent-store
+// tests below use LOCAL FixtureCache instances over throwaway
+// directories, so a fresh instance models a fresh process.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -16,13 +23,17 @@
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 #include "runtime/fixture_cache.hpp"
+#include "runtime/fixture_store.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 
 namespace {
 
 using cps::runtime::FixtureCache;
+using cps::runtime::FixtureCodec;
 using cps::runtime::FixtureKey;
+using cps::runtime::FixtureStore;
 
 TEST(FixtureKeyTest, StableAndContentSensitive) {
   const auto key = [] {
@@ -139,6 +150,212 @@ TEST(FixtureCacheTest, DistinctKeysDistinctValues) {
   EXPECT_NE(va.get(), vb.get());
   EXPECT_EQ(*va, 1.0);
   EXPECT_EQ(*vb, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent store (the second cache level)
+
+/// Throwaway store directory, removed on scope exit.
+struct TempStoreDir {
+  TempStoreDir()
+      : path((std::filesystem::temp_directory_path() /
+              ("cps-fixture-store-test-" + std::to_string(::getpid()) + "-" +
+               std::to_string(counter++)))
+                 .string()) {}
+  ~TempStoreDir() {
+    std::error_code error;
+    std::filesystem::remove_all(path, error);
+  }
+  static std::atomic<int> counter;
+  std::string path;
+};
+std::atomic<int> TempStoreDir::counter{0};
+
+/// Codec used by the store tests: a double persisted via its exact bit
+/// pattern (what every real codec does field by field).
+FixtureCodec<double> double_codec() {
+  return FixtureCodec<double>{
+      "test_double/v1",
+      [](const double& value, cps::util::BinaryWriter& out) { out.write_double(value); },
+      [](cps::util::BinaryReader& in) { return in.read_double(); }};
+}
+
+std::uint64_t bits_of(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+TEST(FixtureStoreTest, ColdMissComputesAndWritesTheFile) {
+  TempStoreDir dir;
+  FixtureCache cache;
+  cache.set_store(std::make_shared<FixtureStore>(dir.path));
+
+  FixtureKey key("store_cold");
+  key.add(1.25);
+  int computes = 0;
+  auto value = cache.get_or_compute<double>(key, double_codec(), [&] {
+    ++computes;
+    return 0.1 + 0.2;  // not exactly 0.3: the bits must survive as-is
+  });
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(*value, 0.1 + 0.2);
+
+  const auto stats = cache.store()->stats();
+  EXPECT_EQ(stats.disk_misses, 1u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_TRUE(std::filesystem::exists(cache.store()->path_of(key.str())))
+      << cache.store()->path_of(key.str());
+}
+
+TEST(FixtureStoreTest, WarmHitSkipsComputeAndIsBitIdentical) {
+  TempStoreDir dir;
+  FixtureKey key("store_warm");
+  key.add(2.5).add(std::uint64_t{17});
+  const double expected = 0.1 + 0.2;
+
+  {
+    FixtureCache first_process;
+    first_process.set_store(std::make_shared<FixtureStore>(dir.path));
+    first_process.get_or_compute<double>(key, double_codec(), [&] { return expected; });
+  }
+
+  // A fresh cache instance models the next process of the campaign: its
+  // memory level is empty, so the value must come from disk — without
+  // running compute, and with the exact bit pattern.
+  FixtureCache second_process;
+  second_process.set_store(std::make_shared<FixtureStore>(dir.path));
+  auto value = second_process.get_or_compute<double>(key, double_codec(), [&]() -> double {
+    ADD_FAILURE() << "warm store hit must not recompute";
+    return 0.0;
+  });
+  EXPECT_EQ(bits_of(*value), bits_of(expected));
+  const auto stats = second_process.store()->stats();
+  EXPECT_EQ(stats.disk_hits, 1u);
+  EXPECT_EQ(stats.disk_misses, 0u);
+  EXPECT_EQ(stats.writes, 0u);
+}
+
+TEST(FixtureStoreTest, CorruptedFileRecomputesLoudlyAndHeals) {
+  TempStoreDir dir;
+  FixtureKey key("store_corrupt");
+  key.add(3.0);
+  {
+    FixtureCache writer;
+    writer.set_store(std::make_shared<FixtureStore>(dir.path));
+    writer.get_or_compute<double>(key, double_codec(), [] { return 42.0; });
+  }
+
+  // Flip a payload byte mid-file: the checksum must reject it.
+  const std::string path = FixtureStore(dir.path).path_of(key.str());
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(32);
+    file.put('\x5A');
+  }
+
+  FixtureCache reader;
+  reader.set_store(std::make_shared<FixtureStore>(dir.path));
+  int computes = 0;
+  auto value = reader.get_or_compute<double>(key, double_codec(), [&] {
+    ++computes;
+    return 42.0;
+  });
+  EXPECT_EQ(computes, 1) << "corrupt file must fall back to compute";
+  EXPECT_EQ(*value, 42.0);
+  auto stats = reader.store()->stats();
+  EXPECT_EQ(stats.invalid, 1u);
+  EXPECT_EQ(stats.writes, 1u) << "recompute must overwrite the corrupt file";
+
+  // The rewritten file serves the next process again.
+  FixtureCache healed;
+  healed.set_store(std::make_shared<FixtureStore>(dir.path));
+  auto again = healed.get_or_compute<double>(key, double_codec(), [&]() -> double {
+    ADD_FAILURE() << "healed store must hit";
+    return 0.0;
+  });
+  EXPECT_EQ(*again, 42.0);
+}
+
+TEST(FixtureStoreTest, TruncatedFileRecomputes) {
+  TempStoreDir dir;
+  FixtureKey key("store_truncated");
+  key.add(4.0);
+  {
+    FixtureCache writer;
+    writer.set_store(std::make_shared<FixtureStore>(dir.path));
+    writer.get_or_compute<double>(key, double_codec(), [] { return 7.0; });
+  }
+  const std::string path = FixtureStore(dir.path).path_of(key.str());
+  std::filesystem::resize_file(path, 10);  // shorter than the magic + trailer
+
+  FixtureCache reader;
+  reader.set_store(std::make_shared<FixtureStore>(dir.path));
+  int computes = 0;
+  auto value = reader.get_or_compute<double>(key, double_codec(), [&] {
+    ++computes;
+    return 7.0;
+  });
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(*value, 7.0);
+  EXPECT_EQ(reader.store()->stats().invalid, 1u);
+}
+
+TEST(FixtureStoreTest, KeyMaterialMismatchThrowsLoudly) {
+  // The collision contract: same digest (same file) but different key
+  // material must FAIL, never alias.  Exercised directly on the store —
+  // a real 64-bit digest collision cannot be staged through FixtureKey.
+  TempStoreDir dir;
+  FixtureStore store(dir.path);
+  store.save("domain/abc123", "fmt/v1", "material-A", "payload");
+  EXPECT_THROW(store.load("domain/abc123", "fmt/v1", "material-B"), cps::Error);
+  // Matching material still loads fine.
+  auto payload = store.load("domain/abc123", "fmt/v1", "material-A");
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "payload");
+}
+
+TEST(FixtureStoreTest, FormatSkewRecomputesInsteadOfAliasing) {
+  // A codec version bump must invalidate old files (recompute), not
+  // misread them and not trip the collision error.
+  TempStoreDir dir;
+  FixtureStore store(dir.path);
+  store.save("domain/def456", "fmt/v1", "material", "old-payload");
+  auto payload = store.load("domain/def456", "fmt/v2", "material");
+  EXPECT_FALSE(payload.has_value());
+  EXPECT_EQ(store.stats().invalid, 1u);
+}
+
+TEST(FixtureStoreTest, UndecodablePayloadRecomputes) {
+  // The file container is intact (checksum passes) but the payload does
+  // not decode as the codec's type: the cache layer must warn and
+  // recompute rather than propagate the decode error.
+  TempStoreDir dir;
+  FixtureKey key("store_badpayload");
+  key.add(5.0);
+  {
+    FixtureStore store(dir.path);
+    // Valid container, 3-byte payload — not a valid double encoding.
+    store.save(key.str(), "test_double/v1", key.material(), "abc");
+  }
+  FixtureCache cache;
+  cache.set_store(std::make_shared<FixtureStore>(dir.path));
+  int computes = 0;
+  auto value = cache.get_or_compute<double>(key, double_codec(), [&] {
+    ++computes;
+    return 11.0;
+  });
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(*value, 11.0);
+  // The load was reclassified: a payload the codec rejected was never a
+  // served hit (record_undecodable), and the recompute overwrote it.
+  const auto stats = cache.store()->stats();
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_EQ(stats.disk_misses, 1u);
+  EXPECT_EQ(stats.invalid, 1u);
+  EXPECT_EQ(stats.writes, 1u);
 }
 
 TEST(FixtureCacheTest, ClearEmptiesEntries) {

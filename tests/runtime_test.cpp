@@ -1,12 +1,18 @@
 // Unit tests for the runtime layer: work-stealing ThreadPool semantics
 // (results, ordering, exception propagation, destructor draining), the
-// deterministic per-task seeding of SweepRunner (a 2-job sweep must be
-// bit-identical to the serial run), and the experiment registry catalog.
+// deterministic per-task seeding of SweepRunner (any job count, chunk
+// size, and shard partition must be bit-identical to the serial run),
+// the shard partition/merge machinery, and the experiment registry
+// catalog.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <iterator>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "runtime/experiment.hpp"
+#include "runtime/shard.hpp"
 #include "runtime/sweep_runner.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/error.hpp"
@@ -130,6 +137,95 @@ TEST(SweepRunnerTest, TwoJobSweepBitIdenticalToSerial) {
   }
 }
 
+TEST(SweepRunnerTest, ChunkSizeNeverChangesResults) {
+  const auto task = [](std::size_t i, Rng& rng) {
+    return rng.uniform(0.0, 1.0) + static_cast<double>(i);
+  };
+  SweepRunner serial({1, 0xABCDEF});
+  const auto expected = serial.run(97, task);  // prime count: ragged chunks
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{32},
+                            std::size_t{97}, std::size_t{1000}}) {
+    SweepOptions options{3, 0xABCDEF};
+    options.chunk = chunk;
+    const auto actual = SweepRunner(options).run(97, task);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_EQ(expected[i], actual[i]) << "chunk " << chunk << " index " << i;
+  }
+}
+
+TEST(SweepRunnerTest, WorkspaceIsReusedWithinAWorkerAndResultsStayOrdered) {
+  struct CountingWorkspace {
+    int uses = 0;
+  };
+  const auto count_use = [](std::size_t, Rng&, CountingWorkspace& workspace) {
+    return ++workspace.uses;  // how many indices THIS workspace has served
+  };
+  // Serial: one workspace serves every index, so the counter must climb
+  // 1..50 — a regression to a fresh workspace per index would return
+  // all-ones here.
+  SweepRunner serial({1, 7});
+  const auto serial_uses = serial.run_with_workspace<CountingWorkspace>(50, count_use);
+  ASSERT_EQ(serial_uses.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(serial_uses[static_cast<std::size_t>(i)], i + 1);
+  // Parallel with a pinned chunk size: one workspace per CHUNK, so the
+  // counter restarts at each chunk boundary and climbs within it.
+  SweepOptions options{2, 7};
+  options.chunk = 10;
+  const auto chunked_uses =
+      SweepRunner(options).run_with_workspace<CountingWorkspace>(50, count_use);
+  ASSERT_EQ(chunked_uses.size(), 50u);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(chunked_uses[static_cast<std::size_t>(i)], i % 10 + 1) << "index " << i;
+}
+
+TEST(ShardRangeTest, BlocksTileTheRangeExactly) {
+  for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{100}, std::size_t{101}}) {
+    for (std::size_t shards = 1; shards <= 5; ++shards) {
+      std::size_t covered = 0;
+      std::size_t previous_end = 0;
+      for (std::size_t i = 0; i < shards; ++i) {
+        const auto range = shard_range(count, i, shards);
+        EXPECT_EQ(range.begin, previous_end) << count << "/" << shards << " shard " << i;
+        EXPECT_LE(range.begin, range.end);
+        covered += range.size();
+        previous_end = range.end;
+      }
+      EXPECT_EQ(previous_end, count);
+      EXPECT_EQ(covered, count);
+    }
+  }
+  EXPECT_THROW(shard_range(10, 2, 2), cps::Error);
+  EXPECT_THROW(shard_range(10, 0, 0), cps::Error);
+}
+
+TEST(SweepRunnerTest, ShardsReproduceTheUnshardedResultsBitForBit) {
+  const auto task = [](std::size_t i, Rng& rng) {
+    double acc = rng.gaussian(0.0, 1.0);
+    for (int k = 0; k < static_cast<int>(i % 5); ++k) acc += rng.uniform(-1.0, 1.0);
+    return acc;
+  };
+  const std::size_t count = 83;  // prime: uneven shard blocks
+  SweepRunner unsharded({2, 0xFEED});
+  const auto expected = unsharded.run(count, task);
+  for (std::size_t shards : {std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+    std::vector<double> stitched;
+    for (std::size_t i = 0; i < shards; ++i) {
+      SweepOptions options{2, 0xFEED};
+      options.shard_index = i;
+      options.shard_count = shards;
+      SweepRunner runner(options);
+      EXPECT_EQ(runner.range(count).begin, stitched.size());
+      const auto block = runner.run(count, task);
+      stitched.insert(stitched.end(), block.begin(), block.end());
+    }
+    ASSERT_EQ(stitched.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_EQ(expected[i], stitched[i]) << shards << " shards, index " << i;
+  }
+}
+
 TEST(SweepRunnerTest, PropagatesTaskExceptions) {
   SweepRunner sweep({2, 9});
   EXPECT_THROW(sweep.run(8,
@@ -179,6 +275,143 @@ TEST(ExperimentContextTest, CsvPathJoinsDirectory) {
   EXPECT_EQ(context.csv_path("a.csv"), "out/a.csv");
   context.csv_dir = "out/";
   EXPECT_EQ(context.csv_path("a.csv"), "out/a.csv");
+}
+
+TEST(ExperimentContextTest, ArtifactPathCarriesTheShardSuffix) {
+  ExperimentContext context;
+  context.csv_dir = "out";
+  EXPECT_FALSE(context.sharded());
+  EXPECT_EQ(context.artifact_path("a.csv"), "out/a.csv");  // canonical when unsharded
+  context.shard_index = 1;
+  context.shard_count = 4;
+  EXPECT_TRUE(context.sharded());
+  EXPECT_EQ(context.artifact_path("a.csv"), "out/a.csv.shard1of4");
+}
+
+TEST(ExperimentTest, SweepArtifactsMakeAnExperimentShardable) {
+  const Experiment plain("plain", "d", [](ExperimentContext&) {});
+  EXPECT_FALSE(plain.shardable());
+  const Experiment sweep("sweep", "d", [](ExperimentContext&) {}, {"sweep.csv"});
+  EXPECT_TRUE(sweep.shardable());
+  ASSERT_EQ(sweep.sweep_artifacts().size(), 1u);
+  EXPECT_EQ(sweep.sweep_artifacts()[0], "sweep.csv");
+}
+
+// ---------------------------------------------------------------------------
+// Shard-CSV merge invariants
+
+struct MergeFixture : public ::testing::Test {
+  void SetUp() override {
+    dir = (std::filesystem::temp_directory_path() /
+           ("cps-merge-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++)))
+              .string();
+    std::filesystem::create_directories(dir);
+    canonical = dir + "/sweep.csv";
+  }
+  void TearDown() override {
+    std::error_code error;
+    std::filesystem::remove_all(dir, error);
+  }
+  void write_shard(std::size_t index, std::size_t count, const std::string& header,
+                   const std::vector<std::size_t>& rows, std::uint64_t seed = 0x5EED) {
+    {
+      std::ofstream out(canonical + shard_suffix(index, count));
+      out << header << '\n';
+      for (auto row : rows) out << row << ",value" << row << '\n';
+    }  // closed before the sidecar stamp reads the file back
+    write_shard_meta(canonical + shard_suffix(index, count), seed, index, count);
+  }
+  std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    return content;
+  }
+  static std::atomic<int> counter;
+  std::string dir;
+  std::string canonical;
+};
+std::atomic<int> MergeFixture::counter{0};
+
+TEST_F(MergeFixture, ConcatenatesContiguousShardsInOrder) {
+  write_shard(0, 2, "index,v", {0, 1, 2});
+  write_shard(1, 2, "index,v", {3, 4});
+  EXPECT_EQ(merge_sweep_csv(canonical, 2), 5u);
+  EXPECT_EQ(read_file(canonical),
+            "index,v\n0,value0\n1,value1\n2,value2\n3,value3\n4,value4\n");
+}
+
+TEST_F(MergeFixture, MissingShardFileFailsLoudly) {
+  write_shard(0, 2, "index,v", {0, 1});
+  EXPECT_THROW(merge_sweep_csv(canonical, 2), cps::Error);  // shard 1 absent
+}
+
+TEST_F(MergeFixture, GapBetweenShardsFailsLoudly) {
+  write_shard(0, 2, "index,v", {0, 1});
+  write_shard(1, 2, "index,v", {3, 4});  // index 2 missing
+  EXPECT_THROW(merge_sweep_csv(canonical, 2), cps::Error);
+}
+
+TEST_F(MergeFixture, OverlappingShardsFailLoudly) {
+  write_shard(0, 2, "index,v", {0, 1, 2});
+  write_shard(1, 2, "index,v", {2, 3});  // index 2 twice
+  EXPECT_THROW(merge_sweep_csv(canonical, 2), cps::Error);
+}
+
+TEST_F(MergeFixture, HeaderMismatchFailsLoudly) {
+  write_shard(0, 2, "index,v", {0, 1});
+  write_shard(1, 2, "index,other", {2, 3});
+  EXPECT_THROW(merge_sweep_csv(canonical, 2), cps::Error);
+}
+
+TEST_F(MergeFixture, NonNumericIndexColumnFailsLoudly) {
+  write_shard(0, 2, "index,v", {0});
+  {
+    std::ofstream out(canonical + shard_suffix(1, 2));
+    out << "index,v\nnot-a-number,value\n";
+  }
+  write_shard_meta(canonical + shard_suffix(1, 2), 0x5EED, 1, 2);
+  EXPECT_THROW(merge_sweep_csv(canonical, 2), cps::Error);
+}
+
+TEST_F(MergeFixture, MixedCampaignSeedsFailLoudly) {
+  // Structurally perfect partials (contiguous indices, matching headers)
+  // from two DIFFERENT campaigns: only the provenance sidecar can tell,
+  // and it must refuse.
+  write_shard(0, 2, "index,v", {0, 1}, /*seed=*/0xAAAA);
+  write_shard(1, 2, "index,v", {2, 3}, /*seed=*/0xBBBB);
+  EXPECT_THROW(merge_sweep_csv(canonical, 2), cps::Error);
+}
+
+TEST_F(MergeFixture, MissingSidecarFailsLoudly) {
+  write_shard(0, 2, "index,v", {0, 1});
+  {
+    std::ofstream out(canonical + shard_suffix(1, 2));
+    out << "index,v\n2,value2\n";  // CSV present, .meta absent
+  }
+  EXPECT_THROW(merge_sweep_csv(canonical, 2), cps::Error);
+}
+
+TEST_F(MergeFixture, SidecarClaimingWrongSlotFailsLoudly) {
+  write_shard(0, 2, "index,v", {0, 1});
+  write_shard(1, 2, "index,v", {2, 3});
+  // Simulate a renamed partial: shard 1's sidecar claims slot 0.
+  write_shard_meta(canonical + shard_suffix(1, 2), 0x5EED, 0, 2);
+  EXPECT_THROW(merge_sweep_csv(canonical, 2), cps::Error);
+}
+
+TEST_F(MergeFixture, TruncatedFinalShardFailsLoudly) {
+  // Losing the TAIL of the LAST shard keeps the index column contiguous
+  // (any prefix is), so only the sidecar's recorded row count can catch
+  // it — e.g. an interrupted copy from a shard machine.
+  write_shard(0, 2, "index,v", {0, 1});
+  write_shard(1, 2, "index,v", {2, 3, 4});  // sidecar records 3 rows
+  {
+    std::ofstream out(canonical + shard_suffix(1, 2), std::ios::trunc);
+    out << "index,v\n2,value2\n";  // tail rows 3, 4 lost in transit
+  }
+  EXPECT_THROW(merge_sweep_csv(canonical, 2), cps::Error);
 }
 
 // The global registry, populated by the CPS_EXPERIMENT registrars linked

@@ -14,10 +14,22 @@ on only one side are reported but never fail the run (hardware differences
 between the snapshot machine and CI make absolute numbers advisory, which
 is why regressions warn instead of erroring by default).
 
+Two thresholds:
+  --threshold R   warn when fresh/baseline exceeds R (default 1.3x);
+                  fails the run only with --strict
+  --fail-on R     HARD failure: exit 1 when fresh/baseline exceeds R,
+                  regardless of --strict.  Meant to be set well above the
+                  warn threshold (e.g. 3.0) so CI noise warns but a real
+                  blow-up blocks the merge.
+
+A missing or empty --baseline-dir is not an error: the script explains the
+situation and exits 0 (first run of a new repo / branch without committed
+snapshots), so CI does not fail before any baseline exists.
+
 Usage:
   python3 tools/bench_compare.py --fresh-dir bench-fresh \
-      [--baseline-dir bench/results] [--threshold 1.3] [--github] \
-      [--output bench-compare.txt] [--strict]
+      [--baseline-dir bench/results] [--threshold 1.3] [--fail-on 3.0] \
+      [--github] [--output bench-compare.txt] [--strict]
 """
 
 import argparse
@@ -59,6 +71,9 @@ def main():
                         help="directory with the freshly produced bench JSON")
     parser.add_argument("--threshold", type=float, default=1.3,
                         help="warn when fresh/baseline ns/op exceeds this ratio")
+    parser.add_argument("--fail-on", type=float, default=None, dest="fail_on",
+                        help="exit 1 when fresh/baseline ns/op exceeds this ratio "
+                             "(hard failure, independent of --strict)")
     parser.add_argument("--github", action="store_true",
                         help="emit ::warning:: annotations for regressions")
     parser.add_argument("--output", default=None,
@@ -67,17 +82,32 @@ def main():
                         help="exit 1 when any regression exceeds the threshold")
     args = parser.parse_args()
 
-    baseline = load_benchmarks(args.baseline_dir)
-    fresh = load_benchmarks(args.fresh_dir)
-    if not baseline:
-        print(f"error: no benchmarks found under {args.baseline_dir}", file=sys.stderr)
+    if args.fail_on is not None and args.fail_on < args.threshold:
+        print(f"error: --fail-on ({args.fail_on}) must be >= --threshold "
+              f"({args.threshold}); the hard limit cannot be tighter than the "
+              f"warning", file=sys.stderr)
         return 2
+
+    if not os.path.isdir(args.baseline_dir):
+        print(f"note: baseline directory '{args.baseline_dir}' does not exist; "
+              f"nothing to compare against — skipping (commit BENCH_*.json "
+              f"snapshots there to enable the regression gate)")
+        return 0
+    baseline = load_benchmarks(args.baseline_dir)
+    if not baseline:
+        print(f"note: no benchmark JSON under '{args.baseline_dir}'; nothing to "
+              f"compare against — skipping (commit BENCH_*.json snapshots "
+              f"there to enable the regression gate)")
+        return 0
+    fresh = load_benchmarks(args.fresh_dir)
     if not fresh:
-        print(f"error: no benchmarks found under {args.fresh_dir}", file=sys.stderr)
+        print(f"error: no benchmarks found under {args.fresh_dir} — did the "
+              f"bench step run and write its JSON there?", file=sys.stderr)
         return 2
 
     lines = []
     regressions = []
+    hard_failures = []
     name_width = max(len(name) for name in sorted(set(baseline) | set(fresh)))
     header = (f"{'benchmark':<{name_width}}  {'baseline ns':>14}  {'fresh ns':>14}"
               f"  {'ratio':>7}  verdict")
@@ -96,7 +126,10 @@ def main():
             continue
         ratio = fresh_time / base_time if base_time > 0 else float("inf")
         verdict = "ok"
-        if ratio > args.threshold:
+        if args.fail_on is not None and ratio > args.fail_on:
+            verdict = f"HARD FAILURE (> {args.fail_on:.2f}x)"
+            hard_failures.append((name, base_time, fresh_time, ratio))
+        elif ratio > args.threshold:
             verdict = f"REGRESSION (> {args.threshold:.2f}x)"
             regressions.append((name, base_time, fresh_time, ratio))
         elif ratio < 1.0 / args.threshold:
@@ -107,8 +140,11 @@ def main():
     report = "\n".join(lines) + "\n"
     print(report, end="")
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(report)
+        try:
+            with open(args.output, "w") as handle:
+                handle.write(report)
+        except OSError as err:
+            print(f"warning: cannot write {args.output}: {err}", file=sys.stderr)
 
     for name, base_time, fresh_time, ratio in regressions:
         message = (f"bench regression: {name} {base_time:.0f} -> {fresh_time:.0f} ns/op "
@@ -117,7 +153,16 @@ def main():
             print(f"::warning title=bench regression::{message}")
         else:
             print(f"warning: {message}", file=sys.stderr)
+    for name, base_time, fresh_time, ratio in hard_failures:
+        message = (f"bench HARD regression: {name} {base_time:.0f} -> {fresh_time:.0f} "
+                   f"ns/op ({ratio:.2f}x > --fail-on {args.fail_on:.2f}x)")
+        if args.github:
+            print(f"::error title=bench hard regression::{message}")
+        else:
+            print(f"error: {message}", file=sys.stderr)
 
+    if hard_failures:
+        return 1
     if regressions and args.strict:
         return 1
     return 0

@@ -10,8 +10,22 @@
 //               bit-identical for any value — see runtime/sweep_runner.hpp)
 //   --csv DIR   directory for CSV artifacts (created; default: cwd)
 //   --seed S    base seed for randomized campaigns (default 0x5EED5EED)
+//   --fixture-store DIR
+//               persistent content-addressed fixture store shared across
+//               processes: expensive fixtures (fleet synthesis, loop
+//               designs, dwell/wait curves) are computed by the first
+//               process that needs them and loaded bit-identically by
+//               every later one (runtime/fixture_store.hpp)
+//   --shard i/N run only shard i of each named SWEEP experiment's index
+//               range (contiguous block partition; per-point results are
+//               bit-identical to the unsharded run).  Artifacts gain a
+//               ".shardXofN" suffix; non-sweep experiments reject this.
+//   --merge N   merge the N shard artifacts previously written under
+//               --csv into the canonical CSVs, verifying the index
+//               column has no gaps or overlaps (exit 1 on any)
 //
-// Exit status: 0 on success, 1 on experiment failure, 2 on usage errors.
+// Exit status: 0 on success, 1 on experiment/merge failure, 2 on usage
+// errors.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -19,11 +33,15 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/experiment.hpp"
 #include "runtime/fixture_cache.hpp"
+#include "runtime/fixture_store.hpp"
+#include "runtime/shard.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -34,19 +52,23 @@ using cps::runtime::ExperimentContext;
 using cps::runtime::ExperimentRegistry;
 
 constexpr int kMaxJobs = 1024;
+constexpr std::uint64_t kMaxShards = 4096;
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: cps_run --list\n"
                "       cps_run <experiment>... [--jobs N] [--csv DIR] [--seed S]\n"
-               "       cps_run all [--jobs N] [--csv DIR] [--seed S]\n\n"
+               "                               [--fixture-store DIR] [--shard i/N]\n"
+               "       cps_run <experiment>... --merge N [--csv DIR]\n"
+               "       cps_run all [--jobs N] [--csv DIR] [--seed S] [--fixture-store DIR]\n\n"
                "run `cps_run --list` for the experiment catalog.\n");
 }
 
 void print_catalog(std::FILE* out) {
-  cps::TextTable table({"experiment", "description"});
+  cps::TextTable table({"experiment", "description", "shardable"});
   for (const Experiment* experiment : ExperimentRegistry::instance().list())
-    table.add_row({experiment->name(), experiment->description()});
+    table.add_row({experiment->name(), experiment->description(),
+                   experiment->shardable() ? "yes" : ""});
   std::fprintf(out, "%zu registered experiments:\n%s", ExperimentRegistry::instance().size(),
                table.render().c_str());
 }
@@ -68,6 +90,24 @@ std::uint64_t parse_u64(const char* flag, const std::string& value) {
   }
 }
 
+/// Parse "--shard i/N" into (index, count); exits with status 2 on
+/// malformed input.
+std::pair<std::uint64_t, std::uint64_t> parse_shard(const std::string& value) {
+  const std::size_t slash = value.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= value.size()) {
+    std::fprintf(stderr, "cps_run: --shard expects i/N (e.g. 0/2), got '%s'\n", value.c_str());
+    std::exit(2);
+  }
+  const std::uint64_t index = parse_u64("--shard", value.substr(0, slash));
+  const std::uint64_t count = parse_u64("--shard", value.substr(slash + 1));
+  if (count < 1 || count > kMaxShards || index >= count) {
+    std::fprintf(stderr, "cps_run: --shard needs 0 <= i < N <= %llu, got '%s'\n",
+                 static_cast<unsigned long long>(kMaxShards), value.c_str());
+    std::exit(2);
+  }
+  return {index, count};
+}
+
 int run_experiments(const std::vector<const Experiment*>& experiments,
                     ExperimentContext& context) {
   int failures = 0;
@@ -75,6 +115,13 @@ int run_experiments(const std::vector<const Experiment*>& experiments,
     const auto start = std::chrono::steady_clock::now();
     try {
       experiment->run(context);
+      // Shard provenance: stamp each partial with the campaign seed and
+      // its slot so --merge can refuse stale or mixed-campaign partials.
+      if (context.sharded()) {
+        for (const auto& artifact : experiment->sweep_artifacts())
+          cps::runtime::write_shard_meta(context.artifact_path(artifact), context.seed,
+                                         context.shard_index, context.shard_count);
+      }
       const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
       std::fprintf(context.out, "[cps_run] %s done in %.2f s\n", experiment->name().c_str(),
                    elapsed.count());
@@ -87,6 +134,42 @@ int run_experiments(const std::vector<const Experiment*>& experiments,
   const auto cache = cps::runtime::FixtureCache::instance().stats();
   std::fprintf(context.out, "[cps_run] fixture cache: %zu hits, %zu misses, %zu entries\n",
                cache.hits, cache.misses, cache.entries);
+  if (const auto store = cps::runtime::FixtureCache::instance().store()) {
+    const auto disk = store->stats();
+    std::fprintf(context.out,
+                 "[cps_run] fixture store (%s): %zu disk hits, %zu disk misses, "
+                 "%zu writes, %zu invalid\n",
+                 store->directory().c_str(), disk.disk_hits, disk.disk_misses, disk.writes,
+                 disk.invalid);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+/// `--merge N`: concatenate the shard partials of every named sweep
+/// experiment into the canonical CSVs.
+int merge_experiments(const std::vector<const Experiment*>& experiments,
+                      const ExperimentContext& context, std::size_t shard_count) {
+  int failures = 0;
+  for (const Experiment* experiment : experiments) {
+    if (!experiment->shardable()) {
+      std::fprintf(stderr, "[cps_run] %s has no sweep artifacts to merge\n",
+                   experiment->name().c_str());
+      ++failures;
+      continue;
+    }
+    for (const auto& artifact : experiment->sweep_artifacts()) {
+      const std::string canonical = context.csv_path(artifact);
+      try {
+        const std::size_t rows = cps::runtime::merge_sweep_csv(canonical, shard_count);
+        std::fprintf(context.out, "[cps_run] merged %zu shards -> %s (%zu rows)\n",
+                     shard_count, canonical.c_str(), rows);
+      } catch (const std::exception& error) {
+        ++failures;
+        std::fprintf(stderr, "[cps_run] merge of %s FAILED: %s\n", canonical.c_str(),
+                     error.what());
+      }
+    }
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -95,8 +178,11 @@ int run_experiments(const std::vector<const Experiment*>& experiments,
 int main(int argc, char** argv) {
   std::vector<std::string> names;
   ExperimentContext context;
+  std::string fixture_store_dir;
   bool list_only = false;
   bool run_all = false;
+  bool merge = false;
+  std::uint64_t merge_shards = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -120,6 +206,20 @@ int main(int argc, char** argv) {
       context.csv_dir = flag_value("--csv");
     } else if (arg == "--seed") {
       context.seed = parse_u64("--seed", flag_value("--seed"));
+    } else if (arg == "--fixture-store") {
+      fixture_store_dir = flag_value("--fixture-store");
+    } else if (arg == "--shard") {
+      const auto [index, count] = parse_shard(flag_value("--shard"));
+      context.shard_index = static_cast<std::size_t>(index);
+      context.shard_count = static_cast<std::size_t>(count);
+    } else if (arg == "--merge") {
+      merge = true;
+      merge_shards = parse_u64("--merge", flag_value("--merge"));
+      if (merge_shards < 2 || merge_shards > kMaxShards) {
+        std::fprintf(stderr, "cps_run: --merge needs a shard count in [2, %llu]\n",
+                     static_cast<unsigned long long>(kMaxShards));
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       print_usage(stdout);
       return 0;
@@ -146,6 +246,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cps_run: 'all' cannot be combined with named experiments\n");
     return 2;
   }
+  if (merge && (context.sharded() || run_all)) {
+    std::fprintf(stderr, "cps_run: --merge cannot be combined with --shard or 'all'\n");
+    return 2;
+  }
 
   std::vector<const Experiment*> experiments;
   if (run_all) {
@@ -162,12 +266,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (context.sharded()) {
+    // Sharding partitions sweep index ranges; an experiment that never
+    // consults ctx.shard_* would silently run in full on every shard, so
+    // only experiments that declare sweep artifacts accept --shard.
+    for (const Experiment* experiment : experiments) {
+      if (!experiment->shardable()) {
+        std::fprintf(stderr, "cps_run: experiment '%s' does not support --shard\n",
+                     experiment->name().c_str());
+        return 2;
+      }
+    }
+  }
+
+  if (merge) return merge_experiments(experiments, context, merge_shards);
+
   if (!context.csv_dir.empty()) {
     std::error_code error;
     std::filesystem::create_directories(context.csv_dir, error);
     if (error) {
       std::fprintf(stderr, "cps_run: cannot create csv dir '%s': %s\n",
                    context.csv_dir.c_str(), error.message().c_str());
+      return 2;
+    }
+  }
+
+  if (!fixture_store_dir.empty()) {
+    try {
+      cps::runtime::FixtureCache::instance().set_store(
+          std::make_shared<cps::runtime::FixtureStore>(fixture_store_dir));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "cps_run: cannot open fixture store: %s\n", error.what());
       return 2;
     }
   }
