@@ -1,0 +1,124 @@
+// Strong-scaling bench of the parallel exact slot allocator.
+//
+// Times two things on the fixed proving instances also used by the
+// sweep_alloc_parallel experiment (src/experiments/sweep_alloc_parallel.cpp):
+//
+//  * alloc_parallel_n{18,20}_optimal_j1 — the full sequential
+//    optimal_allocate wall-clock (setup + bound proving + witness), the
+//    honest single-core baseline;
+//  * alloc_parallel_n{18,20}_j{1,2,4,8}_critical_path — the wall-clock
+//    the parallel decomposition reaches on j dedicated cores:
+//    profile_exact_search times every frontier subtree task sequentially
+//    (shared-incumbent updates in canonical order) and greedy list
+//    scheduling computes the j-core makespan.  Like
+//    bench/campaign_scaling.cpp's sharded critical paths, this is
+//    core-count-independent and reproducible on the single-core CI
+//    container; on real j-core hardware the threaded search approaches
+//    these numbers (the incumbent then propagates asynchronously, which
+//    can only prune earlier).
+//
+// Emits Google-Benchmark-compatible JSON on stdout (the fields
+// bench_compare.py reads, including the library_build_type the debug-
+// snapshot gate checks).  Each measurement repeats kIterations times and
+// reports the minimum.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/slot_allocation.hpp"
+#include "experiments/fixtures.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::analysis;
+
+constexpr int kIterations = 3;
+
+/// The bench times the two largest of the shared proving instances
+/// (experiments::alloc_proving_instances — same table the
+/// sweep_alloc_parallel experiment runs).
+constexpr int kMinBenchedN = 18;
+
+constexpr int kJobSweep[] = {1, 2, 4, 8};
+
+struct Result {
+  std::string name;
+  double seconds = 0.0;
+};
+
+std::vector<Result> g_results;
+
+void record(const std::string& name, double seconds) {
+  std::fprintf(stderr, "  %-44s %10.2f ms\n", name.c_str(), seconds * 1e3);
+  g_results.push_back(Result{name, seconds});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Google-Benchmark-style flags accepted for CI-invocation symmetry;
+  // this bench always writes its JSON to stdout.
+  (void)argc;
+  (void)argv;
+
+  for (const auto& inst : experiments::alloc_proving_instances()) {
+    if (inst.n < kMinBenchedN) continue;
+    const auto set = experiments::alloc_proving_params(inst);
+
+    double sequential = 1e100;
+    std::vector<double> critical(std::size(kJobSweep), 1e100);
+    std::size_t optimal = 0, seed_slots = 0, tasks = 0;
+    for (int iteration = 0; iteration < kIterations; ++iteration) {
+      const auto start = std::chrono::steady_clock::now();
+      const Allocation alloc = optimal_allocate(set);
+      sequential = std::min(
+          sequential,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+
+      const ExactSearchProfile profile = profile_exact_search(set);
+      if (profile.optimal_slots != alloc.slot_count()) {
+        std::fprintf(stderr, "alloc_parallel: profile disagrees with optimal_allocate\n");
+        return 1;
+      }
+      optimal = profile.optimal_slots;
+      seed_slots = profile.seed_slots;
+      tasks = profile.task_seconds.size();
+      for (std::size_t j = 0; j < std::size(kJobSweep); ++j)
+        critical[j] = std::min(critical[j], profile.critical_path_seconds(kJobSweep[j]));
+    }
+
+    const std::string prefix = "alloc_parallel_n" + std::to_string(inst.n);
+    std::fprintf(stderr, "n=%d: first-fit %zu -> optimum %zu, %zu subtree tasks\n", inst.n,
+                 seed_slots, optimal, tasks);
+    record(prefix + "_optimal_j1", sequential);
+    for (std::size_t j = 0; j < std::size(kJobSweep); ++j)
+      record(prefix + "_j" + std::to_string(kJobSweep[j]) + "_critical_path", critical[j]);
+    std::fprintf(stderr, "  j8-vs-j1 critical-path speedup: %.2fx\n\n",
+                 critical[0] / critical[std::size(kJobSweep) - 1]);
+  }
+
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  // Google-Benchmark-compatible JSON (the fields bench_compare.py reads;
+  // this binary links no benchmark harness, so both build-type fields
+  // mean the project library).
+  std::printf("{\n  \"context\": {\"executable\": \"alloc_parallel\", "
+              "\"library_build_type\": \"%s\", \"cps_library_build_type\": \"%s\"},\n",
+              build_type, build_type);
+  std::printf("  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < g_results.size(); ++i) {
+    std::printf("    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+                "\"real_time\": %.3f, \"cpu_time\": %.3f, \"time_unit\": \"ms\"}%s\n",
+                g_results[i].name.c_str(), g_results[i].seconds * 1e3,
+                g_results[i].seconds * 1e3, i + 1 < g_results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

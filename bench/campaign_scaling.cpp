@@ -215,8 +215,17 @@ int main(int argc, char** argv) {
                "4-shard campaign speedup (critical path): %.2fx\n",
                fixtures_cold / fixtures_warm, flexray_warm / shard2, flexray_warm / shard4);
 
-  // Google-Benchmark-compatible JSON (the fields bench_compare.py reads).
-  std::printf("{\n  \"context\": {\"executable\": \"campaign_scaling\"},\n");
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  // Google-Benchmark-compatible JSON (the fields bench_compare.py reads,
+  // including the build-type fields the debug-snapshot gate checks; this
+  // binary links no benchmark harness, so both fields mean the project).
+  std::printf("{\n  \"context\": {\"executable\": \"campaign_scaling\", "
+              "\"library_build_type\": \"%s\", \"cps_library_build_type\": \"%s\"},\n",
+              build_type, build_type);
   std::printf("  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < g_results.size(); ++i) {
     std::printf("    {\"name\": \"%s\", \"run_type\": \"iteration\", "

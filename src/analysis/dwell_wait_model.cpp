@@ -2,11 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 
 #include "util/error.hpp"
 
 namespace cps::analysis {
+
+namespace {
+
+bool lines_equal(const EnvelopeLine& a, const EnvelopeLine& b) {
+  return bits_equal(a.intercept, b.intercept) && bits_equal(a.slope, b.slope);
+}
+
+}  // namespace
 
 bool DwellWaitModel::dominates(const sim::DwellWaitCurve& curve, double tol) const {
   return max_violation(curve) <= tol;
@@ -128,6 +138,25 @@ double NonMonotonicModel::dwell(double wait) const {
   return std::max(0.0, std::min(rising_.at(wait), falling_.at(wait)));
 }
 
+double NonMonotonicModel::min_response_from(double wait) const {
+  if (wait >= zero_wait_) return wait;  // dwell is 0 from here on
+  // response(w) = w + dwell(w) is piecewise linear with breakpoints at the
+  // peak and at zero_wait, so its infimum over [wait, inf) is attained at
+  // `wait`, at a breakpoint >= wait, or nowhere below w (slope 1 beyond
+  // zero_wait).
+  double best = wait + dwell(wait);
+  best = std::min(best, zero_wait_);
+  if (k_p_ >= wait) best = std::min(best, k_p_ + dwell(k_p_));
+  return best;
+}
+
+bool NonMonotonicModel::same_curve(const DwellWaitModel& other) const {
+  if (this == &other) return true;
+  const auto* o = dynamic_cast<const NonMonotonicModel*>(&other);
+  return o != nullptr && lines_equal(rising_, o->rising_) &&
+         lines_equal(falling_, o->falling_);
+}
+
 // ---------------------------------------------------------------------------
 // ConservativeMonotonicModel
 
@@ -162,6 +191,20 @@ double ConservativeMonotonicModel::dwell(double wait) const {
   return xi_m_prime_ * (1.0 - wait / xi_et_);
 }
 
+double ConservativeMonotonicModel::min_response_from(double wait) const {
+  if (wait >= xi_et_) return wait;
+  // One falling piece ending at (xi_et, 0): the infimum of the linear
+  // response is at `wait` or at the zero-dwell breakpoint.
+  return std::min(wait + dwell(wait), xi_et_);
+}
+
+bool ConservativeMonotonicModel::same_curve(const DwellWaitModel& other) const {
+  if (this == &other) return true;
+  const auto* o = dynamic_cast<const ConservativeMonotonicModel*>(&other);
+  return o != nullptr && bits_equal(xi_m_prime_, o->xi_m_prime_) &&
+         bits_equal(xi_et_, o->xi_et_);
+}
+
 // ---------------------------------------------------------------------------
 // SimpleMonotonicModel
 
@@ -179,6 +222,17 @@ double SimpleMonotonicModel::dwell(double wait) const {
   CPS_ENSURE(wait >= 0.0, "dwell: wait must be >= 0");
   if (wait >= xi_et_) return 0.0;
   return xi_tt_ * (1.0 - wait / xi_et_);
+}
+
+double SimpleMonotonicModel::min_response_from(double wait) const {
+  if (wait >= xi_et_) return wait;
+  return std::min(wait + dwell(wait), xi_et_);
+}
+
+bool SimpleMonotonicModel::same_curve(const DwellWaitModel& other) const {
+  if (this == &other) return true;
+  const auto* o = dynamic_cast<const SimpleMonotonicModel*>(&other);
+  return o != nullptr && bits_equal(xi_tt_, o->xi_tt_) && bits_equal(xi_et_, o->xi_et_);
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +263,27 @@ double ConcaveEnvelopeModel::max_dwell() const {
 }
 
 double ConcaveEnvelopeModel::zero_wait() const { return hull_.back().first; }
+
+double ConcaveEnvelopeModel::min_response_from(double wait) const {
+  if (wait >= hull_.back().first) return wait;
+  // Piecewise linear between hull vertices (flat left of the first one):
+  // the infimum over [wait, inf) is at `wait` or at a vertex >= wait.
+  double best = wait + dwell(wait);
+  for (const auto& [w, d] : hull_)
+    if (w >= wait) best = std::min(best, w + d);
+  return best;
+}
+
+bool ConcaveEnvelopeModel::same_curve(const DwellWaitModel& other) const {
+  if (this == &other) return true;
+  const auto* o = dynamic_cast<const ConcaveEnvelopeModel*>(&other);
+  if (o == nullptr || hull_.size() != o->hull_.size()) return false;
+  for (std::size_t i = 0; i < hull_.size(); ++i)
+    if (!bits_equal(hull_[i].first, o->hull_[i].first) ||
+        !bits_equal(hull_[i].second, o->hull_[i].second))
+      return false;
+  return true;
+}
 
 std::size_t ConcaveEnvelopeModel::piece_count() const {
   return hull_.size() < 2 ? 0 : hull_.size() - 1;

@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
@@ -31,6 +33,18 @@
 #include "sim/dwell_wait.hpp"
 
 namespace cps::analysis {
+
+/// Bitwise double equality (distinguishes -0.0 from 0.0 and NaN
+/// payloads) — the strictest notion of "the analysis cannot tell these
+/// values apart".  Shared by the model-identity checks below
+/// (same_curve) and the slot allocator's twin detection, which must
+/// agree exactly for the symmetry screen to be sound.
+inline bool bits_equal(double a, double b) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  return ba == bb;
+}
 
 /// Interface of all dwell/wait models (times in seconds).
 class DwellWaitModel {
@@ -60,6 +74,22 @@ class DwellWaitModel {
 
   /// Largest under-approximation versus the curve (0 when sound).
   double max_violation(const sim::DwellWaitCurve& curve) const;
+
+  /// Sound lower bound on inf over w >= wait of response(w).  Used by the
+  /// slot allocator's conflict-pair screen: once an application's wait in
+  /// any candidate slot is known to be at least `wait`, a bound above the
+  /// deadline proves the slot infeasible without running the analysis.
+  /// The base implementation returns `wait` (dwell times are
+  /// non-negative), which is always sound; piecewise-linear models
+  /// override it with the exact infimum over their breakpoints.
+  virtual double min_response_from(double wait) const { return wait; }
+
+  /// True when `other` models the IDENTICAL dwell/wait curve (same family,
+  /// bitwise-equal parameters), so the schedulability analysis cannot
+  /// distinguish the two applications.  Used by the slot allocator's
+  /// symmetry breaking; the base implementation (object identity) is the
+  /// sound fallback for model families that do not override it.
+  virtual bool same_curve(const DwellWaitModel& other) const { return this == &other; }
 };
 
 /// Shared-ownership handle used across the analysis layer.
@@ -95,6 +125,8 @@ class NonMonotonicModel final : public DwellWaitModel {
   double max_dwell() const override { return xi_m_; }
   double zero_wait() const override { return zero_wait_; }
   std::string name() const override { return "non-monotonic"; }
+  double min_response_from(double wait) const override;
+  bool same_curve(const DwellWaitModel& other) const override;
 
   /// Modeled dwell at wait 0 (the pure-TT settling time).
   double xi_tt() const { return rising_.at(0.0); }
@@ -131,6 +163,8 @@ class ConservativeMonotonicModel final : public DwellWaitModel {
   double max_dwell() const override { return xi_m_prime_; }
   double zero_wait() const override { return xi_et_; }
   std::string name() const override { return "conservative-monotonic"; }
+  double min_response_from(double wait) const override;
+  bool same_curve(const DwellWaitModel& other) const override;
 
   /// The over-provisioned maximum dwell xi'^M (Table I's xi'^M column).
   double xi_m_prime() const { return xi_m_prime_; }
@@ -153,6 +187,8 @@ class SimpleMonotonicModel final : public DwellWaitModel {
   double max_dwell() const override { return xi_tt_; }
   double zero_wait() const override { return xi_et_; }
   std::string name() const override { return "simple-monotonic"; }
+  double min_response_from(double wait) const override;
+  bool same_curve(const DwellWaitModel& other) const override;
 
  private:
   double xi_tt_;
@@ -170,6 +206,8 @@ class ConcaveEnvelopeModel final : public DwellWaitModel {
   double max_dwell() const override;
   double zero_wait() const override;
   std::string name() const override { return "concave-envelope"; }
+  double min_response_from(double wait) const override;
+  bool same_curve(const DwellWaitModel& other) const override;
 
   /// Number of linear pieces of the hull.
   std::size_t piece_count() const;

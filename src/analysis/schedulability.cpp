@@ -81,11 +81,9 @@ std::optional<double> max_wait_fixed_point(const std::vector<AppSchedParams>& sl
 
   for (int it = 0; it < max_iterations; ++it) {
     double next = a;
-    for (std::size_t j = 0; j < index; ++j) {
-      const double arrivals =
-          std::max(1.0, std::ceil(k / slot_apps[j].min_inter_arrival - 1e-12));
-      next += arrivals * slot_apps[j].model->max_dwell();
-    }
+    for (std::size_t j = 0; j < index; ++j)
+      next += fixed_point_interference_term(k, slot_apps[j].min_inter_arrival,
+                                            slot_apps[j].model->max_dwell());
     if (std::fabs(next - k) <= 1e-12) return next;
     k = next;
   }

@@ -23,6 +23,8 @@
 // ablation.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 #include <string>
 #include <vector>
@@ -86,6 +88,19 @@ std::optional<double> max_wait_lower_bound(const std::vector<AppSchedParams>& sl
 /// std::nullopt when m >= 1.
 std::optional<double> max_wait_fixed_point(const std::vector<AppSchedParams>& slot_apps,
                                            std::size_t index, int max_iterations = 10000);
+
+/// One interference term of the Eq. (5) recurrence: arrivals of a
+/// higher-priority application (peak dwell xi_m, minimum inter-arrival r)
+/// during a wait of k, including the simultaneous critical-instant
+/// release (the max with 1).  Exposed so every evaluation of the
+/// recurrence — max_wait_fixed_point here, the allocator's feasibility
+/// engine and its conflict-pair lower bound
+/// (analysis/slot_allocation.cpp) — shares the IDENTICAL expression,
+/// same ceil epsilon and operation order; the conflict screen's
+/// soundness depends on that bitwise agreement.
+inline double fixed_point_interference_term(double k, double r, double xi_m) {
+  return std::max(1.0, std::ceil(k / r - 1e-12)) * xi_m;
+}
 
 /// Analyze every application sharing one slot.  `slot_apps` in any order;
 /// they are analyzed in deadline (priority) order and returned that way.

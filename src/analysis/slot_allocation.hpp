@@ -33,6 +33,14 @@ struct AllocationOptions {
   /// Upper bound on slots (the paper's m); throws InfeasibleError when
   /// exceeded.  0 = unlimited.
   std::size_t max_slots = 0;
+  /// Worker threads for optimal_allocate's bound-proving search (ignored
+  /// by the heuristics).  <= 1 proves sequentially; > 1 fans the
+  /// top-level branch-and-bound subtrees across a
+  /// runtime::ParallelSearch with a shared atomic incumbent.  The
+  /// returned Allocation is IDENTICAL for every value (the proven count
+  /// is a schedule-independent minimum and the witness partition is
+  /// reconstructed by a canonical sequential pass).
+  int exact_jobs = 1;
 };
 
 /// First-fit allocation (the paper's heuristic).  Applications may be
@@ -53,26 +61,64 @@ Allocation best_fit_allocate(std::vector<AppSchedParams> apps,
 /// than `max_apps_for_exact` applications.
 ///
 /// The search is the optimized two-phase kernel:
-///  1. a best-first bound-proving pass (slots ordered by descending
-///     interference load) establishes the optimal slot count, pruned by a
-///     precomputed utilization lower-bound table and last-application
-///     dominance, on top of a memoized allocation-free slot-feasibility
-///     engine;
+///  1. a bound-proving pass establishes the optimal slot count —
+///     sequentially best-first (slots ordered by descending interference
+///     load), or, with options.exact_jobs > 1, fanned across top-level
+///     subtrees on a runtime::ParallelSearch with a shared atomic
+///     incumbent.  Either way it is pruned by (a) a precomputed
+///     utilization / fractional-packing lower-bound table, (b) a greedy
+///     max-clique bound over the precomputed conflict-pair graph (pairs
+///     that provably can never share a slot), (c) canonical symmetry
+///     breaking over interchangeable applications (an application whose
+///     adjacent priority predecessor is identical never goes into a
+///     lower-indexed slot than that twin), and (d) last-application
+///     dominance — all on top of a memoized allocation-free
+///     slot-feasibility engine;
 ///  2. when the proven optimum improves on the first-fit seed, a canonical
 ///     depth-first pass reconstructs the exact partition the
 ///     pre-optimization search would have returned.
 /// The result is therefore bit-identical to optimal_allocate_reference for
 /// every input on which the slot analysis completes (asserted by
-/// tests/analysis_golden_test.cpp).  One carve-out: under
+/// tests/analysis_golden_test.cpp) and identical at every exact_jobs
+/// value (tests/analysis_parallel_alloc_test.cpp).  One carve-out: under
 /// MaxWaitMethod::kFixedPoint, inputs whose recurrence exceeds the
 /// iteration cap (interference utilization pathologically close to 1)
 /// raise NumericalError at whichever candidate slot set a search tests
-/// first, and the two searches test different sets — so *which* call
-/// throws may differ there.  The exact search additionally requires
-/// <= 64 applications (bitmask memo state).
+/// first, and the searches test different sets — so *which* call throws
+/// may differ there.  The exact search additionally requires <= 64
+/// applications (bitmask memo state).
 Allocation optimal_allocate(std::vector<AppSchedParams> apps,
                             const AllocationOptions& options = {},
-                            std::size_t max_apps_for_exact = 12);
+                            std::size_t max_apps_for_exact = 20);
+
+/// Strong-scaling profile of one exact search, for the alloc_parallel
+/// bench and the sweep_alloc_parallel experiment: times the sequential
+/// bound-proving pass, then re-proves through the parallel decomposition
+/// run one task at a time (runtime::ParallelSearch::map_timed), recording
+/// per-task wall times in canonical order.  critical_path_seconds(j) is
+/// the wall-clock the decomposition reaches on j dedicated cores under
+/// greedy list scheduling — the core-count-independent emulation also
+/// used by bench/campaign_scaling.cpp for process shards.
+struct ExactSearchProfile {
+  std::size_t n = 0;                 ///< applications in the instance
+  std::size_t optimal_slots = 0;     ///< proven optimum
+  std::size_t seed_slots = 0;        ///< first-fit upper bound
+  std::size_t root_lower_bound = 0;  ///< root lower bound (util/packing/clique max)
+  double sequential_seconds = 0.0;   ///< jobs=1 bound-proving wall time
+  double setup_seconds = 0.0;        ///< facts + seed + frontier expansion
+  double witness_seconds = 0.0;      ///< canonical witness reconstruction
+  std::vector<double> task_seconds;  ///< per-subtree wall, canonical order
+  /// Emulated wall-clock of the fan-out on `jobs` dedicated cores:
+  /// setup + list-schedule makespan of the subtree tasks + witness.
+  double critical_path_seconds(int jobs) const;
+};
+
+/// Profile the exact search on one instance (see ExactSearchProfile).
+/// Runs everything on the calling thread; the profiled instance must be
+/// feasible (throws InfeasibleError otherwise, like optimal_allocate).
+ExactSearchProfile profile_exact_search(std::vector<AppSchedParams> apps,
+                                        const AllocationOptions& options = {},
+                                        std::size_t max_apps_for_exact = 20);
 
 /// The pre-optimization exhaustive branch-and-bound, frozen verbatim (one
 /// full analyze_slot per visited node, no lower bounds, no memoization).

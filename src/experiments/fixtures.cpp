@@ -110,11 +110,14 @@ const FixtureCodec<sim::DwellWaitCurve>& curve_codec() {
 }
 
 const FixtureCodec<std::vector<plants::SynthesizedApp>>& fleet_codec() {
+  // /v2: every application carries its PlantFamily (the extra-fleet pool
+  // spans three families); stale /v1 files recompute instead of misread.
   static const FixtureCodec<std::vector<plants::SynthesizedApp>> codec{
-      "fleet_synthesis/v1",
+      "fleet_synthesis/v2",
       [](const std::vector<plants::SynthesizedApp>& fleet, BinaryWriter& out) {
         out.write_u64(fleet.size());
         for (const auto& app : fleet) {
+          out.write_u64(static_cast<std::uint64_t>(app.family));
           out.write_string(app.target.name);
           out.write_double(app.target.r);
           out.write_double(app.target.xi_d);
@@ -149,6 +152,7 @@ const FixtureCodec<std::vector<plants::SynthesizedApp>>& fleet_codec() {
         std::vector<plants::SynthesizedApp> fleet;
         fleet.reserve(count);
         for (std::size_t i = 0; i < count; ++i) {
+          const auto family = static_cast<plants::PlantFamily>(in.read_u64());
           plants::AppTimingParams target;
           target.name = in.read_string();
           target.r = in.read_double();
@@ -185,7 +189,7 @@ const FixtureCodec<std::vector<plants::SynthesizedApp>>& fleet_codec() {
           fleet.push_back(plants::SynthesizedApp{
               std::move(target),
               control::StateSpace(std::move(a), std::move(b), std::move(c), std::move(d)),
-              std::move(spec), std::move(x0), threshold});
+              std::move(spec), std::move(x0), threshold, family});
         }
         return fleet;
       }};
@@ -252,6 +256,14 @@ std::shared_ptr<const std::vector<plants::SynthesizedApp>> paper_fleet() {
       "fleet_synthesis/table1-v1", fleet_codec(), [] { return plants::synthesize_fleet(); });
 }
 
+std::shared_ptr<const std::vector<plants::SynthesizedApp>> extra_fleet(std::size_t count,
+                                                                       std::uint64_t seed) {
+  FixtureKey key("fleet_synthesis");
+  key.add("extras-v1").add(std::uint64_t{count}).add(seed);
+  return FixtureCache::instance().get_or_compute<std::vector<plants::SynthesizedApp>>(
+      key, fleet_codec(), [&] { return plants::synthesize_extra_fleet(count, seed); });
+}
+
 std::vector<core::ControlApplication> build_paper_fleet() {
   std::vector<core::ControlApplication> apps;
   const auto fleet = paper_fleet();
@@ -316,6 +328,21 @@ RandomAppRanges bounds_ablation_ranges() {
   r.r_factor_lo = 5.0, r.r_factor_hi = 40.0;
   r.deadline_frac_lo = 0.8, r.deadline_frac_hi = 1.0;
   return r;
+}
+
+const std::vector<AllocProvingInstance>& alloc_proving_instances() {
+  static const std::vector<AllocProvingInstance> instances = {
+      {14, 0x5EED3606ULL},
+      {16, 0x5EED4604ULL},
+      {18, 0x5EED6619ULL},
+      {20, 0x5EED860DULL},
+  };
+  return instances;
+}
+
+std::vector<analysis::AppSchedParams> alloc_proving_params(const AllocProvingInstance& inst) {
+  Rng rng(inst.seed);
+  return random_sched_params(rng, inst.n, allocator_ablation_ranges());
 }
 
 std::vector<analysis::AppSchedParams> random_sched_params(Rng& rng, int n,

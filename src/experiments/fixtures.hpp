@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,13 @@ std::shared_ptr<const sim::DwellWaitCurve> measure_synthesized_curve(
 /// The calibrated six-plant fleet (plants::synthesize_fleet), synthesized
 /// once per process and shared via the FixtureCache.
 std::shared_ptr<const std::vector<plants::SynthesizedApp>> paper_fleet();
+
+/// A pool of `count` extra applications spanning the three plant families
+/// (plants::synthesize_extra_fleet), content-addressed by (count, seed)
+/// and shared via the FixtureCache.  sweep_flexray_params draws its
+/// random fleet augmentations from this pool.
+std::shared_ptr<const std::vector<plants::SynthesizedApp>> extra_fleet(std::size_t count,
+                                                                       std::uint64_t seed);
 
 /// Build the six case-study ControlApplications from the synthesized
 /// fleet (cached fleet + cached hybrid loop designs; the applications
@@ -79,5 +87,22 @@ RandomAppRanges bounds_ablation_ranges();
 /// draws is fixed, so a given (rng state, n, ranges) reproduces exactly.
 std::vector<analysis::AppSchedParams> random_sched_params(Rng& rng, int n,
                                                           const RandomAppRanges& ranges);
+
+/// One fixed proving instance of the parallel exact allocator: seeds
+/// chosen so the drawn instance is feasible and its first-fit seed
+/// exceeds the root lower bound (the search must actually prove).
+/// Shared by the sweep_alloc_parallel experiment and
+/// bench/alloc_parallel.cpp so the committed strong-scaling snapshot
+/// always measures the experiment's instances.
+struct AllocProvingInstance {
+  int n;               ///< application count
+  std::uint64_t seed;  ///< Rng seed the instance is drawn from
+};
+
+/// The proving instances, ascending in n (currently 14, 16, 18, 20).
+const std::vector<AllocProvingInstance>& alloc_proving_instances();
+
+/// Materialize one proving instance (allocator_ablation_ranges draws).
+std::vector<analysis::AppSchedParams> alloc_proving_params(const AllocProvingInstance& inst);
 
 }  // namespace cps::experiments

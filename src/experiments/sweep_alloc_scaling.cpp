@@ -4,12 +4,16 @@
 // count grows beyond the paper's six-app case study.  "sweep_alloc" keeps
 // the original small grid (optimum only up to kMaxExactSize = 6, the
 // limit of the pre-optimization search); "sweep_alloc_scaling" runs the
-// exact optimum on every instance up to 12 applications, which the pruned
-// branch-and-bound (analysis/slot_allocation.cpp) made practical.
+// exact optimum on every instance up to 20 applications, which the
+// pruned, conflict-screened branch-and-bound
+// (analysis/slot_allocation.cpp) made practical.
 //
 // Both (size x trial) grids fan across ctx.jobs cores via SweepRunner;
 // every grid point draws only from its own task-seeded Rng, so the CSVs
-// are bit-identical for any job count.
+// are bit-identical for any job count (except the explicitly exempt
+// *_times.csv wall-clock sidecar).
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -103,16 +107,48 @@ CPS_EXPERIMENT(sweep_alloc, "Sweep: allocator quality vs application-set size (p
 // ---------------------------------------------------------------------------
 // Experiment "sweep_alloc_scaling" — the same question at a scale the
 // pre-optimization branch-and-bound could not touch: the exact optimum on
-// every instance up to 12 applications (the old search visited a full
-// analyze_slot per node and blew up combinatorially past ~6 apps; the
-// pruned, memoized search handles n = 12 in milliseconds).  Reports the
-// first-fit optimality gap that the small grid above cannot see.
+// every instance up to 20 applications.  The PR-2 pruned/memoized search
+// made n = 12 practical; the conflict-pair, symmetry-breaking and
+// packing/clique lower-bound layers (analysis/slot_allocation.cpp) push
+// the proven optimum to n = 20 in milliseconds per typical instance.
+// Reports the first-fit optimality gap that the small grid above cannot
+// see, plus a wall-time sidecar CSV.
+//
+// Determinism note: sweep_alloc_scaling.csv (the allocation results) is
+// bit-identical for any --jobs and is what CI cmp's; the *_times.csv
+// sidecar records measured wall-clocks and is explicitly exempt from the
+// bit-identity contract (timings are not results).
 
 namespace {
 
 constexpr int kScalingMinSize = 6;
-constexpr int kScalingMaxSize = 12;
-constexpr std::size_t kScalingTrials = 20;
+constexpr int kScalingMaxSize = 20;
+
+/// Trials shrink as the exact search grows: enough samples for stable
+/// averages at campaign-relevant sizes while the whole sweep stays in
+/// CI-smoke territory (the rare hard n ~ 20 instance proves in a few
+/// hundred milliseconds).
+constexpr std::size_t scaling_trials(int size) {
+  return size <= 12 ? 20 : size <= 16 ? 12 : 8;
+}
+
+std::size_t scaling_total_points() {
+  std::size_t total = 0;
+  for (int size = kScalingMinSize; size <= kScalingMaxSize; ++size)
+    total += scaling_trials(size);
+  return total;
+}
+
+/// Size of the instance at a global sweep index (sizes are laid out
+/// contiguously, each with its own trial count).
+int scaling_size_of(std::size_t index) {
+  std::size_t offset = 0;
+  for (int size = kScalingMinSize; size <= kScalingMaxSize; ++size) {
+    offset += scaling_trials(size);
+    if (index < offset) return size;
+  }
+  return kScalingMaxSize;  // unreachable for in-range indices
+}
 
 struct ScalingCell {
   int size = 0;
@@ -120,17 +156,21 @@ struct ScalingCell {
   std::size_t first_fit = 0;
   std::size_t best_fit = 0;
   std::size_t optimal = 0;
+  double exact_seconds = 0.0;  ///< wall time of the exact search alone
 };
 
 ScalingCell run_scaling_cell(std::size_t index, Rng& rng) {
   ScalingCell cell;
-  cell.size = kScalingMinSize + static_cast<int>(index / kScalingTrials);
+  cell.size = scaling_size_of(index);
   const auto set = experiments::random_sched_params(rng, cell.size,
                                                     experiments::allocator_ablation_ranges());
   try {
     cell.first_fit = first_fit_allocate(set).slot_count();
     cell.best_fit = best_fit_allocate(set).slot_count();
+    const auto start = std::chrono::steady_clock::now();
     cell.optimal = optimal_allocate(set).slot_count();
+    cell.exact_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     cell.feasible = true;
   } catch (const InfeasibleError&) {
     // Infeasible even on dedicated slots; excluded from the averages.
@@ -141,44 +181,57 @@ ScalingCell run_scaling_cell(std::size_t index, Rng& rng) {
 }  // namespace
 
 CPS_EXPERIMENT(sweep_alloc_scaling,
-               "Sweep: exact optimum vs heuristics up to 12 apps (pruned B&B)") {
-  std::fprintf(ctx.out, "== Sweep: allocator scaling with the exact optimum to n = 12 ==\n");
-  std::fprintf(ctx.out, "(%zu random instances per size, %d jobs)\n\n", kScalingTrials,
-               ctx.jobs);
+               "Sweep: exact optimum vs heuristics up to 20 apps (parallel-ready B&B)") {
+  std::fprintf(ctx.out, "== Sweep: allocator scaling with the exact optimum to n = 20 ==\n");
+  std::fprintf(ctx.out, "(%zu..%zu random instances per size, %d jobs)\n\n",
+               scaling_trials(kScalingMaxSize), scaling_trials(kScalingMinSize), ctx.jobs);
 
-  const std::size_t sizes = static_cast<std::size_t>(kScalingMaxSize - kScalingMinSize + 1);
   runtime::SweepRunner sweep({ctx.jobs, ctx.seed});
-  const auto cells = sweep.run(sizes * kScalingTrials, run_scaling_cell);
+  const auto cells = sweep.run(scaling_total_points(), run_scaling_cell);
 
   const std::string csv_path = ctx.csv_path("sweep_alloc_scaling.csv");
+  const std::string times_path = ctx.csv_path("sweep_alloc_scaling_times.csv");
   CsvWriter csv(csv_path, {"n_apps", "feasible", "avg_first_fit", "avg_best_fit",
                            "avg_optimal", "avg_ff_excess", "ff_optimal_pct"});
-  TextTable table(
-      {"n apps", "feasible", "avg first-fit", "avg best-fit", "avg optimum", "ff optimal"});
+  CsvWriter times_csv(times_path,
+                      {"n_apps", "trials", "feasible", "avg_exact_ms", "max_exact_ms"});
+  TextTable table({"n apps", "feasible", "avg first-fit", "avg best-fit", "avg optimum",
+                   "ff optimal", "avg exact [ms]"});
   for (int size = kScalingMinSize; size <= kScalingMaxSize; ++size) {
     int feasible = 0, ff_hits = 0;
     double ff_sum = 0.0, bf_sum = 0.0, opt_sum = 0.0;
+    double exact_sum = 0.0, exact_max = 0.0;
     for (const auto& cell : cells) {
       if (cell.size != size || !cell.feasible) continue;
       ++feasible;
       ff_sum += static_cast<double>(cell.first_fit);
       bf_sum += static_cast<double>(cell.best_fit);
       opt_sum += static_cast<double>(cell.optimal);
+      exact_sum += cell.exact_seconds;
+      exact_max = std::max(exact_max, cell.exact_seconds);
       if (cell.first_fit == cell.optimal) ++ff_hits;
     }
     const double ff_avg = feasible ? ff_sum / feasible : 0.0;
     const double bf_avg = feasible ? bf_sum / feasible : 0.0;
     const double opt_avg = feasible ? opt_sum / feasible : 0.0;
     const double ff_pct = feasible ? 100.0 * ff_hits / feasible : 0.0;
+    const double exact_avg_ms = feasible ? exact_sum / feasible * 1e3 : 0.0;
     csv.write_row(std::vector<std::string>{
         std::to_string(size), std::to_string(feasible), format_fixed(ff_avg, 4),
         format_fixed(bf_avg, 4), format_fixed(opt_avg, 4),
         format_fixed(ff_avg - opt_avg, 4), format_fixed(ff_pct, 1)});
+    times_csv.write_row(std::vector<std::string>{
+        std::to_string(size), std::to_string(scaling_trials(size)),
+        std::to_string(feasible), format_fixed(exact_avg_ms, 3),
+        format_fixed(exact_max * 1e3, 3)});
     table.add_row({std::to_string(size),
-                   std::to_string(feasible) + "/" + std::to_string(kScalingTrials),
+                   std::to_string(feasible) + "/" + std::to_string(scaling_trials(size)),
                    format_fixed(ff_avg, 3), format_fixed(bf_avg, 3),
-                   format_fixed(opt_avg, 3), format_fixed(ff_pct, 1) + "%"});
+                   format_fixed(opt_avg, 3), format_fixed(ff_pct, 1) + "%",
+                   format_fixed(exact_avg_ms, 2)});
   }
   std::fprintf(ctx.out, "%s\n", table.render().c_str());
-  std::fprintf(ctx.out, "per-size averages written to %s\n\n", csv_path.c_str());
+  std::fprintf(ctx.out, "per-size averages written to %s\n", csv_path.c_str());
+  std::fprintf(ctx.out, "exact-search wall times (non-deterministic) written to %s\n\n",
+               times_path.c_str());
 }

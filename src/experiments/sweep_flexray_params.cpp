@@ -14,9 +14,17 @@
 // exactly the slot-count-vs-cycle-length trade the sweep maps out.
 //
 // Each grid point augments the six quantized paper applications with
-// randomly drawn extra applications (10-12 apps total, the "larger
-// random fleets" direction of the ROADMAP), so the exact optimum
-// exercises the pruned B&B well past the paper's n = 6.
+// extra applications (10-12 apps total, the "larger random fleets"
+// direction of the ROADMAP), so the exact optimum exercises the pruned
+// B&B well past the paper's n = 6.  The extras are no longer bare random
+// tents: they are drawn from a SYNTHESIZED pool of real plants spanning
+// three second-order families (the calibrated scaled oscillator, the
+// underdamped resonant stage, the unstable inverted pendulum —
+// plants::synthesize_extra_fleet), each with a measured dwell/wait curve
+// and a fitted tent model, so the campaign's fleet mix reflects
+// qualitatively different dynamics.  Per trial, the pool pick and the
+// scheduling pressure (r, deadline) are drawn from the grid point's own
+// Rng.
 //
 // Campaign-scale mechanics (this is the repo's reference SHARDED sweep):
 //  * the fleet synthesis and the six dwell/wait curves come through the
@@ -64,10 +72,15 @@ constexpr std::size_t kSlotConfigCount = sizeof(kSlotCounts) / sizeof(kSlotCount
 /// 24k-point grid runs a few seconds single-process in Release and
 /// splits near-linearly across `--shard` processes.
 constexpr std::size_t kTrials = 1000;
-/// Extra random applications per trial: 4, 5 or 6 on top of the paper's
-/// six, so the exact optimum runs on 10-12 applications.
+/// Extra applications per trial: 4, 5 or 6 on top of the paper's six, so
+/// the exact optimum runs on 10-12 applications.
 constexpr int kMinExtraApps = 4;
 constexpr int kExtraAppSpread = 3;
+/// Synthesized augmentation pool: three applications per plant family
+/// (scaled oscillator / underdamped resonant / inverted pendulum), built
+/// once through the FixtureCache and measured like the paper fleet.
+constexpr std::size_t kExtraPoolSize = 9;
+constexpr std::uint64_t kExtraPoolSeed = 0xF1EE7E27ULL;
 
 /// The tent-model characteristics of one application, as fitted from its
 /// measured dwell/wait curve (paper fleet) or drawn (random extras).
@@ -140,9 +153,9 @@ CPS_SWEEP_EXPERIMENT(sweep_flexray_params,
   std::fprintf(ctx.out, "== Sweep: FlexRay cycle length x static slots vs slots needed ==\n");
 
   // Fixture phase — everything here flows through the two-level
-  // FixtureCache: fleet synthesis plus one measured dwell/wait curve per
-  // application (the campaign-dominating computes a warm --fixture-store
-  // replaces with disk loads).
+  // FixtureCache: fleet + extra-pool synthesis plus one measured
+  // dwell/wait curve per application (the campaign-dominating computes a
+  // warm --fixture-store replaces with disk loads).
   const auto fleet = experiments::paper_fleet();
   std::vector<TentParams> paper_tents;
   paper_tents.reserve(fleet->size());
@@ -151,6 +164,20 @@ CPS_SWEEP_EXPERIMENT(sweep_flexray_params,
     const NonMonotonicModel model = NonMonotonicModel::fit(*curve);
     paper_tents.push_back(tent_from(model, app.target.name, app.target.r, app.target.xi_d));
   }
+  const auto pool = experiments::extra_fleet(kExtraPoolSize, kExtraPoolSeed);
+  std::vector<TentParams> pool_tents;
+  pool_tents.reserve(pool->size());
+  std::fprintf(ctx.out, "augmentation pool (%zu apps):", pool->size());
+  for (const auto& app : *pool) {
+    const auto curve = experiments::measure_synthesized_curve(app);
+    const NonMonotonicModel model = NonMonotonicModel::fit(*curve);
+    // r and deadline are drawn per trial; the pool carries the measured
+    // tent shape of the plant family.
+    pool_tents.push_back(tent_from(model, app.target.name, app.target.r, app.target.xi_d));
+    std::fprintf(ctx.out, " %s[%s]", app.target.name.c_str(),
+                 plants::family_name(app.family));
+  }
+  std::fprintf(ctx.out, "\n");
 
   // Pre-quantize the paper fleet once per cycle length; the sweep bodies
   // share these read-only sets (models are shared_ptr, copies are cheap).
@@ -190,19 +217,23 @@ CPS_SWEEP_EXPERIMENT(sweep_flexray_params,
         auto& apps = workspace.apps;
         apps.assign(paper_sets[ci].begin(), paper_sets[ci].end());
 
-        // Augment with random applications, then quantize them to the
-        // same cycle.  Draw order is fixed per index, so every shard and
-        // job count sees identical instances.
+        // Augment from the synthesized three-family pool, then quantize
+        // to the same cycle.  Each extra draws its pool pick and its
+        // scheduling pressure (r, deadline) from the grid point's own
+        // Rng; draw order is fixed per index, so every shard and job
+        // count sees identical instances.
         const int extras = kMinExtraApps + static_cast<int>(trial % kExtraAppSpread);
-        for (auto& drawn : experiments::random_sched_params(
-                 rng, extras, experiments::allocator_ablation_ranges())) {
-          const auto tent_model =
-              std::dynamic_pointer_cast<const NonMonotonicModel>(drawn.model);
-          CPS_ENSURE(tent_model != nullptr,
-                     "sweep_flexray_params: random apps must carry tent models");
-          apps.push_back(quantized_app(
-              tent_from(*tent_model, drawn.name, drawn.min_inter_arrival, drawn.deadline),
-              cycle));
+        for (int e = 0; e < extras; ++e) {
+          TentParams tent =
+              pool_tents[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<int>(pool_tents.size()) - 1))];
+          // The synthesized tents have modest peaks and long ET tails, so
+          // the pressure that decides slot sharing is drawn here: bursty
+          // re-arrivals (r a few peak-dwells) and deadlines well inside
+          // the ET tail.
+          tent.r = tent.xi_m * rng.uniform(2.0, 8.0);
+          tent.deadline = std::min(tent.r, rng.uniform(0.15, 0.5) * tent.xi_et);
+          apps.push_back(quantized_app(tent, cycle));
         }
 
         Cell cell;

@@ -21,4 +21,15 @@ control::StateSpace make_oscillator(double omega_n, double zeta, double input_ga
   return make_second_order(p);
 }
 
+control::StateSpace make_resonant(double omega_n, double zeta, double dc_gain) {
+  CPS_ENSURE(omega_n > 0.0, "resonant: omega_n must be positive");
+  // The resonance peak exists only for zeta < 1/sqrt(2); at or beyond
+  // that the magnitude response is monotone and the family degenerates
+  // into the plain oscillator.
+  CPS_ENSURE(zeta > 0.0 && zeta < 0.70710678118654752440,
+             "resonant: zeta must be in (0, 1/sqrt(2)) for a resonance peak");
+  CPS_ENSURE(dc_gain != 0.0, "resonant: dc_gain must be non-zero");
+  return make_oscillator(omega_n, zeta, dc_gain * omega_n * omega_n);
+}
+
 }  // namespace cps::plants

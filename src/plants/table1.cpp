@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "plants/calibration.hpp"
 #include "plants/second_order.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace cps::plants {
 
@@ -88,6 +90,127 @@ std::vector<SynthesizedApp> synthesize_fleet() {
       spec = *tuned;
 
     fleet.push_back(SynthesizedApp{row, std::move(plant), std::move(spec), x0, threshold});
+  }
+  return fleet;
+}
+
+const char* family_name(PlantFamily family) {
+  switch (family) {
+    case PlantFamily::kScaledOscillator:
+      return "scaled-oscillator";
+    case PlantFamily::kUnderdampedResonant:
+      return "underdamped-resonant";
+    case PlantFamily::kInvertedPendulum:
+      return "inverted-pendulum";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Continuous realization of one extra-fleet draw.  The scaled oscillator
+/// mirrors the calibrated Table I construction; the other two families
+/// reuse the derived damped frequency so the drawn k_p still locates the
+/// dwell peak, but their qualitative dynamics differ (long resonant
+/// ringing; open-loop instability).
+control::StateSpace family_plant(PlantFamily family, double omega_d, double velocity_scale,
+                                 double zeta_resonant, double pendulum_damping) {
+  switch (family) {
+    case PlantFamily::kScaledOscillator: {
+      const double zeta = 0.1;
+      linalg::Matrix a{{0.0, 1.0 / velocity_scale},
+                       {-omega_d * omega_d * velocity_scale, -2.0 * zeta * omega_d}};
+      linalg::Matrix b{{0.0}, {omega_d * omega_d * velocity_scale}};
+      return control::StateSpace(std::move(a), std::move(b));
+    }
+    case PlantFamily::kUnderdampedResonant:
+      return make_resonant(omega_d, zeta_resonant, 1.0);
+    case PlantFamily::kInvertedPendulum: {
+      SecondOrderParams p;
+      p.stiffness = omega_d * omega_d;  // unstable: real poles near +/- omega_d
+      p.damping = pendulum_damping;
+      p.input_gain = omega_d * omega_d;
+      return make_second_order(p);
+    }
+  }
+  throw Error("family_plant: unknown plant family");
+}
+
+}  // namespace
+
+std::vector<SynthesizedApp> synthesize_extra_fleet(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  const double h = 0.02;  // same sampling period as the case study
+  const double threshold = 0.1;
+  const linalg::Vector x0{1.0, 0.0};
+
+  std::vector<SynthesizedApp> fleet;
+  fleet.reserve(count);
+  std::size_t attempts = 0;
+  while (fleet.size() < count) {
+    CPS_ENSURE(++attempts <= 60 * (count + 1),
+               "synthesize_extra_fleet: too many rejected draws (unsuitable seed)");
+    const auto family = static_cast<PlantFamily>(fleet.size() % 3);
+
+    // Table-I-like timing targets (ranges bracket the published rows).
+    AppTimingParams row;
+    row.name = "X" + std::to_string(fleet.size());
+    row.xi_tt = rng.uniform(0.4, 2.5);
+    row.xi_m = row.xi_tt * rng.uniform(1.15, 1.8);
+    row.xi_et = row.xi_m + rng.uniform(2.0, 7.0);
+    row.k_p = rng.uniform(0.08, 0.3) * row.xi_et;
+    row.r = row.xi_m * rng.uniform(6.0, 30.0);
+    row.xi_d = std::min(row.r, rng.uniform(0.7, 1.0) * row.xi_et);
+    row.xi_m_mono = conservative_max_dwell(row.xi_m, row.k_p, row.xi_et);
+    const double zeta_resonant = rng.uniform(0.03, 0.1);
+    const double pendulum_damping = rng.uniform(0.1, 0.6);
+
+    // Loop geometry from the targets, exactly as in synthesize_fleet.
+    const double k_p = std::max(row.k_p, 2.0 * h);
+    const double theta_et = 3.14159265358979323846 * h / (2.0 * k_p);
+    const double rate_tt = std::log(1.0 / threshold) / row.xi_tt;
+    const double growth = std::exp((row.xi_m - row.xi_tt) * rate_tt);
+    const double sigma_et = std::log(growth / threshold) / (row.xi_et - k_p);
+    const double omega_d = theta_et / h;
+    const double velocity_scale =
+        std::clamp(growth / (omega_d * std::exp(-sigma_et * k_p)), 1.5, 2.5);
+
+    control::PolePlacementLoopSpec spec;
+    spec.sampling_period = h;
+    spec.delay_tt = 0.0;
+    spec.delay_et = h;
+    spec.poles_tt = control::oscillatory_pole_set(std::exp(-rate_tt * h), theta_et, 3);
+    spec.poles_et =
+        control::oscillatory_pole_set(std::min(0.998, std::exp(-sigma_et * h)), theta_et, 3);
+
+    try {
+      control::StateSpace plant =
+          family_plant(family, omega_d, velocity_scale, zeta_resonant, pendulum_damping);
+
+      CalibrationTarget tt_target{row.xi_tt, threshold, 1.0};
+      if (auto tuned =
+              calibrate_decay_radius(plant, spec, LoopMode::kTimeTriggered, x0, tt_target))
+        spec = *tuned;
+      CalibrationTarget et_target{row.xi_et, threshold, 1.0};
+      if (auto tuned =
+              calibrate_decay_radius(plant, spec, LoopMode::kEventTriggered, x0, et_target))
+        spec = *tuned;
+
+      // Both pure-mode loops must design and settle, or the dwell/wait
+      // sweep cannot measure this draw later.
+      const control::HybridLoopDesign design = control::design_hybrid_loops(plant, spec);
+      if (!measure_pure_mode_settle(design, LoopMode::kTimeTriggered, x0, threshold)
+               .has_value())
+        continue;
+      if (!measure_pure_mode_settle(design, LoopMode::kEventTriggered, x0, threshold)
+               .has_value())
+        continue;
+
+      fleet.push_back(SynthesizedApp{std::move(row), std::move(plant), std::move(spec), x0,
+                                     threshold, family});
+    } catch (const Error&) {
+      continue;  // unusable draw (design/settle failure): redraw deterministically
+    }
   }
   return fleet;
 }

@@ -11,6 +11,8 @@
 //    end to end (Fig. 5 bench).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,20 @@ std::vector<AppTimingParams> paper_values();
 /// the published xi'^M column to rounding (verified in tests).
 double conservative_max_dwell(double xi_m, double k_p, double xi_et);
 
+/// Second-order plant family a synthesized application is drawn from.
+/// The case-study fleet uses the calibrated scaled-oscillator
+/// realization; random fleet augmentations (sweep_flexray_params) cycle
+/// through all families so campaign instances exercise qualitatively
+/// different dwell/wait tents.
+enum class PlantFamily : std::uint8_t {
+  kScaledOscillator = 0,     ///< velocity-scaled oscillator (Table I realization)
+  kUnderdampedResonant = 1,  ///< lightly damped resonant stage (plants::make_resonant)
+  kInvertedPendulum = 2,     ///< unstable k_spring > 0 pendulum-like plant
+};
+
+/// Short stable name of a family (tables, CSV columns).
+const char* family_name(PlantFamily family);
+
 /// A synthesized stand-in for one Table I application: a concrete plant
 /// and two-mode design whose measured xi^TT / xi^ET approximate the row.
 struct SynthesizedApp {
@@ -49,11 +65,22 @@ struct SynthesizedApp {
   control::PolePlacementLoopSpec spec;    ///< calibrated two-mode design spec
   linalg::Vector x0;                      ///< plant-coordinate disturbed state
   double threshold = 0.1;                 ///< E_th
+  PlantFamily family = PlantFamily::kScaledOscillator;  ///< realization family
 };
 
 /// Build and calibrate the six-plant fleet (sampling period 0.02 s, as in
 /// the case study).  Calibration targets the published xi^TT and xi^ET;
 /// see EXPERIMENTS.md for achieved-vs-target values.
 std::vector<SynthesizedApp> synthesize_fleet();
+
+/// Synthesize `count` additional random applications, cycling through the
+/// three plant families (scaled oscillator, underdamped resonant,
+/// inverted pendulum) with Table-I-like timing targets drawn from `seed`.
+/// Each application is validated (both pure-mode loops design and settle)
+/// and calibrated best-effort toward its drawn xi^TT / xi^ET; failed
+/// draws are deterministically redrawn, so a given (count, seed)
+/// reproduces exactly.  Used by sweep_flexray_params to build its
+/// fleet-augmentation pool (cached through the FixtureCache).
+std::vector<SynthesizedApp> synthesize_extra_fleet(std::size_t count, std::uint64_t seed);
 
 }  // namespace cps::plants

@@ -2,10 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -32,6 +35,15 @@ std::uint64_t fnv1a(std::string_view bytes) {
     hash *= 0x100000001b3ULL;
   }
   return hash;
+}
+
+/// Canonical spelling of a store file path.  path_of() concatenates with
+/// '/' while the gc scan walks a directory iterator; a store directory
+/// given with a trailing slash would otherwise make the same file spell
+/// two ways ("store//x.fix" vs "store/x.fix") and break the touched-file
+/// (working-set) protection of gc_to_max_bytes.
+std::string normalized_path(const std::string& path) {
+  return std::filesystem::path(path).lexically_normal().string();
 }
 
 }  // namespace
@@ -106,8 +118,14 @@ std::optional<std::string> FixtureStore::load(const std::string& key, std::strin
                   "' (stored key material differs); use a different fixture domain");
     std::string payload = reader.read_string();
     reader.expect_end();
+    // Bump the mtime so it doubles as a recency stamp for the LRU
+    // eviction (gc_to_max_bytes); best effort, failures are harmless.
+    std::error_code touch_error;
+    std::filesystem::last_write_time(path, std::filesystem::file_time_type::clock::now(),
+                                     touch_error);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.disk_hits;
+    touched_.insert(normalized_path(path));
     return payload;
   } catch (const util::SerializeError& error) {
     return invalid(std::string("undecodable (") + error.what() + ")");
@@ -162,11 +180,112 @@ void FixtureStore::save(const std::string& key, std::string_view format,
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.writes;
+  touched_.insert(normalized_path(path));
 }
 
 FixtureStore::Stats FixtureStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+namespace {
+
+/// Every .fix file under `directory`, as (path, bytes, mtime) records.
+struct StoredFile {
+  std::string path;
+  std::uintmax_t bytes = 0;
+  std::filesystem::file_time_type mtime;
+};
+
+std::vector<StoredFile> scan_store(const std::string& directory) {
+  std::vector<StoredFile> files;
+  std::error_code error;
+  std::filesystem::recursive_directory_iterator it(directory, error), end;
+  if (error) return files;
+  for (; it != end; it.increment(error)) {
+    if (error) break;
+    if (!it->is_regular_file(error) || it->path().extension() != ".fix") continue;
+    StoredFile file;
+    file.path = it->path().string();
+    file.bytes = it->file_size(error);
+    if (error) continue;
+    file.mtime = std::filesystem::last_write_time(it->path(), error);
+    if (error) continue;
+    files.push_back(std::move(file));
+  }
+  return files;
+}
+
+double age_seconds(std::filesystem::file_time_type mtime) {
+  return std::chrono::duration<double>(std::filesystem::file_time_type::clock::now() - mtime)
+      .count();
+}
+
+}  // namespace
+
+std::vector<FixtureStore::DomainUsage> FixtureStore::usage() const {
+  // Domain = first path component under the store root (see path_of()).
+  // Pure string arithmetic: scan paths were built under directory_, so
+  // lexically_relative needs no filesystem round-trips.
+  std::map<std::string, DomainUsage> domains;
+  const auto root = std::filesystem::path(directory_).lexically_normal();
+  for (const auto& file : scan_store(directory_)) {
+    const auto relative =
+        std::filesystem::path(file.path).lexically_normal().lexically_relative(root);
+    const std::string domain =
+        relative.empty() ? std::string("<root>") : relative.begin()->string();
+    auto& entry = domains[domain];
+    const double age = age_seconds(file.mtime);
+    if (entry.files == 0) {
+      entry.domain = domain;
+      entry.oldest_age_seconds = entry.newest_age_seconds = age;
+    } else {
+      entry.oldest_age_seconds = std::max(entry.oldest_age_seconds, age);
+      entry.newest_age_seconds = std::min(entry.newest_age_seconds, age);
+    }
+    ++entry.files;
+    entry.bytes += file.bytes;
+  }
+  std::vector<DomainUsage> result;
+  result.reserve(domains.size());
+  for (auto& [name, entry] : domains) result.push_back(std::move(entry));
+  return result;
+}
+
+FixtureStore::GcResult FixtureStore::gc_to_max_bytes(std::uintmax_t max_bytes) const {
+  auto files = scan_store(directory_);
+  GcResult result;
+  result.scanned = files.size();
+  for (const auto& file : files) result.bytes_before += file.bytes;
+  result.bytes_after = result.bytes_before;
+  if (result.bytes_before <= max_bytes) return result;
+
+  // Least recently used first (load() bumps mtimes), ties by path so the
+  // eviction order is deterministic for identical timestamps.
+  std::sort(files.begin(), files.end(), [](const StoredFile& a, const StoredFile& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path < b.path;
+  });
+
+  std::unordered_set<std::string> touched;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    touched = touched_;
+  }
+  for (const auto& file : files) {
+    if (result.bytes_after <= max_bytes) break;
+    if (touched.count(normalized_path(file.path)) != 0) {
+      ++result.kept_in_use;  // current run's working set is never evicted
+      continue;
+    }
+    std::error_code error;
+    // unlink(2) is atomic: a concurrent reader either opened the file
+    // before (and keeps a valid handle) or misses and recomputes.
+    if (!std::filesystem::remove(file.path, error) || error) continue;
+    ++result.evicted;
+    result.bytes_after -= file.bytes;
+  }
+  return result;
 }
 
 void FixtureStore::record_undecodable() const {

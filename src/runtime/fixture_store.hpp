@@ -27,10 +27,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_set>
+#include <vector>
 
 namespace cps::runtime {
 
@@ -75,10 +78,45 @@ class FixtureStore {
   /// Filesystem path a key maps to (exposed for tests and diagnostics).
   std::string path_of(const std::string& key) const;
 
+  /// Per-domain on-disk usage of one fixture family (one `DIR/<domain>/`
+  /// subdirectory), as reported by `cps_run --store-stats`.
+  struct DomainUsage {
+    std::string domain;            ///< fixture family (subdirectory name)
+    std::size_t files = 0;         ///< number of .fix files
+    std::uintmax_t bytes = 0;      ///< total payload bytes on disk
+    double oldest_age_seconds = 0.0;  ///< age of the least recently used file
+    double newest_age_seconds = 0.0;  ///< age of the most recently used file
+  };
+
+  /// Scan the store and report usage per domain, sorted by domain name.
+  /// Ages are relative to now; load() hits bump a file's mtime, so mtimes
+  /// double as recency stamps for the LRU eviction below.
+  std::vector<DomainUsage> usage() const;
+
+  /// Outcome of one gc_to_max_bytes() pass.
+  struct GcResult {
+    std::size_t scanned = 0;       ///< .fix files found
+    std::size_t evicted = 0;       ///< files unlinked
+    std::size_t kept_in_use = 0;   ///< eviction candidates spared (touched)
+    std::uintmax_t bytes_before = 0;  ///< store size entering the pass
+    std::uintmax_t bytes_after = 0;   ///< store size leaving the pass
+  };
+
+  /// LRU eviction: unlink least-recently-used .fix files (oldest mtime
+  /// first, ties by path) until the store holds at most `max_bytes` —
+  /// except files this process touched (loaded or wrote), which are NEVER
+  /// evicted; unlinks are atomic, so a concurrent reader either sees the
+  /// whole file or recomputes (the store is an accelerator, never a
+  /// correctness dependency).  Invoked by `cps_run --store-gc-max-bytes`.
+  GcResult gc_to_max_bytes(std::uintmax_t max_bytes) const;
+
  private:
   std::string directory_;
   mutable std::mutex mutex_;
   mutable Stats stats_;
+  /// Files this process loaded or published — gc_to_max_bytes() never
+  /// evicts them (they belong to the current run).
+  mutable std::unordered_set<std::string> touched_;
 };
 
 }  // namespace cps::runtime

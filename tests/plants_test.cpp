@@ -45,6 +45,52 @@ TEST(SecondOrderTest, ZeroInputGainRejected) {
   EXPECT_THROW(make_second_order(p), InvalidArgument);
 }
 
+TEST(SecondOrderTest, ResonantFamilySpectrumAndDcGain) {
+  const auto sys = make_resonant(5.0, 0.1, 2.0);
+  // Underdamped conjugate pair at -zeta*wn +- j wn sqrt(1 - zeta^2).
+  const auto eigs = linalg::eigenvalues(sys.a());
+  ASSERT_EQ(eigs.size(), 2u);
+  for (const auto& e : eigs) {
+    EXPECT_NEAR(e.real(), -0.5, 1e-10);
+    EXPECT_NEAR(std::abs(e), 5.0, 1e-10);
+    EXPECT_GT(std::abs(e.imag()), 4.9);  // genuinely oscillatory
+  }
+  EXPECT_TRUE(sys.is_stable());
+  // B(1,0) = dc_gain * omega_n^2 makes the position DC gain dc_gain.
+  EXPECT_NEAR(sys.b()(1, 0), 2.0 * 25.0, 1e-12);
+}
+
+TEST(SecondOrderTest, ResonantFamilyRejectsDegenerateDamping) {
+  EXPECT_THROW(make_resonant(5.0, 0.0, 1.0), InvalidArgument);   // no peak
+  EXPECT_THROW(make_resonant(5.0, 0.8, 1.0), InvalidArgument);   // beyond 1/sqrt(2)
+  EXPECT_THROW(make_resonant(-1.0, 0.1, 1.0), InvalidArgument);  // bad omega_n
+}
+
+TEST(Table1Test, ExtraFleetCyclesThroughThePlantFamilies) {
+  // Small pool: one per family, deterministic for a fixed seed; every
+  // entry must be a usable two-mode design (the synthesizer validates
+  // pure-mode settling before accepting a draw).
+  const auto pool = synthesize_extra_fleet(3, 0xF1EE7E27ULL);
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool[0].family, PlantFamily::kScaledOscillator);
+  EXPECT_EQ(pool[1].family, PlantFamily::kUnderdampedResonant);
+  EXPECT_EQ(pool[2].family, PlantFamily::kInvertedPendulum);
+  // Reproducibility: the same (count, seed) resynthesizes identically.
+  const auto again = synthesize_extra_fleet(3, 0xF1EE7E27ULL);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(pool[i].target.name, again[i].target.name);
+    EXPECT_EQ(pool[i].target.r, again[i].target.r);            // bitwise
+    EXPECT_EQ(pool[i].target.xi_et, again[i].target.xi_et);    // bitwise
+    EXPECT_EQ(pool[i].plant.a()(1, 0), again[i].plant.a()(1, 0));
+  }
+  // Family realizations are qualitatively distinct: the pendulum is
+  // open-loop unstable, the other two stable.
+  EXPECT_TRUE(pool[0].plant.is_stable());
+  EXPECT_TRUE(pool[1].plant.is_stable());
+  EXPECT_FALSE(pool[2].plant.is_stable());
+  EXPECT_STREQ(family_name(pool[1].family), "underdamped-resonant");
+}
+
 TEST(ServoMotorTest, OpenLoopIsUnstable) {
   // The upright stick falls without control.
   const auto servo = make_servo_motor();

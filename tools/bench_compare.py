@@ -39,8 +39,32 @@ import os
 import sys
 
 
-def load_benchmarks(directory):
-    """Map benchmark name -> real_time (ns) across all JSON files in a dir."""
+def snapshot_build_type(context):
+    """The build type a bench JSON was recorded from.
+
+    "cps_library_build_type" is authoritative when present: the bench
+    invocations inject it (--benchmark_context=cps_library_build_type=...
+    for Google Benchmark executables; emitted directly by the self-JSON
+    benches) and it reflects the PROJECT library's build type.  Without
+    it, fall back to Google Benchmark's own "library_build_type" — on
+    systems whose benchmark HARNESS library is a debug build that field
+    is a false positive for Release project builds, which is exactly why
+    the explicit field exists, but for old snapshots it is the only
+    signal and it is what exposed the original debug-recorded snapshots.
+    """
+    explicit = context.get("cps_library_build_type")
+    if explicit is not None:
+        return explicit
+    return context.get("library_build_type")
+
+
+def load_benchmarks(directory, debug_files=None):
+    """Map benchmark name -> real_time (ns) across all JSON files in a dir.
+
+    When `debug_files` is a list, any file recorded from a debug build
+    (see snapshot_build_type) is appended to it — debug numbers must
+    never enter the regression gate on either side (see main()).
+    """
     results = {}
     for path in sorted(glob.glob(os.path.join(directory, "*.json"))):
         try:
@@ -49,6 +73,8 @@ def load_benchmarks(directory):
         except (OSError, json.JSONDecodeError) as err:
             print(f"warning: skipping unreadable {path}: {err}", file=sys.stderr)
             continue
+        if debug_files is not None and snapshot_build_type(data.get("context", {})) == "debug":
+            debug_files.append(path)
         for bench in data.get("benchmarks", []):
             name = bench.get("name")
             time = bench.get("real_time")
@@ -93,16 +119,33 @@ def main():
               f"nothing to compare against — skipping (commit BENCH_*.json "
               f"snapshots there to enable the regression gate)")
         return 0
-    baseline = load_benchmarks(args.baseline_dir)
+    debug_files = []
+    baseline = load_benchmarks(args.baseline_dir, debug_files)
     if not baseline:
         print(f"note: no benchmark JSON under '{args.baseline_dir}'; nothing to "
               f"compare against — skipping (commit BENCH_*.json snapshots "
               f"there to enable the regression gate)")
         return 0
-    fresh = load_benchmarks(args.fresh_dir)
+    fresh = load_benchmarks(args.fresh_dir, debug_files)
     if not fresh:
         print(f"error: no benchmarks found under {args.fresh_dir} — did the "
               f"bench step run and write its JSON there?", file=sys.stderr)
+        return 2
+    if debug_files:
+        # A debug-build snapshot poisons every ratio in the table (debug
+        # ns/op are 5-20x Release), so this is a hard error on either
+        # side, not a warning: re-record the offending JSON from a
+        # Release build (cmake -DCMAKE_BUILD_TYPE=Release, and pass
+        # --benchmark_context=cps_library_build_type=release to Google
+        # Benchmark executables).
+        for path in debug_files:
+            print(f"error: {path} was recorded from a DEBUG build; re-record "
+                  f"it from a Release build "
+                  f"(--benchmark_context=cps_library_build_type=release)",
+                  file=sys.stderr)
+            if args.github:
+                print(f"::error title=debug bench snapshot::{path} was recorded "
+                      f"from a debug build; regression ratios are meaningless")
         return 2
 
     lines = []

@@ -23,6 +23,17 @@
 //   --merge N   merge the N shard artifacts previously written under
 //               --csv into the canonical CSVs, verifying the index
 //               column has no gaps or overlaps (exit 1 on any)
+//   --store-stats DIR
+//               standalone inspector: print per-domain file counts,
+//               bytes and oldest/newest recency of the fixture store at
+//               DIR, then exit (no experiments run; combine with
+//               --store-gc-max-bytes to evict first)
+//   --store-gc-max-bytes N
+//               LRU-evict least-recently-used fixture files until the
+//               store holds at most N bytes.  With --fixture-store the
+//               pass runs AFTER the experiments and never evicts a file
+//               this run loaded or wrote; with --store-stats it runs
+//               before the report.
 //
 // Exit status: 0 on success, 1 on experiment/merge failure, 2 on usage
 // errors.
@@ -59,9 +70,59 @@ void print_usage(std::FILE* out) {
                "usage: cps_run --list\n"
                "       cps_run <experiment>... [--jobs N] [--csv DIR] [--seed S]\n"
                "                               [--fixture-store DIR] [--shard i/N]\n"
+               "                               [--store-gc-max-bytes N]\n"
                "       cps_run <experiment>... --merge N [--csv DIR]\n"
-               "       cps_run all [--jobs N] [--csv DIR] [--seed S] [--fixture-store DIR]\n\n"
+               "       cps_run all [--jobs N] [--csv DIR] [--seed S] [--fixture-store DIR]\n"
+               "       cps_run --store-stats DIR [--store-gc-max-bytes N]\n\n"
                "run `cps_run --list` for the experiment catalog.\n");
+}
+
+/// Human-scale seconds for the store-stats table.
+std::string format_age(double seconds) {
+  if (seconds < 120.0) return cps::format_fixed(seconds, 1) + " s";
+  if (seconds < 7200.0) return cps::format_fixed(seconds / 60.0, 1) + " min";
+  if (seconds < 172800.0) return cps::format_fixed(seconds / 3600.0, 1) + " h";
+  return cps::format_fixed(seconds / 86400.0, 1) + " d";
+}
+
+/// `--store-gc-max-bytes`: evict down to the cap and report.
+void run_store_gc(const cps::runtime::FixtureStore& store, std::uint64_t max_bytes,
+                  std::FILE* out) {
+  const auto gc = store.gc_to_max_bytes(max_bytes);
+  std::fprintf(out,
+               "[cps_run] store gc (%s): %zu files scanned, %zu evicted, %zu in-use kept, "
+               "%llu -> %llu bytes (cap %llu)\n",
+               store.directory().c_str(), gc.scanned, gc.evicted, gc.kept_in_use,
+               static_cast<unsigned long long>(gc.bytes_before),
+               static_cast<unsigned long long>(gc.bytes_after),
+               static_cast<unsigned long long>(max_bytes));
+}
+
+/// `--store-stats DIR`: the standalone inspector.
+int run_store_stats(const std::string& directory, const std::uint64_t* gc_max_bytes) {
+  try {
+    const cps::runtime::FixtureStore store(directory);
+    if (gc_max_bytes != nullptr) run_store_gc(store, *gc_max_bytes, stdout);
+    const auto domains = store.usage();
+    cps::TextTable table({"domain", "files", "bytes", "oldest use", "newest use"});
+    std::size_t files = 0;
+    std::uintmax_t bytes = 0;
+    for (const auto& domain : domains) {
+      files += domain.files;
+      bytes += domain.bytes;
+      table.add_row({domain.domain, std::to_string(domain.files),
+                     std::to_string(domain.bytes), format_age(domain.oldest_age_seconds),
+                     format_age(domain.newest_age_seconds)});
+    }
+    std::printf("fixture store %s: %zu files, %llu bytes in %zu domains\n",
+                store.directory().c_str(), files, static_cast<unsigned long long>(bytes),
+                domains.size());
+    if (!domains.empty()) std::printf("%s", table.render().c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "cps_run: --store-stats failed: %s\n", error.what());
+    return 1;
+  }
 }
 
 void print_catalog(std::FILE* out) {
@@ -179,9 +240,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   ExperimentContext context;
   std::string fixture_store_dir;
+  std::string store_stats_dir;
   bool list_only = false;
   bool run_all = false;
   bool merge = false;
+  bool gc_requested = false;
+  std::uint64_t gc_max_bytes = 0;
   std::uint64_t merge_shards = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -208,6 +272,11 @@ int main(int argc, char** argv) {
       context.seed = parse_u64("--seed", flag_value("--seed"));
     } else if (arg == "--fixture-store") {
       fixture_store_dir = flag_value("--fixture-store");
+    } else if (arg == "--store-stats") {
+      store_stats_dir = flag_value("--store-stats");
+    } else if (arg == "--store-gc-max-bytes") {
+      gc_requested = true;
+      gc_max_bytes = parse_u64("--store-gc-max-bytes", flag_value("--store-gc-max-bytes"));
     } else if (arg == "--shard") {
       const auto [index, count] = parse_shard(flag_value("--shard"));
       context.shard_index = static_cast<std::size_t>(index);
@@ -237,6 +306,23 @@ int main(int argc, char** argv) {
   if (list_only) {
     print_catalog(stdout);
     return 0;
+  }
+  if (!store_stats_dir.empty()) {
+    // Standalone inspector: combining it with a run (or a second store
+    // via --fixture-store) would make it ambiguous which store the GC
+    // pass empties, so reject rather than silently pick one.
+    if (!names.empty() || run_all || merge || context.sharded() || !fixture_store_dir.empty()) {
+      std::fprintf(stderr,
+                   "cps_run: --store-stats is a standalone inspector (no experiments, "
+                   "no --fixture-store)\n");
+      return 2;
+    }
+    return run_store_stats(store_stats_dir, gc_requested ? &gc_max_bytes : nullptr);
+  }
+  if (gc_requested && fixture_store_dir.empty()) {
+    std::fprintf(stderr,
+                 "cps_run: --store-gc-max-bytes needs --fixture-store (or --store-stats)\n");
+    return 2;
   }
   if (names.empty() && !run_all) {
     print_usage(stderr);
@@ -301,5 +387,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  return run_experiments(experiments, context);
+  const int status = run_experiments(experiments, context);
+  if (gc_requested) {
+    // After the campaign: the files this run loaded or wrote are its
+    // working set and survive; everything else is fair game, oldest
+    // first.
+    if (const auto store = cps::runtime::FixtureCache::instance().store())
+      run_store_gc(*store, gc_max_bytes, context.out);
+  }
+  return status;
 }
