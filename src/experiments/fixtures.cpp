@@ -9,14 +9,15 @@
 #include "linalg/vector.hpp"
 #include "plants/servo_motor.hpp"
 #include "runtime/fixture_cache.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "sim/switched_system.hpp"
 
 namespace cps::experiments {
 
 namespace {
 
-using runtime::FixtureCache;
 using runtime::FixtureCodec;
+using runtime::FixtureHandle;
 using runtime::FixtureKey;
 using util::BinaryReader;
 using util::BinaryWriter;
@@ -196,6 +197,56 @@ const FixtureCodec<std::vector<plants::SynthesizedApp>>& fleet_codec() {
   return codec;
 }
 
+const FixtureCodec<std::vector<plants::SchedFleet>>& sched_fleet_batch_codec() {
+  static const FixtureCodec<std::vector<plants::SchedFleet>> codec{
+      "sched_fleet_batch/v1",
+      [](const std::vector<plants::SchedFleet>& batch, BinaryWriter& out) {
+        out.write_u64(batch.size());
+        for (const auto& fleet : batch) {
+          out.write_double(fleet.target_utilization);
+          out.write_double(fleet.achieved_utilization);
+          out.write_u64(fleet.apps.size());
+          for (const auto& app : fleet.apps) {
+            out.write_string(app.name);
+            out.write_u64(static_cast<std::uint64_t>(app.family));
+            out.write_double(app.r);
+            out.write_double(app.deadline);
+            out.write_double(app.xi_tt);
+            out.write_double(app.xi_m);
+            out.write_double(app.k_p);
+            out.write_double(app.xi_et);
+          }
+        }
+      },
+      [](BinaryReader& in) {
+        const std::size_t count = static_cast<std::size_t>(in.read_u64());
+        std::vector<plants::SchedFleet> batch;
+        batch.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          plants::SchedFleet fleet;
+          fleet.target_utilization = in.read_double();
+          fleet.achieved_utilization = in.read_double();
+          const std::size_t napps = static_cast<std::size_t>(in.read_u64());
+          fleet.apps.reserve(napps);
+          for (std::size_t j = 0; j < napps; ++j) {
+            plants::SynthesizedSchedApp app;
+            app.name = in.read_string();
+            app.family = static_cast<plants::PlantFamily>(in.read_u64());
+            app.r = in.read_double();
+            app.deadline = in.read_double();
+            app.xi_tt = in.read_double();
+            app.xi_m = in.read_double();
+            app.k_p = in.read_double();
+            app.xi_et = in.read_double();
+            fleet.apps.push_back(std::move(app));
+          }
+          batch.push_back(std::move(fleet));
+        }
+        return batch;
+      }};
+  return codec;
+}
+
 /// Content key of a pole-placement design problem: the continuous plant
 /// plus every spec field that shapes the two closed loops.
 FixtureKey design_key(const control::StateSpace& plant,
@@ -212,9 +263,9 @@ FixtureKey design_key(const control::StateSpace& plant,
 /// Design the two-mode loops for (plant, spec) once and share the result.
 std::shared_ptr<const control::HybridLoopDesign> cached_design(
     const control::StateSpace& plant, const control::PolePlacementLoopSpec& spec) {
-  return FixtureCache::instance().get_or_compute<control::HybridLoopDesign>(
-      design_key(plant, spec), design_codec(),
-      [&] { return control::design_hybrid_loops(plant, spec); });
+  return FixtureHandle<control::HybridLoopDesign>(design_key(plant, spec))
+      .with_codec(design_codec())
+      .get([&] { return control::design_hybrid_loops(plant, spec); });
 }
 
 /// Measure the dwell/wait curve of a designed application once and share
@@ -227,7 +278,7 @@ std::shared_ptr<const sim::DwellWaitCurve> cached_curve(const control::HybridLoo
   FixtureKey key("dwell_wait_curve");
   key.add(design.a_et).add(design.a_tt).add(std::uint64_t{design.state_dim});
   key.add(x0_aug).add(design.sys_tt.sampling_period()).add(threshold);
-  return FixtureCache::instance().get_or_compute<sim::DwellWaitCurve>(key, curve_codec(), [&] {
+  return FixtureHandle<sim::DwellWaitCurve>(key).with_codec(curve_codec()).get([&] {
     sim::SwitchedLinearSystem sys(design.a_et, design.a_tt, design.state_dim);
     sim::DwellWaitSweepOptions opts;
     opts.settling.threshold = threshold;
@@ -252,16 +303,46 @@ std::shared_ptr<const sim::DwellWaitCurve> measure_synthesized_curve(
 
 std::shared_ptr<const std::vector<plants::SynthesizedApp>> paper_fleet() {
   // Nullary synthesis: the content is the (versioned) recipe itself.
-  return FixtureCache::instance().get_or_compute<std::vector<plants::SynthesizedApp>>(
-      "fleet_synthesis/table1-v1", fleet_codec(), [] { return plants::synthesize_fleet(); });
+  return FixtureHandle<std::vector<plants::SynthesizedApp>>("fleet_synthesis/table1-v1")
+      .with_codec(fleet_codec())
+      .get([] { return plants::synthesize_fleet(); });
 }
 
 std::shared_ptr<const std::vector<plants::SynthesizedApp>> extra_fleet(std::size_t count,
                                                                        std::uint64_t seed) {
   FixtureKey key("fleet_synthesis");
   key.add("extras-v1").add(std::uint64_t{count}).add(seed);
-  return FixtureCache::instance().get_or_compute<std::vector<plants::SynthesizedApp>>(
-      key, fleet_codec(), [&] { return plants::synthesize_extra_fleet(count, seed); });
+  return FixtureHandle<std::vector<plants::SynthesizedApp>>(key)
+      .with_codec(fleet_codec())
+      .get([&] { return plants::synthesize_extra_fleet(count, seed); });
+}
+
+std::shared_ptr<const std::vector<plants::SchedFleet>> sched_fleet_batch(
+    const plants::FleetSynthesisSpec& spec, std::size_t trials, std::uint64_t batch_seed) {
+  // Content key: every generator knob plus the batch shape.  Values come
+  // from the (typed) campaign spec, so TOML key order, comments and
+  // formatting never reach the key — only VALUES do.
+  FixtureKey key("sched_fleet_batch");
+  key.add(std::uint64_t{spec.n_apps})
+      .add(spec.target_utilization)
+      .add(spec.max_app_utilization)
+      .add(spec.period_lo)
+      .add(spec.period_hi)
+      .add(spec.deadline_frac_lo)
+      .add(spec.deadline_frac_hi);
+  key.add(std::uint64_t{spec.families.size()});
+  for (const auto family : spec.families) key.add(std::string_view(plants::family_name(family)));
+  key.add(std::uint64_t{trials}).add(batch_seed);
+  return FixtureHandle<std::vector<plants::SchedFleet>>(key)
+      .with_codec(sched_fleet_batch_codec())
+      .get([&] {
+        std::vector<plants::SchedFleet> batch;
+        batch.reserve(trials);
+        for (std::size_t t = 0; t < trials; ++t)
+          batch.push_back(
+              plants::synthesize_sched_fleet(spec, runtime::task_seed(batch_seed, t)));
+        return batch;
+      });
 }
 
 std::vector<core::ControlApplication> build_paper_fleet() {

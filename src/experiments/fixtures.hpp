@@ -21,6 +21,7 @@
 
 #include "analysis/slot_allocation.hpp"
 #include "core/application.hpp"
+#include "plants/fleet_synthesis.hpp"
 #include "plants/table1.hpp"
 #include "sim/dwell_wait.hpp"
 #include "util/rng.hpp"
@@ -47,6 +48,16 @@ std::shared_ptr<const std::vector<plants::SynthesizedApp>> paper_fleet();
 /// random fleet augmentations from this pool.
 std::shared_ptr<const std::vector<plants::SynthesizedApp>> extra_fleet(std::size_t count,
                                                                        std::uint64_t seed);
+
+/// A batch of `trials` utilization-controlled fleets drawn from `spec`
+/// (plants::synthesize_sched_fleet); fleet t is seeded with
+/// runtime::task_seed(batch_seed, t).  Content-addressed by every spec
+/// field plus (trials, batch_seed) and persisted via the
+/// sched_fleet_batch/v1 codec, so every shard of an acceptance-ratio
+/// campaign — and every later re-run against the same fixture store —
+/// shares one draw instead of redrawing 10^4+ fleets per process.
+std::shared_ptr<const std::vector<plants::SchedFleet>> sched_fleet_batch(
+    const plants::FleetSynthesisSpec& spec, std::size_t trials, std::uint64_t batch_seed);
 
 /// Build the six case-study ControlApplications from the synthesized
 /// fleet (cached fleet + cached hybrid loop designs; the applications

@@ -1,0 +1,171 @@
+#include "plants/fleet_synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "analysis/dwell_wait_model.hpp"
+#include "util/error.hpp"
+
+namespace cps::plants {
+
+namespace {
+
+/// Per-family tent shape ranges, expressed relative to the drawn peak
+/// xi_m so the family controls the tent's PROPORTIONS while UUniFast
+/// controls its area (xi_m / r).  Ranges bracket the measured shapes of
+/// the three synthesized pools in plants/table1.cpp:
+///   * the scaled oscillator settles fast under TT and has moderate ET
+///     tails (the Table I realization);
+///   * the underdamped resonant stage rings, so its pure-ET settling is
+///     much slower (long tail) and the dwell peak sits later;
+///   * the inverted pendulum is open-loop unstable: the envelope is a
+///     sharp early tent with a short tail (late actuation diverges).
+struct FamilyShape {
+  double tt_frac_lo, tt_frac_hi;      ///< xi_tt / xi_m
+  double tail_lo, tail_hi;            ///< (xi_et - xi_m) / xi_m
+  double peak_frac_lo, peak_frac_hi;  ///< k_p / xi_et
+};
+
+FamilyShape family_shape(PlantFamily family) {
+  switch (family) {
+    case PlantFamily::kScaledOscillator:
+      return {0.55, 0.85, 2.0, 5.0, 0.08, 0.30};
+    case PlantFamily::kUnderdampedResonant:
+      return {0.60, 0.90, 3.5, 7.0, 0.12, 0.35};
+    case PlantFamily::kInvertedPendulum:
+      return {0.45, 0.75, 1.5, 3.5, 0.05, 0.20};
+  }
+  throw InvalidArgument("family_shape: unknown PlantFamily");
+}
+
+void validate_spec(const FleetSynthesisSpec& spec) {
+  CPS_ENSURE(spec.n_apps >= 1, "fleet synthesis: n_apps must be >= 1");
+  CPS_ENSURE(spec.target_utilization > 0.0,
+             "fleet synthesis: target_utilization must be > 0");
+  CPS_ENSURE(spec.max_app_utilization > 0.0 && spec.max_app_utilization < 1.0,
+             "fleet synthesis: max_app_utilization must be in (0, 1)");
+  CPS_ENSURE(spec.target_utilization <=
+                 static_cast<double>(spec.n_apps) * spec.max_app_utilization,
+             "fleet synthesis: target_utilization exceeds n_apps * max_app_utilization "
+             "(no per-app split can reach it)");
+  CPS_ENSURE(spec.period_lo > 0.0 && spec.period_lo < spec.period_hi,
+             "fleet synthesis: period range must satisfy 0 < lo < hi");
+  CPS_ENSURE(spec.deadline_frac_lo > 0.0 &&
+                 spec.deadline_frac_lo <= spec.deadline_frac_hi,
+             "fleet synthesis: deadline fraction range must satisfy 0 < lo <= hi");
+  CPS_ENSURE(!spec.families.empty(), "fleet synthesis: families must be non-empty");
+}
+
+}  // namespace
+
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total) {
+  CPS_ENSURE(n >= 1, "uunifast: n must be >= 1");
+  CPS_ENSURE(total > 0.0, "uunifast: total must be > 0");
+  // Bini & Buttazzo: peel shares off the remaining sum with the
+  // order-statistic transform; unbiased over the standard simplex.
+  std::vector<double> shares(n);
+  double remaining = total;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double next = remaining *
+        std::pow(rng.uniform(0.0, 1.0),
+                 1.0 / static_cast<double>(n - 1 - i));
+    shares[i] = remaining - next;
+    remaining = next;
+  }
+  shares[n - 1] = remaining;
+  return shares;
+}
+
+PlantFamily family_from_name(const std::string& name) {
+  for (const PlantFamily family :
+       {PlantFamily::kScaledOscillator, PlantFamily::kUnderdampedResonant,
+        PlantFamily::kInvertedPendulum}) {
+    if (name == family_name(family)) return family;
+  }
+  throw InvalidArgument(
+      "unknown plant family '" + name +
+      "' (expected scaled-oscillator, underdamped-resonant or inverted-pendulum)");
+}
+
+SchedFleet synthesize_sched_fleet(const FleetSynthesisSpec& spec, std::uint64_t seed) {
+  validate_spec(spec);
+  Rng rng(seed);
+
+  // UUniFast-discard: redraw the WHOLE share vector while any share
+  // breaks the per-app cap — discarding single shares would bias the
+  // distribution.  The attempt cap only trips when the target sits so
+  // close to n * cap that valid splits are vanishingly rare; such specs
+  // should lower the target or raise the cap, not spin.
+  constexpr int kMaxAttempts = 10000;
+  std::vector<double> shares;
+  int attempt = 0;
+  for (;; ++attempt) {
+    CPS_ENSURE(attempt < kMaxAttempts,
+               "fleet synthesis: UUniFast-discard failed to find a valid split "
+               "(target utilization too close to n_apps * max_app_utilization)");
+    shares = uunifast(rng, spec.n_apps, spec.target_utilization);
+    const bool valid = std::all_of(shares.begin(), shares.end(), [&](double u) {
+      return u <= spec.max_app_utilization;
+    });
+    if (valid) break;
+  }
+
+  // Fixed per-app draw order (period, shape x3, family, deadline): part
+  // of the format contract — reordering the draws changes every cached
+  // fleet, so it would require a new fixture codec version.
+  SchedFleet fleet;
+  fleet.target_utilization = spec.target_utilization;
+  fleet.apps.reserve(spec.n_apps);
+  const double log_lo = std::log(spec.period_lo);
+  const double log_hi = std::log(spec.period_hi);
+  for (std::size_t i = 0; i < spec.n_apps; ++i) {
+    SynthesizedSchedApp app;
+    app.name = "G" + std::to_string(i);
+    app.r = std::exp(rng.uniform(log_lo, log_hi));
+    app.xi_m = shares[i] * app.r;
+
+    const double tt_frac = rng.uniform(0.0, 1.0);
+    const double tail_frac = rng.uniform(0.0, 1.0);
+    const double peak_frac = rng.uniform(0.0, 1.0);
+    app.family = spec.families[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<int>(spec.families.size()) - 1))];
+    const FamilyShape shape = family_shape(app.family);
+    app.xi_tt =
+        app.xi_m * (shape.tt_frac_lo + tt_frac * (shape.tt_frac_hi - shape.tt_frac_lo));
+    app.xi_et =
+        app.xi_m * (1.0 + shape.tail_lo + tail_frac * (shape.tail_hi - shape.tail_lo));
+    app.k_p = app.xi_et *
+              (shape.peak_frac_lo + peak_frac * (shape.peak_frac_hi - shape.peak_frac_lo));
+
+    // Deadline: a fraction of the re-arrival horizon, floored just above
+    // the pure-TT settling time.  The floor keeps every app schedulable
+    // on a DEDICATED slot (response at zero wait is xi_tt); the fraction
+    // leaves the headroom slot SHARING consumes, so the acceptance curve
+    // falls with utilization instead of collapsing at the first shared
+    // slot.
+    const double frac = rng.uniform(spec.deadline_frac_lo, spec.deadline_frac_hi);
+    app.deadline = std::max(1.05 * app.xi_tt, frac * app.r);
+
+    fleet.achieved_utilization += app.utilization();
+    fleet.apps.push_back(std::move(app));
+  }
+  return fleet;
+}
+
+std::vector<analysis::AppSchedParams> to_sched_params(const SchedFleet& fleet) {
+  std::vector<analysis::AppSchedParams> params;
+  params.reserve(fleet.apps.size());
+  for (const auto& app : fleet.apps) {
+    analysis::AppSchedParams p;
+    p.name = app.name;
+    p.min_inter_arrival = app.r;
+    p.deadline = app.deadline;
+    p.model = std::make_shared<analysis::NonMonotonicModel>(app.xi_tt, app.xi_m, app.k_p,
+                                                            app.xi_et);
+    params.push_back(std::move(p));
+  }
+  return params;
+}
+
+}  // namespace cps::plants

@@ -1,0 +1,113 @@
+// Utilization-controlled synthetic fleet generation (the UUniFast /
+// Emstada lineage of the schedulability literature).
+//
+// The acceptance-ratio figure — fraction of random fleets schedulable
+// vs. total utilization — needs fleets drawn AT a target interference
+// utilization U = sum_i xiM_i / r_i, not fleets whose utilization is an
+// uncontrolled by-product of independent parameter draws.  This module
+// provides that generator:
+//
+//  1. UUniFast (Bini & Buttazzo) splits U into n unbiased per-app
+//     utilization shares; the UUniFast-discard variant redraws the whole
+//     vector while any share exceeds `max_app_utilization`, keeping
+//     every application individually feasible (xiM < r);
+//  2. each application draws its minimum inter-arrival time r log-
+//     uniformly from a configurable period range (long and short
+//     re-arrival horizons equally represented per decade, as in the
+//     Emstada-style generators), fixing xiM = u_i * r_i;
+//  3. the rest of the dwell/wait tent (xi_tt, k_p, xi_et) follows the
+//     application's PLANT FAMILY: per-family shape ranges measured from
+//     the repo's three synthesized families (scaled oscillator /
+//     underdamped resonant / inverted pendulum), so a drawn fleet mixes
+//     qualitatively different tents exactly like the synthesized pools;
+//  4. deadlines draw as a configurable fraction of the re-arrival
+//     horizon r, floored just above xi_tt — every drawn application is
+//     schedulable on a DEDICATED slot, so acceptance curves measure
+//     packing quality, not single-app infeasibility.  (Tying deadlines
+//     to the ET tail instead sounds natural but makes ANY slot sharing
+//     infeasible: a shared slot's non-preemptive blocking is on the
+//     scale of the slot's summed peak dwells, far beyond one tail.)
+//
+// Everything is drawn from one Rng in a FIXED documented order, so a
+// given (spec, seed) reproduces the fleet exactly on any platform, and
+// the achieved utilization equals the target to floating-point rounding
+// (|achieved - target| <= 1e-9 * max(1, target); asserted in
+// tests/plants_fleet_synthesis_test.cpp).
+//
+// Fleets are plain scheduling parameters (no plant state, no
+// simulation), cheap enough to draw 100k+ per campaign; the experiment
+// layer caches batches of them through the two-level FixtureCache with
+// the sched_fleet_batch/v1 codec (experiments/fixtures.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/schedulability.hpp"
+#include "plants/table1.hpp"
+#include "util/rng.hpp"
+
+namespace cps::plants {
+
+/// One synthesized application: the tent-model scheduling parameters a
+/// slot allocator consumes, tagged with the plant family that shaped it.
+struct SynthesizedSchedApp {
+  std::string name;  ///< "G0", "G1", ... (generation order)
+  PlantFamily family = PlantFamily::kScaledOscillator;
+  double r = 0.0;         ///< minimum disturbance inter-arrival time [s]
+  double deadline = 0.0;  ///< xi_d [s]
+  double xi_tt = 0.0;     ///< tent value at wait 0
+  double xi_m = 0.0;      ///< tent peak (= utilization share * r)
+  double k_p = 0.0;       ///< wait at the peak
+  double xi_et = 0.0;     ///< tent zero crossing
+
+  /// This application's interference utilization share xiM / r.
+  double utilization() const { return xi_m / r; }
+};
+
+/// One drawn fleet plus its utilization bookkeeping.
+struct SchedFleet {
+  std::vector<SynthesizedSchedApp> apps;
+  double target_utilization = 0.0;    ///< the U the draw was asked for
+  double achieved_utilization = 0.0;  ///< sum of app utilization shares
+};
+
+/// Distribution knobs of the generator (spec-file configurable; the
+/// defaults are the documented baseline of sweep_acceptance_ratio).
+struct FleetSynthesisSpec {
+  std::size_t n_apps = 10;           ///< applications per fleet
+  double target_utilization = 1.0;   ///< U = sum xiM_i / r_i
+  double max_app_utilization = 0.95; ///< UUniFast-discard per-app cap
+  double period_lo = 3.0;            ///< r log-uniform lower bound [s]
+  double period_hi = 60.0;           ///< r log-uniform upper bound [s]
+  double deadline_frac_lo = 0.7;     ///< deadline = max(1.05 xi_tt, frac * r) ...
+  double deadline_frac_hi = 1.0;     ///< ... with frac uniform in [lo, hi]
+  /// Families the per-app draw picks from, uniformly.  Repeating an
+  /// entry weights it (e.g. two oscillators, one pendulum).
+  std::vector<PlantFamily> families = {PlantFamily::kScaledOscillator,
+                                       PlantFamily::kUnderdampedResonant,
+                                       PlantFamily::kInvertedPendulum};
+};
+
+/// Classic UUniFast: n unbiased shares summing exactly to `total`.
+/// Consumes exactly n - 1 uniform draws from `rng`.
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total);
+
+/// Parse a family from its stable name ("scaled-oscillator",
+/// "underdamped-resonant", "inverted-pendulum"); throws InvalidArgument
+/// listing the valid names otherwise.
+PlantFamily family_from_name(const std::string& name);
+
+/// Draw one fleet at the spec's target utilization (see file comment
+/// for the draw order and guarantees).  Throws InvalidArgument when the
+/// spec is malformed or the target exceeds n_apps * max_app_utilization
+/// (no share split can satisfy it).
+SchedFleet synthesize_sched_fleet(const FleetSynthesisSpec& spec, std::uint64_t seed);
+
+/// Materialize a drawn fleet as allocator input (NonMonotonicModel per
+/// app, fresh instances).
+std::vector<analysis::AppSchedParams> to_sched_params(const SchedFleet& fleet);
+
+}  // namespace cps::plants

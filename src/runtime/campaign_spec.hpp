@@ -1,0 +1,94 @@
+// Declarative campaign specs: the generative scenario engine's front end.
+//
+// A campaign spec is a small TOML-subset file (util/toml.hpp) that
+// declares WHAT to run — experiment names, parameter grids, trial
+// counts, seeds, the fixture-store path and a suggested shard plan —
+// so the standard campaigns of the schedulability literature
+// (acceptance-ratio curves over 100k+ synthetic fleets) are a config
+// file instead of a recompile:
+//
+//   spec_version = 1
+//   [campaign]
+//   name        = "acceptance_ratio_small"
+//   experiments = ["sweep_acceptance_ratio"]
+//   seed        = 71
+//   shards      = 2            # suggested plan (advisory; --shard decides)
+//   [grid]
+//   utilization = [0.5, 1.0, 1.5]
+//   fleet_size  = [8, 12]
+//   trials      = 30
+//
+// `cps_run --spec FILE` expands the spec deterministically: the named
+// experiments run in spec order with the spec's seed and fixture store
+// (explicit CLI flags win), and every non-[campaign] key is handed to
+// the experiments through ExperimentContext::spec as typed parameters.
+// `--spec FILE --shard i/N` and `--spec FILE --merge N` compose with
+// the PR-4 shard/merge contract unchanged — the spec only picks the
+// workload, never the partition.
+//
+// Determinism: CampaignSpec::digest() hashes the spec's canonical
+// key=value rendering (sorted keys, exact float bits), so two files
+// with the same VALUES — regardless of key order, comments, formatting
+// — digest identically.  Fixture keys derived from spec parameters
+// (e.g. the synthesized fleet batches of sweep_acceptance_ratio) mix
+// those parameter values directly, which makes every spec-driven
+// fixture deterministic per (spec values, seed) and shareable through
+// the content-addressed store across shards and machines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/toml.hpp"
+
+namespace cps::runtime {
+
+/// The spec-file format version this build understands.
+inline constexpr std::int64_t kCampaignSpecVersion = 1;
+
+/// One parsed, validated campaign spec.
+struct CampaignSpec {
+  std::string name;                      ///< campaign.name (required, non-empty)
+  std::vector<std::string> experiments;  ///< campaign.experiments, in run order
+  std::uint64_t seed = 0;                ///< campaign.seed (default 0x5EED5EED)
+  bool has_seed = false;                 ///< campaign.seed was present
+  std::string fixture_store;             ///< campaign.fixture_store ("" = none)
+  std::size_t shard_plan = 1;            ///< campaign.shards (advisory, >= 1)
+  std::string source;                    ///< file/label the spec was parsed from
+  util::TomlTable params;                ///< every key, incl. campaign.*
+
+  /// FNV-1a over params.canonical(): stable across key order, comments
+  /// and whitespace; changes when any VALUE changes.
+  std::uint64_t digest() const;
+  /// digest() as 16 hex digits (tables, provenance lines).
+  std::string digest_hex() const;
+};
+
+/// Validate and extract a parsed table into a CampaignSpec.  Throws
+/// util::TomlError on: missing/wrong-type required keys, an unsupported
+/// spec_version, an empty experiment list, unknown [campaign] keys
+/// (typos must not be silently inert), or an out-of-range shard plan.
+CampaignSpec make_campaign_spec(util::TomlTable table, std::string source);
+
+/// parse + validate a spec file (util::parse_toml_file + make_campaign_spec).
+CampaignSpec load_campaign_spec(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Typed parameter lookups for experiment bodies.  All of them return the
+// fallback when `spec` is null (the experiment runs with its built-in
+// defaults outside any campaign) or when the key is absent; a PRESENT
+// key of the wrong type still throws — a spec that says trials = "30"
+// must fail, not silently run the default.
+
+double spec_double(const CampaignSpec* spec, const std::string& key, double fallback);
+std::int64_t spec_int(const CampaignSpec* spec, const std::string& key,
+                      std::int64_t fallback);
+std::string spec_string(const CampaignSpec* spec, const std::string& key,
+                        const std::string& fallback);
+std::vector<double> spec_doubles(const CampaignSpec* spec, const std::string& key,
+                                 std::vector<double> fallback);
+std::vector<std::string> spec_strings(const CampaignSpec* spec, const std::string& key,
+                                      std::vector<std::string> fallback);
+
+}  // namespace cps::runtime

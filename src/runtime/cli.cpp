@@ -1,0 +1,163 @@
+#include "runtime/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace cps::runtime {
+
+CliParser::CliParser(std::string program, std::string usage_suffix)
+    : program_(std::move(program)), usage_suffix_(std::move(usage_suffix)) {
+  // --help is table-driven like everything else so it shows up in
+  // help() and flag_names() without special cases.
+  Flag help_flag;
+  help_flag.names = {"--help", "-h"};
+  help_flag.kind = Kind::kBool;
+  help_flag.bool_target = &help_requested_;
+  help_flag.help = "print this help and exit";
+  register_flag(std::move(help_flag));
+}
+
+void CliParser::register_flag(Flag flag) {
+  CPS_ENSURE(!flag.names.empty(), "CliParser: a flag needs at least one name");
+  for (const auto& name : flag.names) {
+    CPS_ENSURE(!name.empty() && name[0] == '-',
+               "CliParser: flag names must start with '-'");
+    CPS_ENSURE(find(name) == nullptr, "CliParser: duplicate flag name registered");
+  }
+  flags_.push_back(std::move(flag));
+}
+
+void CliParser::add_flag(std::vector<std::string> names, bool* target, std::string help) {
+  CPS_ENSURE(target != nullptr, "CliParser::add_flag: null target");
+  Flag flag;
+  flag.names = std::move(names);
+  flag.kind = Kind::kBool;
+  flag.bool_target = target;
+  flag.help = std::move(help);
+  register_flag(std::move(flag));
+}
+
+void CliParser::add_u64(std::vector<std::string> names, std::uint64_t* target,
+                        std::string value_name, std::string help, bool* seen) {
+  CPS_ENSURE(target != nullptr, "CliParser::add_u64: null target");
+  Flag flag;
+  flag.names = std::move(names);
+  flag.kind = Kind::kU64;
+  flag.u64_target = target;
+  flag.seen = seen;
+  flag.value_name = std::move(value_name);
+  flag.help = std::move(help);
+  flag.default_text = std::to_string(*target);
+  register_flag(std::move(flag));
+}
+
+void CliParser::add_string(std::vector<std::string> names, std::string* target,
+                           std::string value_name, std::string help, bool* seen) {
+  CPS_ENSURE(target != nullptr, "CliParser::add_string: null target");
+  Flag flag;
+  flag.names = std::move(names);
+  flag.kind = Kind::kString;
+  flag.string_target = target;
+  flag.seen = seen;
+  flag.value_name = std::move(value_name);
+  flag.help = std::move(help);
+  if (!target->empty()) flag.default_text = *target;
+  register_flag(std::move(flag));
+}
+
+const CliParser::Flag* CliParser::find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (std::find(flag.names.begin(), flag.names.end(), name) != flag.names.end())
+      return &flag;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> CliParser::parse(const std::vector<std::string>& args) {
+  help_requested_ = false;
+  std::vector<std::string> positionals;
+  bool flags_done = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || arg.empty() || arg[0] != '-' || arg == "-") {
+      positionals.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    const Flag* flag = find(arg);
+    if (flag == nullptr) throw CliError("unknown flag '" + arg + "' (see --help)");
+    if (flag->kind == Kind::kBool) {
+      *flag->bool_target = true;
+      if (flag->seen != nullptr) *flag->seen = true;
+      continue;
+    }
+    if (i + 1 >= args.size())
+      throw CliError("flag '" + arg + "' requires a value " + flag->value_name);
+    const std::string& value = args[++i];
+    if (flag->kind == Kind::kU64)
+      *flag->u64_target = parse_cli_u64(value, "value of '" + arg + "'");
+    else
+      *flag->string_target = value;
+    if (flag->seen != nullptr) *flag->seen = true;
+  }
+  return positionals;
+}
+
+std::string CliParser::help() const {
+  std::string text = "usage: " + program_ + " [options]";
+  if (!usage_suffix_.empty()) text += " " + usage_suffix_;
+  text += "\n\noptions:\n";
+
+  // First pass: render "name, name VALUE" stems and find the alignment
+  // column; second pass: emit aligned rows.
+  std::vector<std::string> stems;
+  std::size_t width = 0;
+  for (const auto& flag : flags_) {
+    std::string stem;
+    for (const auto& name : flag.names) {
+      if (!stem.empty()) stem += ", ";
+      stem += name;
+    }
+    if (!flag.value_name.empty()) stem += " " + flag.value_name;
+    width = std::max(width, stem.size());
+    stems.push_back(std::move(stem));
+  }
+  for (std::size_t i = 0; i < flags_.size(); ++i) {
+    text += "  " + stems[i] + std::string(width - stems[i].size() + 2, ' ') +
+            flags_[i].help;
+    if (!flags_[i].default_text.empty())
+      text += " (default: " + flags_[i].default_text + ")";
+    text += "\n";
+  }
+  return text;
+}
+
+std::vector<std::string> CliParser::flag_names() const {
+  std::vector<std::string> names;
+  for (const auto& flag : flags_)
+    names.insert(names.end(), flag.names.begin(), flag.names.end());
+  return names;
+}
+
+std::uint64_t parse_cli_u64(const std::string& text, const std::string& what) {
+  // Strict: no signs (stoull would wrap "-1" modulo 2^64), no leading
+  // whitespace, full consumption.  Base 0 keeps the documented hex form
+  // (--seed 0x5EED5EED) working.
+  try {
+    if (text.empty() || text[0] == '-' || text[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(text[0])) != 0)
+      throw std::invalid_argument(text);
+    std::size_t consumed = 0;
+    const std::uint64_t value = std::stoull(text, &consumed, 0);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw CliError(what + " must be a non-negative integer, got '" + text + "'");
+  }
+}
+
+}  // namespace cps::runtime

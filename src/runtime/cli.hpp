@@ -1,0 +1,104 @@
+// Declarative command-line parsing for the runtime tools.
+//
+// cps_run's flag handling used to be a hand-rolled argv loop: every new
+// flag meant another if/else arm, another place to forget the
+// missing-value check, and help text that drifted from the code.  This
+// parser replaces that with a FLAG TABLE — each flag declares its
+// names, typed target, value placeholder and help line once — and
+// derives everything else from it:
+//
+//   * parsing (bool presence, strict unsigned integers, strings),
+//   * `--help` text (generated from the table, so it cannot drift),
+//   * loud errors for unknown flags and missing values (CliError; the
+//     tools map it to the documented usage exit code 2),
+//   * the flag inventory (flag_names()) that CI smoke-checks against
+//     the documented interface.
+//
+// Deliberately small: space-separated values only (`--jobs 4`), exact
+// name matching, `--` ends flag parsing.  Anything fancier (subcommands,
+// abbreviation, =value) is out of scope until a tool needs it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cps::runtime {
+
+/// A command-line usage error (unknown flag, missing/malformed value).
+/// Tools catch it, print usage, and exit with the documented code 2.
+class CliError : public Error {
+ public:
+  explicit CliError(const std::string& what) : Error(what) {}
+};
+
+/// Table-driven argv parser.  Register flags against typed targets,
+/// then parse(); targets keep their initial values when the flag is
+/// absent (defaults live at the declaration site, visible in help).
+class CliParser {
+ public:
+  /// `program` names the tool in usage/help; `usage_suffix` renders
+  /// after "[options]" (e.g. "[experiment ...|all]").
+  CliParser(std::string program, std::string usage_suffix);
+
+  // Registration.  `names` are the literal spellings ("--jobs", "-j");
+  // `seen`, when non-null, is set true iff the flag appeared.  All
+  // registered names must be unique (programming error otherwise).
+  void add_flag(std::vector<std::string> names, bool* target, std::string help);
+  void add_u64(std::vector<std::string> names, std::uint64_t* target,
+               std::string value_name, std::string help, bool* seen = nullptr);
+  void add_string(std::vector<std::string> names, std::string* target,
+                  std::string value_name, std::string help, bool* seen = nullptr);
+
+  /// Parse argv (excluding argv[0] — pass {argv + 1, argv + argc}).
+  /// Returns positional arguments in order.  Throws CliError on any
+  /// unknown `-`-prefixed argument, a value flag without a value, or a
+  /// malformed unsigned integer.  `--help`/`-h` are built in: they set
+  /// help_requested() and parsing continues (the caller prints help()
+  /// and exits 0).  A literal `--` ends flag parsing.
+  std::vector<std::string> parse(const std::vector<std::string>& args);
+
+  /// True when --help/-h appeared in the last parse().
+  bool help_requested() const { return help_requested_; }
+
+  /// Generated help text: usage line plus one aligned row per flag.
+  std::string help() const;
+
+  /// Every registered flag spelling (including --help/-h), in
+  /// registration order.  CI smoke-checks this inventory against the
+  /// documented interface.
+  std::vector<std::string> flag_names() const;
+
+ private:
+  enum class Kind { kBool, kU64, kString };
+
+  struct Flag {
+    std::vector<std::string> names;
+    Kind kind = Kind::kBool;
+    bool* bool_target = nullptr;
+    std::uint64_t* u64_target = nullptr;
+    std::string* string_target = nullptr;
+    bool* seen = nullptr;
+    std::string value_name;  ///< placeholder in help ("N", "FILE"); empty for kBool
+    std::string help;
+    std::string default_text;  ///< rendered at registration time
+  };
+
+  void register_flag(Flag flag);
+  const Flag* find(const std::string& name) const;
+
+  std::string program_;
+  std::string usage_suffix_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
+};
+
+/// Strict unsigned-integer parse shared by the parser and tools that
+/// post-process string flag values (e.g. "--shard i/N"): full
+/// consumption, no signs, no leading whitespace.  Throws CliError with
+/// `what` naming the offending input.
+std::uint64_t parse_cli_u64(const std::string& text, const std::string& what);
+
+}  // namespace cps::runtime

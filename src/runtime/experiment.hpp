@@ -16,6 +16,8 @@
 
 namespace cps::runtime {
 
+struct CampaignSpec;
+
 /// Per-invocation knobs handed to every experiment.
 struct ExperimentContext {
   /// Worker threads available to SweepRunner fan-outs (>= 1).
@@ -31,6 +33,12 @@ struct ExperimentContext {
   /// evaluates only its contiguous block of every sweep's index range.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  /// The campaign spec this invocation runs under (`cps_run --spec`), or
+  /// nullptr outside any campaign.  Experiment bodies read typed
+  /// parameters through the null-tolerant spec_* helpers
+  /// (runtime/campaign_spec.hpp), so every experiment keeps its built-in
+  /// defaults when run bare.
+  const CampaignSpec* spec = nullptr;
 
   /// True when this invocation is one shard of a multi-process campaign.
   bool sharded() const { return shard_count > 1; }

@@ -87,6 +87,9 @@ struct FixtureCodec {
   std::function<T(util::BinaryReader&)> decode;
 };
 
+template <typename T>
+class FixtureHandle;
+
 /// Process-wide, thread-safe store of computed fixtures.
 ///
 /// Concurrency contract: the first thread to request a key computes the
@@ -96,12 +99,19 @@ struct FixtureCodec {
 /// the exception to every waiter and releases the key so a later request
 /// can retry.
 ///
-/// Two-level operation: attach a FixtureStore (set_store) and the
-/// codec-carrying get_or_compute overloads consult the disk layer on a
-/// memory miss — a valid store file is decoded instead of computed, and
-/// a fresh compute is persisted for the next process.  Without a store
-/// (or for codec-less calls) behaviour is exactly the PR-2 single-level
+/// Two-level operation: attach a FixtureStore (set_store) and
+/// codec-carrying requests consult the disk layer on a memory miss — a
+/// valid store file is decoded instead of computed, and a fresh compute
+/// is persisted for the next process.  Without a store (or for
+/// codec-less requests) behaviour is exactly the PR-2 single-level
 /// cache.
+///
+/// API: FixtureHandle<T> (below) is the single entry point — it binds
+/// the key (content-addressed FixtureKey or recipe-name string) and the
+/// optional codec once, and get() runs the lookup.  The get_or_compute
+/// overloads are retained as thin shims over FixtureHandle for existing
+/// call sites; both spellings hit the same implementation path, same
+/// wire formats, same digests.
 class FixtureCache {
  public:
   /// The singleton shared by every experiment in the process.
@@ -115,38 +125,30 @@ class FixtureCache {
     std::size_t entries = 0;  ///< fixtures currently stored
   };
 
+  // get_or_compute shims (defined after FixtureHandle below): each one
+  // forwards to FixtureHandle<T>{key[, codec]}.get(compute, *this).
+
   /// Look up `key`; on a miss invoke `compute` (a callable returning T by
   /// value) and store the result.  Throws cps::Error when the same key was
   /// populated with a different type, or when a digest collision is
   /// detected (stored key material differs).
   template <typename T, typename Fn>
-  std::shared_ptr<const T> get_or_compute(const FixtureKey& key, Fn&& compute) {
-    return get_or_compute_impl<T>(key.str(), key.material(), std::forward<Fn>(compute));
-  }
+  std::shared_ptr<const T> get_or_compute(const FixtureKey& key, Fn&& compute);
 
-  /// String-keyed overload for nullary fixtures whose content is the
+  /// String-keyed shim for nullary fixtures whose content is the
   /// (versioned) recipe name itself.
   template <typename T, typename Fn>
-  std::shared_ptr<const T> get_or_compute(const std::string& key, Fn&& compute) {
-    return get_or_compute_impl<T>(key, key, std::forward<Fn>(compute));
-  }
+  std::shared_ptr<const T> get_or_compute(const std::string& key, Fn&& compute);
 
-  /// Codec-carrying overloads: same compute-once semantics, plus the
+  /// Codec-carrying shims: same compute-once semantics, plus the
   /// on-disk layer when a store is attached (disk hit -> decode; miss ->
   /// compute + persist).  Bit-identical results either way.
   template <typename T, typename Fn>
   std::shared_ptr<const T> get_or_compute(const FixtureKey& key, const FixtureCodec<T>& codec,
-                                          Fn&& compute) {
-    return get_or_compute_impl<T>(key.str(), key.material(),
-                                  stored_compute<T>(key.str(), key.material(), codec,
-                                                    std::forward<Fn>(compute)));
-  }
+                                          Fn&& compute);
   template <typename T, typename Fn>
   std::shared_ptr<const T> get_or_compute(const std::string& key, const FixtureCodec<T>& codec,
-                                          Fn&& compute) {
-    return get_or_compute_impl<T>(key, key,
-                                  stored_compute<T>(key, key, codec, std::forward<Fn>(compute)));
-  }
+                                          Fn&& compute);
 
   /// Attach (or detach, with nullptr) the persistent second level.  Set
   /// once at process start — cps_run wires --fixture-store here before
@@ -242,6 +244,9 @@ class FixtureCache {
   void clear();
 
  private:
+  template <typename T>
+  friend class FixtureHandle;
+
   struct Entry {
     std::shared_future<std::shared_ptr<const void>> future;
     std::type_index type;
@@ -254,5 +259,89 @@ class FixtureCache {
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };
+
+/// The single fixture entry point: one handle binds WHAT identifies a
+/// fixture (key + material) and HOW it persists (optional codec); get()
+/// runs the two-level lookup.  Replaces the former 2x2 overload grid of
+/// FixtureCache::get_or_compute — every combination is now one
+/// constructor choice plus an optional with_codec(), and every lookup
+/// funnels through the same implementation:
+///
+///   auto fleet = FixtureHandle<Fleet>(key)         // content-addressed
+///                    .with_codec(fleet_codec())    // optional disk layer
+///                    .get([] { return make(); });  // compute on miss
+///
+/// Handles are cheap value types (a string, a hash, an optional codec);
+/// build them ad hoc at the call site.  get() defaults to the process
+/// singleton cache; tests pass their own FixtureCache.
+template <typename T>
+class FixtureHandle {
+ public:
+  /// Content-addressed handle: identity is the key's mixed-in content.
+  explicit FixtureHandle(const FixtureKey& key)
+      : key_(key.str()), material_(key.material()) {}
+
+  /// Recipe-named handle for nullary fixtures: identity is the
+  /// (versioned) name itself.
+  explicit FixtureHandle(std::string key) : key_(std::move(key)), material_(key_) {}
+
+  /// Attach the persistence codec; without one the handle is memory-only
+  /// even when the cache has a store attached.
+  FixtureHandle& with_codec(FixtureCodec<T> codec) {
+    codec_ = std::move(codec);
+    has_codec_ = true;
+    return *this;
+  }
+
+  /// Look up; on a miss invoke `compute` (callable returning T by value)
+  /// — via the disk layer when a codec is attached and `cache` has a
+  /// store.  Same sharing, collision and error contracts as always
+  /// (documented on FixtureCache).
+  template <typename Fn>
+  std::shared_ptr<const T> get(Fn&& compute,
+                               FixtureCache& cache = FixtureCache::instance()) const {
+    if (has_codec_)
+      return cache.get_or_compute_impl<T>(
+          key_, material_,
+          cache.stored_compute<T>(key_, material_, codec_, std::forward<Fn>(compute)));
+    return cache.get_or_compute_impl<T>(key_, material_, std::forward<Fn>(compute));
+  }
+
+  /// The rendered cache key ("<domain>/<16-hex>" or the recipe name).
+  const std::string& key() const { return key_; }
+
+ private:
+  std::string key_;
+  std::string material_;
+  FixtureCodec<T> codec_;
+  bool has_codec_ = false;
+};
+
+// --- get_or_compute shims -------------------------------------------------
+// Kept for existing call sites; byte-identical behaviour to the handle.
+
+template <typename T, typename Fn>
+std::shared_ptr<const T> FixtureCache::get_or_compute(const FixtureKey& key, Fn&& compute) {
+  return FixtureHandle<T>(key).get(std::forward<Fn>(compute), *this);
+}
+
+template <typename T, typename Fn>
+std::shared_ptr<const T> FixtureCache::get_or_compute(const std::string& key, Fn&& compute) {
+  return FixtureHandle<T>(key).get(std::forward<Fn>(compute), *this);
+}
+
+template <typename T, typename Fn>
+std::shared_ptr<const T> FixtureCache::get_or_compute(const FixtureKey& key,
+                                                      const FixtureCodec<T>& codec,
+                                                      Fn&& compute) {
+  return FixtureHandle<T>(key).with_codec(codec).get(std::forward<Fn>(compute), *this);
+}
+
+template <typename T, typename Fn>
+std::shared_ptr<const T> FixtureCache::get_or_compute(const std::string& key,
+                                                      const FixtureCodec<T>& codec,
+                                                      Fn&& compute) {
+  return FixtureHandle<T>(key).with_codec(codec).get(std::forward<Fn>(compute), *this);
+}
 
 }  // namespace cps::runtime

@@ -1,0 +1,516 @@
+#include "util/toml.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace cps::util {
+
+namespace {
+
+bool is_bare_key_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '-';
+}
+
+[[noreturn]] void fail(const std::string& source, std::size_t line, const std::string& what) {
+  throw TomlError(source + ":" + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TomlValue
+
+TomlValue TomlValue::make_bool(bool v) {
+  TomlValue value;
+  value.kind_ = Kind::kBool;
+  value.bool_ = v;
+  return value;
+}
+
+TomlValue TomlValue::make_int(std::int64_t v) {
+  TomlValue value;
+  value.kind_ = Kind::kInt;
+  value.int_ = v;
+  return value;
+}
+
+TomlValue TomlValue::make_float(double v) {
+  TomlValue value;
+  value.kind_ = Kind::kFloat;
+  value.float_ = v;
+  return value;
+}
+
+TomlValue TomlValue::make_string(std::string v) {
+  TomlValue value;
+  value.kind_ = Kind::kString;
+  value.string_ = std::move(v);
+  return value;
+}
+
+TomlValue TomlValue::make_array(std::vector<TomlValue> items) {
+  TomlValue value;
+  value.kind_ = Kind::kArray;
+  value.array_ = std::move(items);
+  return value;
+}
+
+const char* TomlValue::kind_name() const {
+  switch (kind_) {
+    case Kind::kBool:
+      return "boolean";
+    case Kind::kInt:
+      return "integer";
+    case Kind::kFloat:
+      return "float";
+    case Kind::kString:
+      return "string";
+    case Kind::kArray:
+      return "array";
+  }
+  return "?";
+}
+
+bool TomlValue::as_bool() const {
+  if (kind_ != Kind::kBool)
+    throw TomlError(std::string("expected a boolean, got a ") + kind_name());
+  return bool_;
+}
+
+std::int64_t TomlValue::as_int() const {
+  if (kind_ != Kind::kInt)
+    throw TomlError(std::string("expected an integer, got a ") + kind_name());
+  return int_;
+}
+
+double TomlValue::as_float() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ != Kind::kFloat)
+    throw TomlError(std::string("expected a number, got a ") + kind_name());
+  return float_;
+}
+
+const std::string& TomlValue::as_string() const {
+  if (kind_ != Kind::kString)
+    throw TomlError(std::string("expected a string, got a ") + kind_name());
+  return string_;
+}
+
+const std::vector<TomlValue>& TomlValue::as_array() const {
+  if (kind_ != Kind::kArray)
+    throw TomlError(std::string("expected an array, got a ") + kind_name());
+  return array_;
+}
+
+std::string TomlValue::canonical() const {
+  switch (kind_) {
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kFloat: {
+      // Lossless: %.17g round-trips every finite double; non-finite and
+      // negative-zero oddities are covered by appending the bit pattern
+      // only when the short form would be ambiguous — simpler to always
+      // carry the bits, so the canonical form is exactly value-stable.
+      char buffer[64];
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &float_, sizeof(bits));
+      std::snprintf(buffer, sizeof(buffer), "f:%016" PRIx64, bits);
+      return buffer;
+    }
+    case Kind::kString:
+      return "\"" + string_ + "\"";
+    case Kind::kArray: {
+      std::string text = "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) text += ",";
+        text += array_[i].canonical();
+      }
+      return text + "]";
+    }
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// TomlTable
+
+bool TomlTable::has(const std::string& key) const { return values_.count(key) > 0; }
+
+const TomlValue* TomlTable::find(const std::string& key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+namespace {
+const TomlValue& require(const TomlTable& table, const std::string& key) {
+  const TomlValue* value = table.find(key);
+  if (value == nullptr) throw TomlError("missing required key '" + key + "'");
+  return *value;
+}
+
+/// Re-throw a value-kind error with the key name attached.
+template <typename Fn>
+auto with_key(const std::string& key, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const TomlError& error) {
+    throw TomlError("key '" + key + "': " + error.what());
+  }
+}
+}  // namespace
+
+bool TomlTable::get_bool(const std::string& key) const {
+  return with_key(key, [&] { return require(*this, key).as_bool(); });
+}
+
+std::int64_t TomlTable::get_int(const std::string& key) const {
+  return with_key(key, [&] { return require(*this, key).as_int(); });
+}
+
+double TomlTable::get_double(const std::string& key) const {
+  return with_key(key, [&] { return require(*this, key).as_float(); });
+}
+
+const std::string& TomlTable::get_string(const std::string& key) const {
+  return with_key(key, [&]() -> const std::string& { return require(*this, key).as_string(); });
+}
+
+std::vector<double> TomlTable::get_double_array(const std::string& key) const {
+  return with_key(key, [&] {
+    std::vector<double> values;
+    for (const auto& item : require(*this, key).as_array()) values.push_back(item.as_float());
+    return values;
+  });
+}
+
+std::vector<std::string> TomlTable::get_string_array(const std::string& key) const {
+  return with_key(key, [&] {
+    std::vector<std::string> values;
+    for (const auto& item : require(*this, key).as_array()) values.push_back(item.as_string());
+    return values;
+  });
+}
+
+bool TomlTable::get_bool_or(const std::string& key, bool fallback) const {
+  return has(key) ? get_bool(key) : fallback;
+}
+
+std::int64_t TomlTable::get_int_or(const std::string& key, std::int64_t fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+double TomlTable::get_double_or(const std::string& key, double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+std::string TomlTable::get_string_or(const std::string& key, const std::string& fallback) const {
+  return has(key) ? get_string(key) : fallback;
+}
+
+std::vector<double> TomlTable::get_double_array_or(const std::string& key,
+                                                   std::vector<double> fallback) const {
+  return has(key) ? get_double_array(key) : std::move(fallback);
+}
+
+std::vector<std::string> TomlTable::get_string_array_or(
+    const std::string& key, std::vector<std::string> fallback) const {
+  return has(key) ? get_string_array(key) : std::move(fallback);
+}
+
+std::vector<std::string> TomlTable::keys() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [key, value] : values_) names.push_back(key);
+  return names;
+}
+
+std::vector<std::string> TomlTable::keys_with_prefix(const std::string& prefix) const {
+  std::vector<std::string> names;
+  for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    names.push_back(it->first);
+  }
+  return names;
+}
+
+void TomlTable::set(const std::string& key, TomlValue value) {
+  values_.insert_or_assign(key, std::move(value));
+}
+
+std::string TomlTable::canonical() const {
+  std::string text;
+  for (const auto& [key, value] : values_) {  // std::map: already sorted
+    text += key;
+    text += "=";
+    text += value.canonical();
+    text += "\n";
+  }
+  return text;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+/// Cursor over one logical line (arrays may extend it across physical
+/// lines; `line` tracks the physical line of the cursor for errors).
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+  const std::string& source;
+
+  explicit Parser(std::string_view t, const std::string& src) : text(t), source(src) {}
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  char take() {
+    const char c = text[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+
+  [[noreturn]] void error(const std::string& what) const { fail(source, line, what); }
+
+  /// Skip spaces/tabs (never newlines).
+  void skip_blanks() {
+    while (!eof() && (peek() == ' ' || peek() == '\t')) ++pos;
+  }
+
+  /// Skip a `#` comment to (not including) the newline.
+  void skip_comment() {
+    if (!eof() && peek() == '#')
+      while (!eof() && peek() != '\n') ++pos;
+  }
+
+  /// Skip blanks + comment; then require end of line/file.
+  void expect_line_end(const char* after) {
+    skip_blanks();
+    skip_comment();
+    if (!eof() && peek() != '\n') error(std::string("unexpected text after ") + after);
+  }
+
+  /// Skip blanks, comments AND newlines (inside multi-line arrays).
+  void skip_whitespace_and_comments() {
+    while (!eof()) {
+      skip_blanks();
+      skip_comment();
+      if (!eof() && peek() == '\n') {
+        take();
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string parse_bare_name(const char* what) {
+    skip_blanks();
+    const std::size_t start = pos;
+    while (!eof() && is_bare_key_char(peek())) ++pos;
+    if (pos == start) error(std::string("expected ") + what);
+    return std::string(text.substr(start, pos - start));
+  }
+
+  /// `[section]` or `[a.b]` after the opening '[' was consumed.
+  std::string parse_section_header() {
+    std::string name = parse_bare_name("a section name after '['");
+    while (!eof() && peek() == '.') {
+      take();
+      name += "." + parse_bare_name("a name after '.' in the section header");
+    }
+    skip_blanks();
+    if (eof() || peek() != ']') error("expected ']' to close the section header");
+    take();
+    expect_line_end("the section header");
+    return name;
+  }
+
+  std::string parse_basic_string() {
+    take();  // opening quote
+    std::string value;
+    while (true) {
+      if (eof() || peek() == '\n') error("unterminated string");
+      const char c = take();
+      if (c == '"') return value;
+      if (c != '\\') {
+        value += c;
+        continue;
+      }
+      if (eof()) error("unterminated escape sequence");
+      const char escape = take();
+      switch (escape) {
+        case '"':
+          value += '"';
+          break;
+        case '\\':
+          value += '\\';
+          break;
+        case 'n':
+          value += '\n';
+          break;
+        case 't':
+          value += '\t';
+          break;
+        case 'r':
+          value += '\r';
+          break;
+        default:
+          error(std::string("unsupported escape '\\") + escape + "' in string");
+      }
+    }
+  }
+
+  TomlValue parse_number() {
+    const std::size_t start = pos;
+    if (peek() == '+' || peek() == '-') ++pos;
+    bool is_float = false;
+    while (!eof()) {
+      const char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_float = true;
+        ++pos;
+        if (!eof() && (peek() == '+' || peek() == '-') && (c == 'e' || c == 'E')) ++pos;
+      } else {
+        break;
+      }
+    }
+    std::string digits(text.substr(start, pos - start));
+    // TOML allows '_' separators inside numbers; strip before conversion.
+    digits.erase(std::remove(digits.begin(), digits.end(), '_'), digits.end());
+    if (digits.empty() || digits == "+" || digits == "-") error("malformed number");
+    try {
+      std::size_t consumed = 0;
+      if (is_float) {
+        const double value = std::stod(digits, &consumed);
+        if (consumed != digits.size()) throw std::invalid_argument(digits);
+        return TomlValue::make_float(value);
+      }
+      const std::int64_t value = std::stoll(digits, &consumed, 10);
+      if (consumed != digits.size()) throw std::invalid_argument(digits);
+      return TomlValue::make_int(value);
+    } catch (const std::exception&) {
+      error("malformed number '" + digits + "'");
+    }
+  }
+
+  TomlValue parse_value() {
+    skip_blanks();
+    if (eof() || peek() == '\n') error("expected a value");
+    const char c = peek();
+    if (c == '"') return TomlValue::make_string(parse_basic_string());
+    if (c == '[') return parse_array();
+    if (c == '{') error("inline tables are outside the supported TOML subset");
+    if (c == '\'') error("literal strings are outside the supported TOML subset");
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0) {
+      const std::string word = parse_bare_name("a value");
+      if (word == "true") return TomlValue::make_bool(true);
+      if (word == "false") return TomlValue::make_bool(false);
+      error("unrecognized value '" + word + "' (dates and bare words are unsupported)");
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '+' || c == '-')
+      return parse_number();
+    error(std::string("unexpected character '") + c + "' in value");
+  }
+
+  TomlValue parse_array() {
+    take();  // '['
+    std::vector<TomlValue> items;
+    while (true) {
+      skip_whitespace_and_comments();
+      if (eof()) error("unterminated array");
+      if (peek() == ']') {
+        take();
+        break;
+      }
+      items.push_back(parse_value());
+      skip_whitespace_and_comments();
+      if (eof()) error("unterminated array");
+      if (peek() == ',') {
+        take();
+        continue;
+      }
+      if (peek() == ']') {
+        take();
+        break;
+      }
+      error("expected ',' or ']' in array");
+    }
+    // Homogeneity: mixed-kind arrays are almost always a spec typo
+    // (integers among floats are fine — both are numbers).
+    for (const auto& item : items) {
+      const bool numeric = item.kind() == TomlValue::Kind::kInt ||
+                           item.kind() == TomlValue::Kind::kFloat;
+      const bool first_numeric = items[0].kind() == TomlValue::Kind::kInt ||
+                                 items[0].kind() == TomlValue::Kind::kFloat;
+      if (numeric != first_numeric || (!numeric && item.kind() != items[0].kind()))
+        error("mixed value kinds in array");
+    }
+    return TomlValue::make_array(std::move(items));
+  }
+};
+
+}  // namespace
+
+TomlTable parse_toml(std::string_view text, const std::string& source) {
+  TomlTable table;
+  Parser parser(text, source);
+  std::string section;
+
+  while (!parser.eof()) {
+    parser.skip_blanks();
+    parser.skip_comment();
+    if (parser.eof()) break;
+    if (parser.peek() == '\n') {
+      parser.take();
+      continue;
+    }
+    if (parser.peek() == '[') {
+      parser.take();
+      if (!parser.eof() && parser.peek() == '[')
+        parser.error("table arrays ([[...]]) are outside the supported TOML subset");
+      section = parser.parse_section_header();
+      continue;
+    }
+    if (!is_bare_key_char(parser.peek()))
+      parser.error(std::string("unexpected character '") + parser.peek() + "'");
+
+    const std::size_t key_line = parser.line;
+    std::string key = parser.parse_bare_name("a key");
+    parser.skip_blanks();
+    if (!parser.eof() && parser.peek() == '.')
+      parser.error("dotted keys are outside the supported TOML subset (use [sections])");
+    if (parser.eof() || parser.peek() != '=')
+      fail(source, key_line, "expected '=' after key '" + key + "'");
+    parser.take();  // '='
+    TomlValue value = parser.parse_value();
+    parser.expect_line_end("the value");
+
+    const std::string full_key = section.empty() ? key : section + "." + key;
+    if (table.has(full_key)) fail(source, key_line, "duplicate key '" + full_key + "'");
+    table.set(full_key, std::move(value));
+  }
+  return table;
+}
+
+TomlTable parse_toml_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) throw TomlError("cannot open spec file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_toml(buffer.str(), path);
+}
+
+}  // namespace cps::util

@@ -1,0 +1,141 @@
+// Hand-rolled TOML-subset reader for declarative campaign specs.
+//
+// The generative scenario engine (runtime/campaign_spec.hpp) is driven
+// by config files, and the container image deliberately carries no
+// third-party parsing dependency — so this is a small, strict reader of
+// the TOML subset the specs actually need:
+//
+//   * `#` comments (to end of line, outside strings);
+//   * `[section]` / `[section.sub]` headers (bare dotted names);
+//   * `key = value` pairs with bare keys `[A-Za-z0-9_-]+`;
+//   * values: basic "strings" (\" \\ \n \t \r escapes), booleans,
+//     integers (decimal, optional sign), floats (decimal point and/or
+//     exponent), and homogeneous single- or multi-line arrays thereof.
+//
+// Everything outside that subset — table arrays, inline tables, dotted
+// keys, dates, literal strings — is a LOUD parse error, never a silent
+// skip: a campaign spec that cannot be fully understood must not half
+// run.  Errors carry "<source>:<line>: ..." so a bad spec line is one
+// jump away.
+//
+// Parsed files flatten into a TomlTable mapping "section.key" to typed
+// values (root-level keys keep their bare name).  The table offers
+// strict typed getters (wrong type = loud TomlError naming the key) and
+// a canonical rendering used for content digests: sorted keys, exact
+// bit-pattern float formatting — so two spec files with the same VALUES
+// digest identically regardless of key order, comments, or whitespace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cps::util {
+
+/// Thrown on malformed spec text and on type/presence lookup failures.
+class TomlError : public Error {
+ public:
+  explicit TomlError(const std::string& what) : Error(what) {}
+};
+
+/// One parsed value (scalar or homogeneous array of scalars).
+class TomlValue {
+ public:
+  enum class Kind { kBool, kInt, kFloat, kString, kArray };
+
+  static TomlValue make_bool(bool v);
+  static TomlValue make_int(std::int64_t v);
+  static TomlValue make_float(double v);
+  static TomlValue make_string(std::string v);
+  static TomlValue make_array(std::vector<TomlValue> items);
+
+  Kind kind() const { return kind_; }
+  const char* kind_name() const;  ///< "boolean", "integer", ... for errors
+
+  // Checked accessors; throw TomlError on a kind mismatch.  as_float()
+  // also accepts integers (1 and 1.0 mean the same grid value).
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_float() const;
+  const std::string& as_string() const;
+  const std::vector<TomlValue>& as_array() const;
+
+  /// Canonical single-line rendering (see TomlTable::canonical()).
+  /// Floats render as decimal when exact, else as hex bit patterns, so
+  /// the rendering is lossless and digest-stable.
+  std::string canonical() const;
+
+ private:
+  Kind kind_ = Kind::kBool;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double float_ = 0.0;
+  std::string string_;
+  std::vector<TomlValue> array_;
+};
+
+/// Flat view of one parsed spec file: "section.key" -> TomlValue.
+class TomlTable {
+ public:
+  /// True when `key` was present in the file.
+  bool has(const std::string& key) const;
+
+  /// The value at `key`, or nullptr.
+  const TomlValue* find(const std::string& key) const;
+
+  // Required typed getters: throw TomlError naming the key when absent
+  // or of the wrong kind.
+  bool get_bool(const std::string& key) const;
+  std::int64_t get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;  ///< accepts integers
+  const std::string& get_string(const std::string& key) const;
+  std::vector<double> get_double_array(const std::string& key) const;
+  std::vector<std::string> get_string_array(const std::string& key) const;
+
+  // Optional variants: the fallback when `key` is absent; still loud
+  // when the key exists with the wrong kind (a silently ignored typo'd
+  // value is worse than a missing one).
+  bool get_bool_or(const std::string& key, bool fallback) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  std::string get_string_or(const std::string& key, const std::string& fallback) const;
+  std::vector<double> get_double_array_or(const std::string& key,
+                                          std::vector<double> fallback) const;
+  std::vector<std::string> get_string_array_or(const std::string& key,
+                                               std::vector<std::string> fallback) const;
+
+  /// All keys, sorted (the storage is an ordered map).
+  std::vector<std::string> keys() const;
+
+  /// Keys beginning with `prefix` ("campaign." lists that section).
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  /// Insert/overwrite a value (the parser and tests build tables here).
+  void set(const std::string& key, TomlValue value);
+
+  /// Number of key/value pairs.
+  std::size_t size() const { return values_.size(); }
+
+  /// Canonical "key=value\n" rendering in sorted key order: the digest
+  /// input of runtime::CampaignSpec.  Identical VALUES give identical
+  /// canonical text no matter how the source file ordered, spaced, or
+  /// commented them.
+  std::string canonical() const;
+
+ private:
+  std::map<std::string, TomlValue> values_;
+};
+
+/// Parse TOML-subset `text`; `source` names the input in error messages
+/// (a file path, or "<string>" in tests).  Throws TomlError on anything
+/// outside the subset, on duplicate keys, and on malformed values.
+TomlTable parse_toml(std::string_view text, const std::string& source = "<string>");
+
+/// Read and parse a file; throws TomlError when unreadable.
+TomlTable parse_toml_file(const std::string& path);
+
+}  // namespace cps::util

@@ -1,0 +1,251 @@
+// Tests for the utilization-controlled fleet generator
+// (plants/fleet_synthesis.hpp): UUniFast share properties, the
+// documented achieved-utilization tolerance, per-seed determinism, the
+// per-family tent invariants every drawn application must satisfy, the
+// dedicated-slot schedulability guarantee, and the cached
+// sched_fleet_batch fixture (one draw shared across requesters).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "analysis/schedulability.hpp"
+#include "experiments/fixtures.hpp"
+#include "plants/fleet_synthesis.hpp"
+#include "plants/table1.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::plants;
+
+// The documented reproduction tolerance of the generator (see
+// fleet_synthesis.hpp): the achieved utilization is the target up to
+// floating-point summation error.
+double utilization_tolerance(double target) { return 1e-9 * std::max(1.0, target); }
+
+TEST(UUniFastTest, SharesSumToTheTotalAndStayPositive) {
+  Rng rng(42);
+  for (const double total : {0.3, 1.0, 2.5, 6.0}) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{10},
+                                std::size_t{64}}) {
+      const auto shares = uunifast(rng, n, total);
+      ASSERT_EQ(shares.size(), n);
+      double sum = 0.0;
+      for (const double share : shares) {
+        EXPECT_GE(share, 0.0);
+        EXPECT_LE(share, total + 1e-12);
+        sum += share;
+      }
+      EXPECT_NEAR(sum, total, utilization_tolerance(total)) << "n=" << n;
+    }
+  }
+  EXPECT_THROW(uunifast(rng, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(uunifast(rng, 3, 0.0), InvalidArgument);
+}
+
+TEST(UUniFastTest, ConsumesExactlyNMinusOneDraws) {
+  // The draw count is part of the generator's format contract: a change
+  // shifts every downstream draw and silently invalidates cached fleets.
+  Rng a(7), b(7);
+  (void)uunifast(a, 5, 1.0);
+  for (int i = 0; i < 4; ++i) (void)b.uniform(0.0, 1.0);
+  EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(FleetSynthesisTest, AchievedUtilizationHitsTheTargetWithinTolerance) {
+  FleetSynthesisSpec spec;
+  for (const double target : {0.5, 1.0, 2.0, 3.5}) {
+    for (const std::size_t n : {std::size_t{4}, std::size_t{8}, std::size_t{16}}) {
+      if (target > static_cast<double>(n) * spec.max_app_utilization) continue;
+      FleetSynthesisSpec point = spec;
+      point.target_utilization = target;
+      point.n_apps = n;
+      for (const std::uint64_t seed : {1u, 99u, 4242u}) {
+        const auto fleet = synthesize_sched_fleet(point, seed);
+        ASSERT_EQ(fleet.apps.size(), n);
+        EXPECT_DOUBLE_EQ(fleet.target_utilization, target);
+        EXPECT_NEAR(fleet.achieved_utilization, target, utilization_tolerance(target))
+            << "target=" << target << " n=" << n << " seed=" << seed;
+        // The bookkeeping matches the per-app shares it summed.
+        double sum = 0.0;
+        for (const auto& app : fleet.apps) sum += app.utilization();
+        EXPECT_DOUBLE_EQ(sum, fleet.achieved_utilization);
+      }
+    }
+  }
+}
+
+TEST(FleetSynthesisTest, SameSeedReproducesTheFleetExactly) {
+  FleetSynthesisSpec spec;
+  spec.target_utilization = 2.0;
+  spec.n_apps = 12;
+  const auto a = synthesize_sched_fleet(spec, 77);
+  const auto b = synthesize_sched_fleet(spec, 77);
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    // Exact equality on purpose: the determinism contract is bit-identity.
+    EXPECT_EQ(a.apps[i].name, b.apps[i].name);
+    EXPECT_EQ(a.apps[i].family, b.apps[i].family);
+    EXPECT_EQ(a.apps[i].r, b.apps[i].r);
+    EXPECT_EQ(a.apps[i].deadline, b.apps[i].deadline);
+    EXPECT_EQ(a.apps[i].xi_tt, b.apps[i].xi_tt);
+    EXPECT_EQ(a.apps[i].xi_m, b.apps[i].xi_m);
+    EXPECT_EQ(a.apps[i].k_p, b.apps[i].k_p);
+    EXPECT_EQ(a.apps[i].xi_et, b.apps[i].xi_et);
+  }
+  const auto c = synthesize_sched_fleet(spec, 78);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.apps.size(); ++i)
+    any_difference = any_difference || a.apps[i].r != c.apps[i].r;
+  EXPECT_TRUE(any_difference) << "different seeds must draw different fleets";
+}
+
+TEST(FleetSynthesisTest, EveryAppSatisfiesTheTentAndRangeInvariants) {
+  FleetSynthesisSpec spec;
+  spec.target_utilization = 3.0;
+  spec.n_apps = 10;
+  for (const std::uint64_t seed : {3u, 1234u, 98765u}) {
+    const auto fleet = synthesize_sched_fleet(spec, seed);
+    for (const auto& app : fleet.apps) {
+      // Period range and per-app utilization cap.
+      EXPECT_GE(app.r, spec.period_lo);
+      EXPECT_LE(app.r, spec.period_hi);
+      EXPECT_LE(app.utilization(), spec.max_app_utilization + 1e-12);
+      // Tent ordering: 0 < xi_tt < xi_m < xi_et, 0 < k_p < xi_et.
+      EXPECT_GT(app.xi_tt, 0.0);
+      EXPECT_LT(app.xi_tt, app.xi_m);
+      EXPECT_LT(app.xi_m, app.xi_et);
+      EXPECT_GT(app.k_p, 0.0);
+      EXPECT_LT(app.k_p, app.xi_et);
+      // Deadline: above the dedicated-slot response, at most one horizon.
+      EXPECT_GE(app.deadline, 1.05 * app.xi_tt - 1e-12);
+      EXPECT_LE(app.deadline, app.r + 1e-12);
+    }
+  }
+}
+
+TEST(FleetSynthesisTest, EveryDrawnAppIsSchedulableOnADedicatedSlot) {
+  // The generator's design guarantee: acceptance curves measure PACKING
+  // quality, never single-app infeasibility.
+  FleetSynthesisSpec spec;
+  spec.target_utilization = 3.5;
+  spec.n_apps = 8;
+  const auto fleet = synthesize_sched_fleet(spec, 11);
+  const auto params = to_sched_params(fleet);
+  for (const auto& app : params) {
+    const auto analysis = analysis::analyze_slot({app});
+    EXPECT_TRUE(analysis.all_schedulable) << app.name;
+  }
+}
+
+TEST(FleetSynthesisTest, ToSchedParamsMapsEveryField) {
+  FleetSynthesisSpec spec;
+  spec.n_apps = 3;
+  const auto fleet = synthesize_sched_fleet(spec, 5);
+  const auto params = to_sched_params(fleet);
+  ASSERT_EQ(params.size(), fleet.apps.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i].name, fleet.apps[i].name);
+    EXPECT_EQ(params[i].min_inter_arrival, fleet.apps[i].r);
+    EXPECT_EQ(params[i].deadline, fleet.apps[i].deadline);
+    ASSERT_NE(params[i].model, nullptr);
+    // The model carries the tent: dwell at zero wait is xi_tt, the zero
+    // crossing sits at xi_et.
+    EXPECT_DOUBLE_EQ(params[i].model->dwell(0.0), fleet.apps[i].xi_tt);
+    EXPECT_NEAR(params[i].model->zero_wait(), fleet.apps[i].xi_et,
+                1e-9 * fleet.apps[i].xi_et);
+  }
+}
+
+TEST(FleetSynthesisTest, FamilySelectionRespectsTheSpec) {
+  FleetSynthesisSpec spec;
+  spec.n_apps = 16;
+  spec.families = {PlantFamily::kInvertedPendulum};
+  const auto fleet = synthesize_sched_fleet(spec, 9);
+  for (const auto& app : fleet.apps)
+    EXPECT_EQ(app.family, PlantFamily::kInvertedPendulum);
+}
+
+TEST(FleetSynthesisTest, MalformedSpecsThrow) {
+  FleetSynthesisSpec spec;
+  spec.n_apps = 0;
+  EXPECT_THROW(synthesize_sched_fleet(spec, 1), InvalidArgument);
+  spec = {};
+  spec.target_utilization = 0.0;
+  EXPECT_THROW(synthesize_sched_fleet(spec, 1), InvalidArgument);
+  spec = {};
+  // No per-app split can reach target > n * cap.
+  spec.n_apps = 2;
+  spec.max_app_utilization = 0.5;
+  spec.target_utilization = 1.5;
+  EXPECT_THROW(synthesize_sched_fleet(spec, 1), InvalidArgument);
+  spec = {};
+  spec.period_lo = 10.0;
+  spec.period_hi = 5.0;
+  EXPECT_THROW(synthesize_sched_fleet(spec, 1), InvalidArgument);
+  spec = {};
+  spec.families.clear();
+  EXPECT_THROW(synthesize_sched_fleet(spec, 1), InvalidArgument);
+}
+
+TEST(FamilyNameTest, RoundTripsAndRejectsUnknownNames) {
+  for (const PlantFamily family :
+       {PlantFamily::kScaledOscillator, PlantFamily::kUnderdampedResonant,
+        PlantFamily::kInvertedPendulum}) {
+    EXPECT_EQ(family_from_name(family_name(family)), family);
+  }
+  EXPECT_THROW(family_from_name("quadrotor"), InvalidArgument);
+  EXPECT_THROW(family_from_name(""), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// The cached batch fixture (experiments::sched_fleet_batch).
+
+TEST(SchedFleetBatchTest, BatchIsCachedAndDeterministic) {
+  FleetSynthesisSpec spec;
+  spec.target_utilization = 1.5;
+  spec.n_apps = 6;
+  const auto a = experiments::sched_fleet_batch(spec, 4, 0xBA7C4);
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 4u);
+  // Same request: the cache returns the IDENTICAL object, not a re-draw.
+  const auto b = experiments::sched_fleet_batch(spec, 4, 0xBA7C4);
+  EXPECT_EQ(a.get(), b.get());
+  // Each trial matches a direct draw with the batch's per-trial seed.
+  for (std::size_t t = 0; t < a->size(); ++t) {
+    const auto direct =
+        synthesize_sched_fleet(spec, runtime::task_seed(0xBA7C4, t));
+    ASSERT_EQ((*a)[t].apps.size(), direct.apps.size());
+    for (std::size_t i = 0; i < direct.apps.size(); ++i) {
+      EXPECT_EQ((*a)[t].apps[i].r, direct.apps[i].r);
+      EXPECT_EQ((*a)[t].apps[i].deadline, direct.apps[i].deadline);
+      EXPECT_EQ((*a)[t].apps[i].xi_m, direct.apps[i].xi_m);
+    }
+  }
+}
+
+TEST(SchedFleetBatchTest, DistinctParametersGetDistinctCacheEntries) {
+  FleetSynthesisSpec spec;
+  spec.target_utilization = 1.5;
+  spec.n_apps = 6;
+  const auto base = experiments::sched_fleet_batch(spec, 3, 0xF00D);
+  // Different seed, trials, or any generator knob: a different entry.
+  EXPECT_NE(base.get(), experiments::sched_fleet_batch(spec, 3, 0xF00E).get());
+  EXPECT_NE(base.get(), experiments::sched_fleet_batch(spec, 2, 0xF00D).get());
+  FleetSynthesisSpec tweaked = spec;
+  tweaked.deadline_frac_lo = 0.8;
+  EXPECT_NE(base.get(), experiments::sched_fleet_batch(tweaked, 3, 0xF00D).get());
+  FleetSynthesisSpec fewer_families = spec;
+  fewer_families.families = {PlantFamily::kScaledOscillator};
+  EXPECT_NE(base.get(),
+            experiments::sched_fleet_batch(fewer_families, 3, 0xF00D).get());
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// End-to-end determinism tests of the spec-driven acceptance-ratio
+// campaign: running sweep_acceptance_ratio through the experiment
+// registry with a declarative spec must produce BYTE-identical
+// per-point CSVs for any --jobs value and for any shard partition
+// (shards merged via merge_sweep_csv vs. one unsharded process) — the
+// repo's determinism contract applied to the generative scenario
+// engine.  Links cps_experiments for the registered experiment body.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "runtime/campaign_spec.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/shard.hpp"
+#include "util/toml.hpp"
+
+namespace {
+
+using namespace cps;
+using namespace cps::runtime;
+
+/// Small grid (2 utilizations x 1 fleet size x 8 trials = 16 fleets) so
+/// the whole suite stays sub-second while still spanning shard blocks.
+const char* kTinySpec =
+    "spec_version = 1\n"
+    "[campaign]\n"
+    "name = \"campaign_test\"\n"
+    "experiments = [\"sweep_acceptance_ratio\"]\n"
+    "seed = 71\n"
+    "[grid]\n"
+    "utilization = [1.0, 2.5]\n"
+    "fleet_size = [6]\n"
+    "trials = 8\n"
+    "max_slots = 2\n";
+constexpr std::size_t kTinyRows = 2 * 1 * 8;
+
+struct CampaignFixture : public ::testing::Test {
+  void SetUp() override {
+    dir = (std::filesystem::temp_directory_path() /
+           ("cps-campaign-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++)))
+              .string();
+    std::filesystem::create_directories(dir);
+    spec = make_campaign_spec(util::parse_toml(kTinySpec, "tiny.toml"), "tiny.toml");
+    sink = std::fopen("/dev/null", "w");
+    ASSERT_NE(sink, nullptr);
+  }
+  void TearDown() override {
+    if (sink != nullptr) std::fclose(sink);
+    std::error_code error;
+    std::filesystem::remove_all(dir, error);
+  }
+
+  /// Run the registered sweep_acceptance_ratio with this fixture's spec.
+  void run_sweep(const std::string& csv_dir, int jobs, std::size_t shard_index = 0,
+                 std::size_t shard_count = 1) {
+    std::filesystem::create_directories(csv_dir);
+    const Experiment* experiment =
+        ExperimentRegistry::instance().find("sweep_acceptance_ratio");
+    ASSERT_NE(experiment, nullptr);
+    ASSERT_TRUE(experiment->shardable());
+    ExperimentContext context;
+    context.jobs = jobs;
+    context.seed = spec.seed;
+    context.csv_dir = csv_dir;
+    context.out = sink;
+    context.shard_index = shard_index;
+    context.shard_count = shard_count;
+    context.spec = &spec;
+    experiment->run(context);
+  }
+
+  static std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing file: " << path;
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static std::size_t count_lines(const std::string& text) {
+    std::size_t lines = 0;
+    for (const char c : text) lines += static_cast<std::size_t>(c == '\n');
+    return lines;
+  }
+
+  static std::atomic<int> counter;
+  std::string dir;
+  CampaignSpec spec;
+  std::FILE* sink = nullptr;
+};
+std::atomic<int> CampaignFixture::counter{0};
+
+TEST_F(CampaignFixture, SpecParametersShapeTheArtifact) {
+  run_sweep(dir + "/j1", 1);
+  const auto csv = read_file(dir + "/j1/sweep_acceptance_ratio.csv");
+  // Header + one row per (utilization, fleet_size, trial) grid cell.
+  EXPECT_EQ(count_lines(csv), 1 + kTinyRows);
+  EXPECT_EQ(csv.rfind("index,target_util,fleet_size,trial,achieved_util,", 0), 0u);
+  // The aggregated curve is written by unsharded runs.
+  const auto curve = read_file(dir + "/j1/sweep_acceptance_ratio_curve.csv");
+  EXPECT_EQ(count_lines(curve), 1 + 2u);  // one curve row per grid point
+}
+
+TEST_F(CampaignFixture, JobCountNeverChangesTheArtifactBytes) {
+  run_sweep(dir + "/j1", 1);
+  run_sweep(dir + "/j4", 4);
+  const auto j1 = read_file(dir + "/j1/sweep_acceptance_ratio.csv");
+  const auto j4 = read_file(dir + "/j4/sweep_acceptance_ratio.csv");
+  EXPECT_FALSE(j1.empty());
+  // Exact equality on purpose: the contract is BYTE identity.
+  EXPECT_EQ(j1, j4);
+}
+
+TEST_F(CampaignFixture, ShardsMergeToTheUnshardedArtifactBytes) {
+  run_sweep(dir + "/single", 3);
+
+  // Two shards, deliberately run with DIFFERENT job counts, stamped with
+  // the provenance sidecars cps_run writes after a sharded success.
+  const std::string sharded = dir + "/sharded";
+  run_sweep(sharded, 2, /*shard_index=*/0, /*shard_count=*/2);
+  run_sweep(sharded, 1, /*shard_index=*/1, /*shard_count=*/2);
+  const std::string canonical = sharded + "/sweep_acceptance_ratio.csv";
+  // Sharded processes must not write the canonical aggregate curve.
+  EXPECT_FALSE(std::filesystem::exists(sharded + "/sweep_acceptance_ratio_curve.csv"));
+  write_shard_meta(canonical + shard_suffix(0, 2), spec.seed, 0, 2);
+  write_shard_meta(canonical + shard_suffix(1, 2), spec.seed, 1, 2);
+
+  EXPECT_EQ(merge_sweep_csv(canonical, 2), kTinyRows);
+  EXPECT_EQ(read_file(canonical), read_file(dir + "/single/sweep_acceptance_ratio.csv"));
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Unit tests for the table-driven CLI parser behind cps_run
+// (runtime/cli.hpp): typed flag parsing against declared targets,
+// positional collection, the built-in --help, generated help text, the
+// flag-name inventory CI smoke-checks, and the strict unsigned-integer
+// parse (including the documented hex seed form).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace cps;
+using cps::runtime::CliError;
+using cps::runtime::CliParser;
+using cps::runtime::parse_cli_u64;
+
+struct Flags {
+  bool list = false;
+  std::uint64_t jobs = 1;
+  bool jobs_seen = false;
+  std::string csv_dir;
+  std::string shard;
+};
+
+CliParser make_parser(Flags& flags) {
+  CliParser parser("tool", "[experiment ...|all]");
+  parser.add_flag({"--list", "-l"}, &flags.list, "list experiments");
+  parser.add_u64({"--jobs", "-j"}, &flags.jobs, "N", "worker threads", &flags.jobs_seen);
+  parser.add_string({"--csv"}, &flags.csv_dir, "DIR", "artifact directory");
+  parser.add_string({"--shard"}, &flags.shard, "i/N", "campaign shard");
+  return parser;
+}
+
+TEST(CliParserTest, ParsesTypedFlagsAndAliases) {
+  Flags flags;
+  auto parser = make_parser(flags);
+  const auto positionals =
+      parser.parse({"-l", "--jobs", "8", "--csv", "out", "fig4", "table1"});
+  EXPECT_TRUE(flags.list);
+  EXPECT_EQ(flags.jobs, 8u);
+  EXPECT_TRUE(flags.jobs_seen);
+  EXPECT_EQ(flags.csv_dir, "out");
+  EXPECT_EQ(positionals, (std::vector<std::string>{"fig4", "table1"}));
+  EXPECT_FALSE(parser.help_requested());
+}
+
+TEST(CliParserTest, AbsentFlagsKeepTheirDefaults) {
+  Flags flags;
+  flags.csv_dir = "preset";
+  auto parser = make_parser(flags);
+  EXPECT_TRUE(parser.parse({}).empty());
+  EXPECT_FALSE(flags.list);
+  EXPECT_EQ(flags.jobs, 1u);
+  EXPECT_FALSE(flags.jobs_seen);
+  EXPECT_EQ(flags.csv_dir, "preset");
+}
+
+TEST(CliParserTest, LastValueWinsOnRepeatedFlags) {
+  Flags flags;
+  auto parser = make_parser(flags);
+  parser.parse({"--jobs", "2", "--jobs", "5"});
+  EXPECT_EQ(flags.jobs, 5u);
+}
+
+TEST(CliParserTest, DoubleDashEndsFlagParsing) {
+  Flags flags;
+  auto parser = make_parser(flags);
+  const auto positionals = parser.parse({"--jobs", "3", "--", "--list", "-x"});
+  EXPECT_EQ(flags.jobs, 3u);
+  EXPECT_FALSE(flags.list);  // after --, "--list" is a positional
+  EXPECT_EQ(positionals, (std::vector<std::string>{"--list", "-x"}));
+}
+
+TEST(CliParserTest, LoneDashIsAPositional) {
+  Flags flags;
+  auto parser = make_parser(flags);
+  EXPECT_EQ(parser.parse({"-"}), (std::vector<std::string>{"-"}));
+}
+
+TEST(CliParserTest, UnknownFlagsAndMissingValuesThrow) {
+  Flags flags;
+  auto parser = make_parser(flags);
+  try {
+    parser.parse({"--bogus"});
+    FAIL() << "expected CliError";
+  } catch (const CliError& error) {
+    EXPECT_NE(std::string(error.what()).find("unknown flag '--bogus'"),
+              std::string::npos);
+  }
+  try {
+    parser.parse({"--jobs"});
+    FAIL() << "expected CliError";
+  } catch (const CliError& error) {
+    EXPECT_NE(std::string(error.what()).find("'--jobs' requires a value N"),
+              std::string::npos);
+  }
+  EXPECT_THROW(parser.parse({"--jobs", "abc"}), CliError);
+}
+
+TEST(CliParserTest, HelpIsBuiltInAndGeneratedFromTheTable) {
+  Flags flags;
+  auto parser = make_parser(flags);
+  parser.parse({"--help"});
+  EXPECT_TRUE(parser.help_requested());
+  parser.parse({"-h"});
+  EXPECT_TRUE(parser.help_requested());
+  // help_requested resets per parse.
+  parser.parse({});
+  EXPECT_FALSE(parser.help_requested());
+
+  const std::string help = parser.help();
+  EXPECT_NE(help.find("usage: tool [options] [experiment ...|all]"), std::string::npos);
+  EXPECT_NE(help.find("--jobs, -j N"), std::string::npos);
+  EXPECT_NE(help.find("worker threads (default: 1)"), std::string::npos);
+  EXPECT_NE(help.find("--csv DIR"), std::string::npos);
+  EXPECT_NE(help.find("--help, -h"), std::string::npos);
+}
+
+TEST(CliParserTest, FlagNamesInventoryCoversEveryRegisteredSpelling) {
+  Flags flags;
+  auto parser = make_parser(flags);
+  const auto names = parser.flag_names();
+  for (const char* expected :
+       {"--help", "-h", "--list", "-l", "--jobs", "-j", "--csv", "--shard"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing flag name: " << expected;
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(CliParserTest, DuplicateAndMalformedRegistrationsAreProgrammingErrors) {
+  Flags flags;
+  auto parser = make_parser(flags);
+  bool extra = false;
+  EXPECT_THROW(parser.add_flag({"--list"}, &extra, "dup"), cps::Error);
+  EXPECT_THROW(parser.add_flag({"-h"}, &extra, "dup alias"), cps::Error);
+  EXPECT_THROW(parser.add_flag({"nodash"}, &extra, "bad name"), cps::Error);
+  EXPECT_THROW(parser.add_flag({}, &extra, "no names"), cps::Error);
+}
+
+TEST(ParseCliU64Test, AcceptsDecimalAndTheDocumentedHexForm) {
+  EXPECT_EQ(parse_cli_u64("0", "x"), 0u);
+  EXPECT_EQ(parse_cli_u64("42", "x"), 42u);
+  EXPECT_EQ(parse_cli_u64("0x5EED5EED", "x"), 0x5EED5EEDu);  // docs/ARCHITECTURE.md form
+  EXPECT_EQ(parse_cli_u64("18446744073709551615", "x"), UINT64_MAX);
+}
+
+TEST(ParseCliU64Test, RejectsSignsWhitespaceAndPartialParses) {
+  for (const char* bad : {"", "-1", "+1", " 1", "1 ", "1x", "abc", "4.5",
+                          "18446744073709551616" /* 2^64 */}) {
+    EXPECT_THROW(parse_cli_u64(bad, "x"), CliError) << "input: '" << bad << "'";
+  }
+  try {
+    parse_cli_u64("junk", "--jobs value");
+    FAIL() << "expected CliError";
+  } catch (const CliError& error) {
+    EXPECT_EQ(std::string(error.what()),
+              "--jobs value must be a non-negative integer, got 'junk'");
+  }
+}
+
+}  // namespace

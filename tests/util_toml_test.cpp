@@ -1,0 +1,256 @@
+// Unit tests for the hand-rolled TOML-subset reader behind campaign
+// specs: typed round-trips, section flattening, strict typed getters,
+// the canonical (digest-input) rendering's invariance to key order /
+// comments / whitespace, and — most importantly — the malformed-input
+// golden cases: everything outside the supported subset must be a LOUD
+// TomlError naming the source line, never a silent skip.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/toml.hpp"
+
+namespace {
+
+using namespace cps;
+using cps::util::TomlError;
+using cps::util::TomlTable;
+using cps::util::TomlValue;
+using cps::util::parse_toml;
+using cps::util::parse_toml_file;
+
+TEST(TomlParseTest, ParsesTypedScalars) {
+  const auto table = parse_toml(
+      "title = \"acceptance\"\n"
+      "trials = 200\n"
+      "scale = 1.5\n"
+      "negative = -7\n"
+      "exponent = 2e3\n"
+      "flag = true\n"
+      "other = false\n");
+  EXPECT_EQ(table.get_string("title"), "acceptance");
+  EXPECT_EQ(table.get_int("trials"), 200);
+  EXPECT_DOUBLE_EQ(table.get_double("scale"), 1.5);
+  EXPECT_EQ(table.get_int("negative"), -7);
+  EXPECT_DOUBLE_EQ(table.get_double("exponent"), 2000.0);
+  EXPECT_TRUE(table.get_bool("flag"));
+  EXPECT_FALSE(table.get_bool("other"));
+  EXPECT_EQ(table.size(), 7u);
+}
+
+TEST(TomlParseTest, GetDoubleAcceptsIntegers) {
+  // 1 and 1.0 name the same grid value; the typed getter must not force
+  // spec authors to write trailing ".0" everywhere.
+  const auto table = parse_toml("u = 1\n");
+  EXPECT_DOUBLE_EQ(table.get_double("u"), 1.0);
+  EXPECT_EQ(table.get_int("u"), 1);
+}
+
+TEST(TomlParseTest, ParsesHomogeneousArrays) {
+  const auto table = parse_toml(
+      "utils = [0.5, 1.0, 1.5]\n"
+      "mixed_numeric = [1, 2.5]\n"
+      "names = [\"a\", \"b\"]\n"
+      "empty = []\n");
+  EXPECT_EQ(table.get_double_array("utils"), (std::vector<double>{0.5, 1.0, 1.5}));
+  // Integers and floats are interchangeable NUMERIC kinds inside arrays.
+  EXPECT_EQ(table.get_double_array("mixed_numeric"), (std::vector<double>{1.0, 2.5}));
+  EXPECT_EQ(table.get_string_array("names"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(table.get_double_array("empty").empty());
+}
+
+TEST(TomlParseTest, ParsesMultiLineArraysAndTrailingCommas) {
+  const auto table = parse_toml(
+      "utils = [\n"
+      "  0.5,  # first point\n"
+      "  1.0,\n"
+      "]\n");
+  EXPECT_EQ(table.get_double_array("utils"), (std::vector<double>{0.5, 1.0}));
+}
+
+TEST(TomlParseTest, SectionsFlattenToDottedKeys) {
+  const auto table = parse_toml(
+      "root = 1\n"
+      "[campaign]\n"
+      "name = \"x\"\n"
+      "[grid.inner]\n"
+      "trials = 3\n");
+  EXPECT_TRUE(table.has("root"));
+  EXPECT_EQ(table.get_string("campaign.name"), "x");
+  EXPECT_EQ(table.get_int("grid.inner.trials"), 3);
+  EXPECT_EQ(table.keys_with_prefix("campaign."),
+            (std::vector<std::string>{"campaign.name"}));
+}
+
+TEST(TomlParseTest, StringEscapesAndCommentsInsideStrings) {
+  const auto table = parse_toml(
+      "a = \"tab\\tnewline\\nquote\\\"backslash\\\\cr\\r\"\n"
+      "b = \"not # a comment\"  # but this is\n");
+  EXPECT_EQ(table.get_string("a"), "tab\tnewline\nquote\"backslash\\cr\r");
+  EXPECT_EQ(table.get_string("b"), "not # a comment");
+}
+
+TEST(TomlParseTest, UnderscoreSeparatorsInNumbers) {
+  const auto table = parse_toml("big = 1_000_000\nf = 1_0.5\n");
+  EXPECT_EQ(table.get_int("big"), 1000000);
+  EXPECT_DOUBLE_EQ(table.get_double("f"), 10.5);
+}
+
+TEST(TomlGetterTest, OptionalGettersFallBackWhenAbsent) {
+  const auto table = parse_toml("present = 3\n");
+  EXPECT_EQ(table.get_int_or("present", 9), 3);
+  EXPECT_EQ(table.get_int_or("absent", 9), 9);
+  EXPECT_DOUBLE_EQ(table.get_double_or("absent", 2.5), 2.5);
+  EXPECT_EQ(table.get_string_or("absent", "d"), "d");
+  EXPECT_TRUE(table.get_bool_or("absent", true));
+  EXPECT_EQ(table.get_double_array_or("absent", {1.0}), (std::vector<double>{1.0}));
+  EXPECT_EQ(table.get_string_array_or("absent", {"x"}), (std::vector<std::string>{"x"}));
+}
+
+TEST(TomlGetterTest, OptionalGettersStayLoudOnWrongKind) {
+  // A typo'd VALUE must fail, not silently fall back — the fallback is
+  // only for ABSENT keys.
+  const auto table = parse_toml("trials = \"30\"\n");
+  EXPECT_THROW(table.get_int_or("trials", 9), TomlError);
+  EXPECT_THROW(table.get_double_or("trials", 1.0), TomlError);
+  EXPECT_THROW(table.get_bool_or("trials", false), TomlError);
+}
+
+TEST(TomlGetterTest, MissingAndWrongKindErrorsNameTheKey) {
+  const auto table = parse_toml("n = 1\n");
+  try {
+    table.get_string("absent");
+    FAIL() << "expected TomlError";
+  } catch (const TomlError& error) {
+    EXPECT_NE(std::string(error.what()).find("absent"), std::string::npos);
+  }
+  try {
+    table.get_string("n");
+    FAIL() << "expected TomlError";
+  } catch (const TomlError& error) {
+    EXPECT_NE(std::string(error.what()).find("'n'"), std::string::npos);
+  }
+}
+
+TEST(TomlCanonicalTest, IgnoresKeyOrderCommentsAndWhitespace) {
+  const auto a = parse_toml(
+      "# a comment\n"
+      "b   =   2\n"
+      "\n"
+      "a = [1.5, 2]  # trailing comment\n");
+  const auto b = parse_toml(
+      "a=[1.5,2]\n"
+      "b=2\n");
+  EXPECT_EQ(a.canonical(), b.canonical());
+}
+
+TEST(TomlCanonicalTest, DistinguishesValuesAndKinds) {
+  // The canonical text is the spec DIGEST input: any value change — and
+  // an int/float kind change — must change it.
+  EXPECT_NE(parse_toml("a = 1\n").canonical(), parse_toml("a = 2\n").canonical());
+  EXPECT_NE(parse_toml("a = 1\n").canonical(), parse_toml("a = 1.0\n").canonical());
+  EXPECT_NE(parse_toml("a = 0.5\n").canonical(), parse_toml("a = 0.25\n").canonical());
+  EXPECT_NE(parse_toml("a = \"1\"\n").canonical(), parse_toml("a = 1\n").canonical());
+}
+
+TEST(TomlCanonicalTest, FloatRenderingIsExactBitPattern) {
+  // 0.1 is not exactly representable; the canonical form must carry the
+  // bit pattern, not a rounded decimal.
+  const auto table = parse_toml("a = 0.1\n");
+  EXPECT_EQ(table.canonical(), "a=f:3fb999999999999a\n");
+}
+
+struct GoldenCase {
+  const char* input;
+  const char* expected_substring;
+};
+
+TEST(TomlGoldenTest, MalformedInputsFailLoudlyWithTheDocumentedMessage) {
+  const std::vector<GoldenCase> cases = {
+      {"a = {x = 1}\n", "inline tables"},
+      {"a = 'literal'\n", "literal strings"},
+      {"a.b = 1\n", "dotted keys"},
+      {"[[points]]\n", "table arrays"},
+      {"a = 1\na = 2\n", "duplicate key 'a'"},
+      {"[s]\nk = 1\n[s]\nk = 2\n", "duplicate key 's.k'"},
+      {"a = [1, \"x\"]\n", "mixed value kinds in array"},
+      {"a 1\n", "expected '=' after key 'a'"},
+      {"a =\n", "expected a value"},
+      {"a = \"unterminated\n", "unterminated string"},
+      {"a = [1, 2\n", "unterminated array"},
+      {"a = \"bad\\q\"\n", "unsupported escape"},
+      {"a = 1979-05-27\n", "unexpected text after the value"},
+      {"a = 1 junk\n", "unexpected text after the value"},
+      {"a = yes\n", "unrecognized value 'yes'"},
+      {"[unclosed\n", "expected ']'"},
+      {"a = --3\n", "malformed number"},
+  };
+  for (const auto& test_case : cases) {
+    try {
+      parse_toml(test_case.input, "spec.toml");
+      FAIL() << "no error for: " << test_case.input;
+    } catch (const TomlError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(test_case.expected_substring), std::string::npos)
+          << "input: " << test_case.input << "\nerror: " << what;
+      EXPECT_EQ(what.rfind("spec.toml:", 0), 0u)
+          << "error must lead with the source name: " << what;
+    }
+  }
+}
+
+TEST(TomlGoldenTest, ErrorsCarryTheOffendingLineNumber) {
+  try {
+    parse_toml("ok = 1\nbad = {x = 1}\n", "spec.toml");
+    FAIL() << "expected TomlError";
+  } catch (const TomlError& error) {
+    EXPECT_NE(std::string(error.what()).find("spec.toml:2:"), std::string::npos)
+        << error.what();
+  }
+  // Duplicate keys report the line of the SECOND definition.
+  try {
+    parse_toml("a = 1\n\n\na = 2\n", "spec.toml");
+    FAIL() << "expected TomlError";
+  } catch (const TomlError& error) {
+    EXPECT_NE(std::string(error.what()).find("spec.toml:4:"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(TomlFileTest, ParsesAFileAndFailsLoudlyOnAMissingOne) {
+  const auto path = (std::filesystem::temp_directory_path() /
+                     ("cps-toml-test-" + std::to_string(::getpid()) + ".toml"))
+                        .string();
+  {
+    std::ofstream out(path);
+    out << "[campaign]\nname = \"f\"\n";
+  }
+  const auto table = parse_toml_file(path);
+  EXPECT_EQ(table.get_string("campaign.name"), "f");
+  std::filesystem::remove(path);
+  try {
+    parse_toml_file(path);
+    FAIL() << "expected TomlError";
+  } catch (const TomlError& error) {
+    EXPECT_NE(std::string(error.what()).find("cannot open spec file"), std::string::npos);
+  }
+}
+
+TEST(TomlValueTest, BuildersAndCheckedAccessors) {
+  EXPECT_TRUE(TomlValue::make_bool(true).as_bool());
+  EXPECT_EQ(TomlValue::make_int(-3).as_int(), -3);
+  EXPECT_DOUBLE_EQ(TomlValue::make_float(0.5).as_float(), 0.5);
+  EXPECT_DOUBLE_EQ(TomlValue::make_int(2).as_float(), 2.0);  // int promotes
+  EXPECT_EQ(TomlValue::make_string("s").as_string(), "s");
+  EXPECT_THROW(TomlValue::make_int(1).as_string(), TomlError);
+  EXPECT_THROW(TomlValue::make_string("s").as_int(), TomlError);
+  EXPECT_THROW(TomlValue::make_string("s").as_float(), TomlError);
+  EXPECT_THROW(TomlValue::make_bool(true).as_array(), TomlError);
+}
+
+}  // namespace

@@ -4,51 +4,49 @@
 //   cps_run fig4                        run one experiment
 //   cps_run fig3 fig4 table_alloc      run several, in the given order
 //   cps_run all                         run the whole catalog
+//   cps_run --spec campaign.toml        run a declarative campaign spec
 //
-// Options:
+// The flag table lives in main() (runtime/cli.hpp renders `--help` from
+// it); the highlights:
+//
 //   --jobs N    worker threads for parallel sweeps (default 1; sweeps are
 //               bit-identical for any value — see runtime/sweep_runner.hpp)
-//   --csv DIR   directory for CSV artifacts (created; default: cwd)
-//   --seed S    base seed for randomized campaigns (default 0x5EED5EED)
+//   --spec FILE declarative campaign spec (runtime/campaign_spec.hpp):
+//               the spec names the experiments to run and carries typed
+//               parameters (grids, trials, generator distributions) into
+//               them.  The spec's seed and fixture store apply unless the
+//               corresponding flag is given explicitly; --shard/--merge
+//               compose unchanged (the spec picks the workload, never the
+//               partition).  Incompatible with positional experiment
+//               names and 'all'.
+//   --dry-run   with --spec: print the validated expansion (campaign
+//               name, content digest, experiments, seed, store, shard
+//               plan) and exit without running anything
 //   --fixture-store DIR
 //               persistent content-addressed fixture store shared across
-//               processes: expensive fixtures (fleet synthesis, loop
-//               designs, dwell/wait curves) are computed by the first
-//               process that needs them and loaded bit-identically by
-//               every later one (runtime/fixture_store.hpp)
+//               processes (runtime/fixture_store.hpp)
 //   --shard i/N run only shard i of each named SWEEP experiment's index
-//               range (contiguous block partition; per-point results are
-//               bit-identical to the unsharded run).  Artifacts gain a
-//               ".shardXofN" suffix; non-sweep experiments reject this.
-//   --merge N   merge the N shard artifacts previously written under
-//               --csv into the canonical CSVs, verifying the index
-//               column has no gaps or overlaps (exit 1 on any)
-//   --store-stats DIR
-//               standalone inspector: print per-domain file counts,
-//               bytes and oldest/newest recency of the fixture store at
-//               DIR, then exit (no experiments run; combine with
-//               --store-gc-max-bytes to evict first)
-//   --store-gc-max-bytes N
-//               LRU-evict least-recently-used fixture files until the
-//               store holds at most N bytes.  With --fixture-store the
-//               pass runs AFTER the experiments and never evicts a file
-//               this run loaded or wrote; with --store-stats it runs
-//               before the report.
+//               range; --merge N concatenates the partials (gap/overlap
+//               checked) into the canonical CSVs
+//   --store-stats DIR / --store-gc-max-bytes N
+//               store inspection and LRU eviction (standalone or
+//               post-campaign; see the flag help)
 //
 // Exit status: 0 on success, 1 on experiment/merge failure, 2 on usage
-// errors.
+// errors (including malformed or invalid --spec files).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <exception>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "runtime/campaign_spec.hpp"
+#include "runtime/cli.hpp"
 #include "runtime/experiment.hpp"
 #include "runtime/fixture_cache.hpp"
 #include "runtime/fixture_store.hpp"
@@ -58,24 +56,13 @@
 
 namespace {
 
+using cps::runtime::CliError;
 using cps::runtime::Experiment;
 using cps::runtime::ExperimentContext;
 using cps::runtime::ExperimentRegistry;
 
-constexpr int kMaxJobs = 1024;
+constexpr std::uint64_t kMaxJobs = 1024;
 constexpr std::uint64_t kMaxShards = 4096;
-
-void print_usage(std::FILE* out) {
-  std::fprintf(out,
-               "usage: cps_run --list\n"
-               "       cps_run <experiment>... [--jobs N] [--csv DIR] [--seed S]\n"
-               "                               [--fixture-store DIR] [--shard i/N]\n"
-               "                               [--store-gc-max-bytes N]\n"
-               "       cps_run <experiment>... --merge N [--csv DIR]\n"
-               "       cps_run all [--jobs N] [--csv DIR] [--seed S] [--fixture-store DIR]\n"
-               "       cps_run --store-stats DIR [--store-gc-max-bytes N]\n\n"
-               "run `cps_run --list` for the experiment catalog.\n");
-}
 
 /// Human-scale seconds for the store-stats table.
 std::string format_age(double seconds) {
@@ -134,39 +121,37 @@ void print_catalog(std::FILE* out) {
                table.render().c_str());
 }
 
-/// Parse the decimal/hex integer argument of `flag`; exits with status 2
-/// on malformed input.
-std::uint64_t parse_u64(const char* flag, const std::string& value) {
-  try {
-    // std::stoull would wrap a leading '-' modulo 2^64; reject signs up front.
-    if (value.empty() || value[0] == '-' || value[0] == '+')
-      throw std::invalid_argument(value);
-    std::size_t consumed = 0;
-    const std::uint64_t parsed = std::stoull(value, &consumed, 0);
-    if (consumed != value.size()) throw std::invalid_argument(value);
-    return parsed;
-  } catch (const std::exception&) {
-    std::fprintf(stderr, "cps_run: %s expects an integer, got '%s'\n", flag, value.c_str());
-    std::exit(2);
-  }
-}
-
-/// Parse "--shard i/N" into (index, count); exits with status 2 on
-/// malformed input.
+/// Parse "--shard i/N" into (index, count); throws CliError like every
+/// other value check so it reports through the single usage-error path.
 std::pair<std::uint64_t, std::uint64_t> parse_shard(const std::string& value) {
   const std::size_t slash = value.find('/');
-  if (slash == std::string::npos || slash == 0 || slash + 1 >= value.size()) {
-    std::fprintf(stderr, "cps_run: --shard expects i/N (e.g. 0/2), got '%s'\n", value.c_str());
-    std::exit(2);
-  }
-  const std::uint64_t index = parse_u64("--shard", value.substr(0, slash));
-  const std::uint64_t count = parse_u64("--shard", value.substr(slash + 1));
-  if (count < 1 || count > kMaxShards || index >= count) {
-    std::fprintf(stderr, "cps_run: --shard needs 0 <= i < N <= %llu, got '%s'\n",
-                 static_cast<unsigned long long>(kMaxShards), value.c_str());
-    std::exit(2);
-  }
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= value.size())
+    throw CliError("--shard expects i/N (e.g. 0/2), got '" + value + "'");
+  const std::uint64_t index = cps::runtime::parse_cli_u64(value.substr(0, slash), "--shard i");
+  const std::uint64_t count = cps::runtime::parse_cli_u64(value.substr(slash + 1), "--shard N");
+  if (count < 1 || count > kMaxShards || index >= count)
+    throw CliError("--shard needs 0 <= i < N <= " + std::to_string(kMaxShards) + ", got '" +
+                   value + "'");
   return {index, count};
+}
+
+/// `--spec --dry-run`: print the validated expansion without running.
+void print_spec_expansion(const cps::runtime::CampaignSpec& spec,
+                          const std::vector<const Experiment*>& experiments,
+                          const ExperimentContext& context,
+                          const std::string& fixture_store_dir) {
+  std::printf("campaign %s (spec %s, digest %s)\n", spec.name.c_str(), spec.source.c_str(),
+              spec.digest_hex().c_str());
+  std::printf("  seed:          %llu%s\n", static_cast<unsigned long long>(context.seed),
+              spec.has_seed ? "" : " (default; spec sets none)");
+  std::printf("  fixture store: %s\n",
+              fixture_store_dir.empty() ? "(none)" : fixture_store_dir.c_str());
+  std::printf("  shard plan:    %zu (advisory; --shard i/N decides)\n", spec.shard_plan);
+  std::printf("  parameters:    %zu keys\n", spec.params.size());
+  std::printf("  experiments (%zu, in run order):\n", experiments.size());
+  for (const Experiment* experiment : experiments)
+    std::printf("    %s%s\n", experiment->name().c_str(),
+                experiment->shardable() ? "  [shardable]" : "");
 }
 
 int run_experiments(const std::vector<const Experiment*>& experiments,
@@ -237,105 +222,135 @@ int merge_experiments(const std::vector<const Experiment*>& experiments,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> names;
-  ExperimentContext context;
-  std::string fixture_store_dir;
-  std::string store_stats_dir;
+  // ---- flag table (everything --help shows is declared right here) ----
   bool list_only = false;
-  bool run_all = false;
-  bool merge = false;
-  bool gc_requested = false;
+  bool dry_run = false;
+  std::uint64_t jobs = 1;
+  std::uint64_t seed_flag = 0;
+  bool seed_seen = false;
+  std::string csv_dir;
+  std::string fixture_store_dir;
+  bool fixture_store_seen = false;
+  std::string store_stats_dir;
+  std::string shard_text;
+  std::string spec_path;
   std::uint64_t gc_max_bytes = 0;
+  bool gc_requested = false;
   std::uint64_t merge_shards = 0;
+  bool merge = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto flag_value = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "cps_run: %s requires an argument\n", flag);
-        std::exit(2);
+  cps::runtime::CliParser cli("cps_run", "[experiment ...|all]");
+  cli.add_flag({"--list", "-l"}, &list_only, "enumerate the experiment catalog and exit");
+  cli.add_u64({"--jobs", "-j"}, &jobs, "N",
+              "worker threads for parallel sweeps (bit-identical output for any N)");
+  cli.add_string({"--csv"}, &csv_dir, "DIR", "directory for CSV artifacts (created)");
+  cli.add_u64({"--seed"}, &seed_flag, "S",
+              "base seed for randomized campaigns (default 0x5EED5EED)", &seed_seen);
+  cli.add_string({"--spec"}, &spec_path, "FILE",
+                 "declarative campaign spec: runs its experiments with its typed "
+                 "parameters (excludes positional names/'all')");
+  cli.add_flag({"--dry-run"}, &dry_run,
+               "with --spec: print the validated expansion, run nothing");
+  cli.add_string({"--fixture-store"}, &fixture_store_dir, "DIR",
+                 "persistent content-addressed fixture store shared across processes",
+                 &fixture_store_seen);
+  cli.add_string({"--shard"}, &shard_text, "i/N",
+                 "run only shard i of each sweep experiment's index range");
+  cli.add_u64({"--merge"}, &merge_shards, "N",
+              "merge N shard artifacts under --csv into the canonical CSVs", &merge);
+  cli.add_string({"--store-stats"}, &store_stats_dir, "DIR",
+                 "standalone store inspector: per-domain usage report, then exit");
+  cli.add_u64({"--store-gc-max-bytes"}, &gc_max_bytes, "N",
+              "LRU-evict store files down to N bytes (after experiments, or "
+              "before a --store-stats report)",
+              &gc_requested);
+
+  // ---- parse + validate: every usage error funnels through here and
+  // exits 2 (the documented contract); nothing below this block fails
+  // on malformed input.
+  std::vector<std::string> names;
+  bool run_all = false;
+  std::optional<cps::runtime::CampaignSpec> spec;
+  ExperimentContext context;
+  try {
+    names = cli.parse({argv + 1, argv + argc});
+    if (cli.help_requested()) {
+      std::printf("%s\nrun `cps_run --list` for the experiment catalog.\n",
+                  cli.help().c_str());
+      return 0;
+    }
+    for (auto it = names.begin(); it != names.end();) {
+      if (*it == "all") {
+        run_all = true;
+        it = names.erase(it);
+      } else {
+        ++it;
       }
-      return argv[++i];
-    };
-    if (arg == "--list" || arg == "-l") {
-      list_only = true;
-    } else if (arg == "--jobs" || arg == "-j") {
-      const std::uint64_t jobs = parse_u64("--jobs", flag_value("--jobs"));
-      if (jobs < 1 || jobs > kMaxJobs) {
-        std::fprintf(stderr, "cps_run: --jobs must be in [1, %d]\n", kMaxJobs);
-        return 2;
-      }
-      context.jobs = static_cast<int>(jobs);
-    } else if (arg == "--csv") {
-      context.csv_dir = flag_value("--csv");
-    } else if (arg == "--seed") {
-      context.seed = parse_u64("--seed", flag_value("--seed"));
-    } else if (arg == "--fixture-store") {
-      fixture_store_dir = flag_value("--fixture-store");
-    } else if (arg == "--store-stats") {
-      store_stats_dir = flag_value("--store-stats");
-    } else if (arg == "--store-gc-max-bytes") {
-      gc_requested = true;
-      gc_max_bytes = parse_u64("--store-gc-max-bytes", flag_value("--store-gc-max-bytes"));
-    } else if (arg == "--shard") {
-      const auto [index, count] = parse_shard(flag_value("--shard"));
+    }
+
+    if (jobs < 1 || jobs > kMaxJobs)
+      throw CliError("--jobs must be in [1, " + std::to_string(kMaxJobs) + "]");
+    context.jobs = static_cast<int>(jobs);
+    if (seed_seen) context.seed = seed_flag;
+    context.csv_dir = csv_dir;
+    if (!shard_text.empty()) {
+      const auto [index, count] = parse_shard(shard_text);
       context.shard_index = static_cast<std::size_t>(index);
       context.shard_count = static_cast<std::size_t>(count);
-    } else if (arg == "--merge") {
-      merge = true;
-      merge_shards = parse_u64("--merge", flag_value("--merge"));
-      if (merge_shards < 2 || merge_shards > kMaxShards) {
-        std::fprintf(stderr, "cps_run: --merge needs a shard count in [2, %llu]\n",
-                     static_cast<unsigned long long>(kMaxShards));
-        return 2;
-      }
-    } else if (arg == "--help" || arg == "-h") {
-      print_usage(stdout);
-      return 0;
-    } else if (arg == "all") {
-      run_all = true;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "cps_run: unknown option '%s'\n", arg.c_str());
-      print_usage(stderr);
-      return 2;
-    } else {
-      names.push_back(arg);
     }
+    if (merge && (merge_shards < 2 || merge_shards > kMaxShards))
+      throw CliError("--merge needs a shard count in [2, " + std::to_string(kMaxShards) +
+                     "]");
+
+    // Mode interactions, checked up front in one place.
+    if (run_all && !names.empty())
+      throw CliError("'all' cannot be combined with named experiments");
+    if (merge && (context.sharded() || run_all))
+      throw CliError("--merge cannot be combined with --shard or 'all'");
+    if (!spec_path.empty() && (run_all || !names.empty()))
+      throw CliError("--spec declares the experiments to run; positional names and "
+                     "'all' cannot be combined with it");
+    if (dry_run && spec_path.empty()) throw CliError("--dry-run requires --spec");
+    if (!store_stats_dir.empty()) {
+      // Standalone inspector: combining it with a run (or a second store
+      // via --fixture-store) would make it ambiguous which store the GC
+      // pass empties, so reject rather than silently pick one.
+      if (!names.empty() || run_all || merge || context.sharded() ||
+          fixture_store_seen || !spec_path.empty())
+        throw CliError("--store-stats is a standalone inspector (no experiments, no "
+                       "--spec, no --fixture-store)");
+    } else if (gc_requested && !fixture_store_seen && spec_path.empty()) {
+      throw CliError("--store-gc-max-bytes needs --fixture-store (or --store-stats)");
+    }
+
+    // Campaign spec: parse + validate, then let it fill the defaults the
+    // CLI did not set explicitly.  A malformed spec is the user's input,
+    // so it reports as a usage error too.
+    if (!spec_path.empty()) {
+      spec = cps::runtime::load_campaign_spec(spec_path);
+      names = spec->experiments;
+      if (!seed_seen && spec->has_seed) context.seed = spec->seed;
+      if (!fixture_store_seen) fixture_store_dir = spec->fixture_store;
+      if (gc_requested && fixture_store_dir.empty())
+        throw CliError("--store-gc-max-bytes needs a fixture store, and spec '" +
+                       spec->name + "' sets none");
+      context.spec = &*spec;
+    }
+
+    if (!list_only && store_stats_dir.empty() && names.empty() && !run_all)
+      throw CliError("nothing to run: name experiments, 'all', or --spec FILE");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "cps_run: %s\n", error.what());
+    std::fprintf(stderr, "run `cps_run --help` for usage.\n");
+    return 2;
   }
 
   if (list_only) {
     print_catalog(stdout);
     return 0;
   }
-  if (!store_stats_dir.empty()) {
-    // Standalone inspector: combining it with a run (or a second store
-    // via --fixture-store) would make it ambiguous which store the GC
-    // pass empties, so reject rather than silently pick one.
-    if (!names.empty() || run_all || merge || context.sharded() || !fixture_store_dir.empty()) {
-      std::fprintf(stderr,
-                   "cps_run: --store-stats is a standalone inspector (no experiments, "
-                   "no --fixture-store)\n");
-      return 2;
-    }
+  if (!store_stats_dir.empty())
     return run_store_stats(store_stats_dir, gc_requested ? &gc_max_bytes : nullptr);
-  }
-  if (gc_requested && fixture_store_dir.empty()) {
-    std::fprintf(stderr,
-                 "cps_run: --store-gc-max-bytes needs --fixture-store (or --store-stats)\n");
-    return 2;
-  }
-  if (names.empty() && !run_all) {
-    print_usage(stderr);
-    return 2;
-  }
-  if (run_all && !names.empty()) {
-    std::fprintf(stderr, "cps_run: 'all' cannot be combined with named experiments\n");
-    return 2;
-  }
-  if (merge && (context.sharded() || run_all)) {
-    std::fprintf(stderr, "cps_run: --merge cannot be combined with --shard or 'all'\n");
-    return 2;
-  }
 
   std::vector<const Experiment*> experiments;
   if (run_all) {
@@ -344,7 +359,8 @@ int main(int argc, char** argv) {
     for (const auto& name : names) {
       const Experiment* experiment = ExperimentRegistry::instance().find(name);
       if (experiment == nullptr) {
-        std::fprintf(stderr, "cps_run: unknown experiment '%s'\n", name.c_str());
+        std::fprintf(stderr, "cps_run: unknown experiment '%s'%s\n", name.c_str(),
+                     spec ? (" (from spec " + spec->source + ")").c_str() : "");
         print_catalog(stderr);
         return 2;
       }
@@ -363,6 +379,11 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+  }
+
+  if (dry_run) {
+    print_spec_expansion(*spec, experiments, context, fixture_store_dir);
+    return 0;
   }
 
   if (merge) return merge_experiments(experiments, context, merge_shards);
@@ -386,6 +407,10 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (spec)
+    std::fprintf(context.out, "[cps_run] campaign %s (spec %s, digest %s)\n",
+                 spec->name.c_str(), spec->source.c_str(), spec->digest_hex().c_str());
 
   const int status = run_experiments(experiments, context);
   if (gc_requested) {
