@@ -797,12 +797,17 @@ Allocation optimal_allocate(std::vector<AppSchedParams> apps, const AllocationOp
 
   const SearchFacts facts(engine, options.method, apps.size());
   std::vector<std::vector<std::size_t>> best = seed;
-  if (seed.size() > facts.total_lb) {
-    const std::size_t optimal_count =
-        prove_optimal_count(apps, engine, facts, seed.size(), options.exact_jobs);
-    if (optimal_count < seed.size())
-      best = WitnessSearch(engine, facts).find(optimal_count);
-  }
+  // Anytime warm start: an achievable count from the caller tightens the
+  // initial incumbent below the first-fit seed.  The proven minimum is
+  // incumbent-independent, so the result matches a cold run exactly.
+  std::size_t upper = seed.size();
+  if (options.warm_incumbent != 0 && options.warm_incumbent < upper)
+    upper = options.warm_incumbent;
+  std::size_t optimal_count = upper;
+  if (upper > facts.total_lb)
+    optimal_count = prove_optimal_count(apps, engine, facts, upper, options.exact_jobs);
+  if (optimal_count < seed.size())
+    best = WitnessSearch(engine, facts).find(optimal_count);
 
   if (options.max_slots != 0 && best.size() > options.max_slots)
     throw InfeasibleError("optimal allocation still exceeds the available " +

@@ -41,6 +41,20 @@ struct AllocationOptions {
   /// is a schedule-independent minimum and the witness partition is
   /// reconstructed by a canonical sequential pass).
   int exact_jobs = 1;
+  /// Anytime warm start for optimal_allocate: a slot count known to be
+  /// ACHIEVABLE for this instance (some feasible partition of that many
+  /// slots exists — typically the previous allocation's count after the
+  /// online layer has re-verified it against the patched analysis).  The
+  /// bound-proving pass starts from min(first-fit seed, warm_incumbent)
+  /// instead of the seed alone, so the search only ever tightens an
+  /// already-good bound; when the warm bound already meets the root lower
+  /// bound the prove is skipped outright.  Because a sound B&B's proven
+  /// minimum does not depend on its starting incumbent, the returned
+  /// Allocation is bit-identical to a cold run — a warm start changes
+  /// time, never answers.  Passing a count that is NOT achievable is a
+  /// contract violation (the witness reconstruction would fail loudly).
+  /// 0 = cold start.
+  std::size_t warm_incumbent = 0;
 };
 
 /// First-fit allocation (the paper's heuristic).  Applications may be

@@ -1,0 +1,306 @@
+#include "online/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "analysis/dwell_wait_model.hpp"
+#include "runtime/experiment.hpp"
+#include "util/error.hpp"
+
+namespace cps::online {
+
+namespace {
+
+/// Semantic errors carry the same "<source>:<line>:" shape as parse
+/// errors — an unknown event kind must be as jumpable as a missing '='.
+[[noreturn]] void fail_at(const std::string& source, std::size_t line,
+                          const std::string& what) {
+  throw util::TomlError(source + ":" + std::to_string(line) + ": " + what);
+}
+
+/// Line to blame for `key`, falling back to `fallback` (an [[event]]
+/// header) for keys the table never saw.
+std::size_t blame_line(const util::TomlTable& table, const std::string& key,
+                       std::size_t fallback) {
+  const std::size_t line = table.line_of(key);
+  return line != 0 ? line : fallback;
+}
+
+struct KindInfo {
+  EventKind kind;
+  const char* name;
+  /// Keys an event of this kind must carry beyond at_tick/kind.
+  std::vector<const char*> required;
+};
+
+const std::vector<KindInfo>& kind_table() {
+  static const std::vector<KindInfo> kinds = {
+      {EventKind::kDropSlot, "drop_slot", {}},
+      {EventKind::kDropFrames, "drop_frames", {"app", "factor"}},
+      {EventKind::kDelayFrames, "delay_frames", {"app", "delay"}},
+      {EventKind::kDrift, "drift", {"app", "factor"}},
+      {EventKind::kJoin, "join", {"app", "r", "deadline", "xi_tt", "xi_m", "k_p", "xi_et"}},
+      {EventKind::kLeave, "leave", {"app"}},
+  };
+  return kinds;
+}
+
+std::string valid_kind_names() {
+  std::string names;
+  for (const auto& info : kind_table()) {
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  for (const auto& info : kind_table())
+    if (info.kind == kind) return info.name;
+  return "?";
+}
+
+ScenarioSpec make_scenario(util::TomlTable table, std::string source) {
+  ScenarioSpec scenario;
+  scenario.source = std::move(source);
+  const auto fail_key = [&](const std::string& key, std::size_t fallback,
+                            const std::string& what) {
+    fail_at(scenario.source, blame_line(table, key, fallback), what);
+  };
+
+  // -- version ---------------------------------------------------------
+  if (!table.has("scenario_version"))
+    fail_at(scenario.source, 1, "missing required key 'scenario_version'");
+  if (table.get_int("scenario_version") != kScenarioVersion)
+    fail_key("scenario_version", 1,
+             "unsupported scenario_version " +
+                 std::to_string(table.get_int("scenario_version")) + " (this build reads " +
+                 std::to_string(kScenarioVersion) + ")");
+
+  // -- unknown-key screen (events are screened per entry below) --------
+  const std::set<std::string> known = {
+      "scenario_version",     "scenario.name",     "scenario.ticks",
+      "scenario.tick_seconds", "scenario.seed",     "fleet.n_apps",
+      "fleet.utilization",    "fleet.slot_budget",
+  };
+  const std::size_t n_events = table.table_array_size("event");
+  for (const auto& key : table.keys()) {
+    if (known.count(key) != 0) continue;
+    bool is_event_key = false;
+    for (std::size_t i = 0; i < n_events; ++i) {
+      const std::string prefix = "event." + std::to_string(i) + ".";
+      if (key.compare(0, prefix.size(), prefix) == 0) {
+        is_event_key = true;
+        break;
+      }
+    }
+    if (!is_event_key)
+      fail_key(key, 1, "unknown key '" + key + "' in scenario script");
+  }
+
+  // -- [scenario] ------------------------------------------------------
+  if (!table.has("scenario.name"))
+    fail_at(scenario.source, 1, "missing required key 'scenario.name'");
+  scenario.name = table.get_string("scenario.name");
+  if (scenario.name.empty())
+    fail_key("scenario.name", 1, "scenario.name must be non-empty");
+  const std::int64_t ticks = table.get_int_or("scenario.ticks", 0);
+  if (ticks < 1 || ticks > 1000000)
+    fail_key("scenario.ticks", 1, "scenario.ticks must be in [1, 1000000]");
+  scenario.ticks = static_cast<std::uint64_t>(ticks);
+  scenario.tick_seconds = table.get_double_or("scenario.tick_seconds", 0.0);
+  if (!(scenario.tick_seconds > 0.0))
+    fail_key("scenario.tick_seconds", 1, "scenario.tick_seconds must be > 0");
+  if (table.has("scenario.seed")) {
+    const std::int64_t seed = table.get_int("scenario.seed");
+    if (seed < 0) fail_key("scenario.seed", 1, "scenario.seed must be >= 0");
+    scenario.seed = static_cast<std::uint64_t>(seed);
+    scenario.has_seed = true;
+  }
+
+  // -- [fleet] ---------------------------------------------------------
+  const std::int64_t n_apps = table.get_int_or("fleet.n_apps", 0);
+  if (n_apps < 1 || n_apps > 64)
+    fail_key("fleet.n_apps", 1, "fleet.n_apps must be in [1, 64]");
+  scenario.n_apps = static_cast<std::size_t>(n_apps);
+  scenario.utilization = table.get_double_or("fleet.utilization", 0.0);
+  if (!(scenario.utilization > 0.0))
+    fail_key("fleet.utilization", 1, "fleet.utilization must be > 0");
+  // The synthesis generator caps per-app shares at 0.95, so a target
+  // beyond 0.95 * n has no valid share split — reject here with the
+  // script line instead of letting the generator throw without one.
+  if (scenario.utilization > 0.95 * static_cast<double>(n_apps))
+    fail_key("fleet.utilization", 1,
+             "fleet.utilization exceeds 0.95 * n_apps (no per-app share split exists)");
+  const std::int64_t budget = table.get_int_or("fleet.slot_budget", 0);
+  if (budget < 0) fail_key("fleet.slot_budget", 1, "fleet.slot_budget must be >= 0");
+  scenario.slot_budget = static_cast<std::size_t>(budget);
+
+  // -- [[event]] entries, with fleet-membership tracking ---------------
+  std::set<std::string> members;
+  for (std::size_t i = 0; i < scenario.n_apps; ++i)
+    members.insert("G" + std::to_string(i));
+
+  scenario.events.reserve(n_events);
+  for (std::size_t i = 0; i < n_events; ++i) {
+    const std::size_t header = table.table_array_line("event", i);
+    const std::string prefix = "event." + std::to_string(i) + ".";
+    const auto key = [&](const char* name) { return prefix + name; };
+    ScenarioEvent event;
+    event.line = header;
+
+    // kind first: it decides which other keys are meaningful.
+    if (!table.has(key("kind")))
+      fail_at(scenario.source, header, "event is missing required key 'kind'");
+    const std::string kind_name = table.get_string(key("kind"));
+    const KindInfo* info = nullptr;
+    for (const auto& candidate : kind_table())
+      if (kind_name == candidate.name) info = &candidate;
+    if (info == nullptr)
+      fail_key(key("kind"), header,
+               "unknown event kind '" + kind_name + "' (valid: " + valid_kind_names() + ")");
+    event.kind = info->kind;
+
+    if (!table.has(key("at_tick")))
+      fail_at(scenario.source, header, "event is missing required key 'at_tick'");
+    const std::int64_t at_tick = table.get_int(key("at_tick"));
+    if (at_tick < 0) fail_key(key("at_tick"), header, "at_tick must be >= 0");
+    event.at_tick = static_cast<std::uint64_t>(at_tick);
+    if (event.at_tick >= scenario.ticks)
+      fail_key(key("at_tick"), header,
+               "at_tick " + std::to_string(event.at_tick) + " is past the scenario's " +
+                   std::to_string(scenario.ticks) + " ticks");
+    if (!scenario.events.empty() && event.at_tick < scenario.events.back().at_tick)
+      fail_key(key("at_tick"), header,
+               "events must be in non-decreasing at_tick order (previous event fires at "
+               "tick " + std::to_string(scenario.events.back().at_tick) + ")");
+
+    // Exactly the kind's keys, nothing else: a key the kind ignores is a
+    // typo'd fault, not decoration.
+    std::set<std::string> allowed = {key("at_tick"), key("kind")};
+    for (const char* name : info->required) allowed.insert(key(name));
+    for (const auto& present : table.keys_with_prefix(prefix)) {
+      if (allowed.count(present) == 0)
+        fail_key(present, header, "key '" + present + "' is not valid for a " +
+                                      std::string(info->name) + " event");
+    }
+    for (const char* name : info->required) {
+      if (!table.has(key(name)))
+        fail_at(scenario.source, header,
+                std::string(info->name) + " event is missing required key '" + name + "'");
+    }
+
+    if (!info->required.empty()) event.app = table.get_string(key("app"));
+
+    switch (event.kind) {
+      case EventKind::kDropSlot:
+        break;
+      case EventKind::kDropFrames:
+        event.factor = table.get_double(key("factor"));
+        if (!(event.factor >= 1.0))
+          fail_key(key("factor"), header,
+                   "drop_frames factor must be >= 1 (dropped frames cannot speed "
+                   "handling up)");
+        break;
+      case EventKind::kDelayFrames:
+        event.delay = table.get_double(key("delay"));
+        if (!(event.delay > 0.0))
+          fail_key(key("delay"), header, "delay_frames delay must be > 0");
+        break;
+      case EventKind::kDrift:
+        event.factor = table.get_double(key("factor"));
+        if (!(event.factor > 0.0))
+          fail_key(key("factor"), header, "drift factor must be > 0");
+        break;
+      case EventKind::kJoin: {
+        event.r = table.get_double(key("r"));
+        event.deadline = table.get_double(key("deadline"));
+        event.xi_tt = table.get_double(key("xi_tt"));
+        event.xi_m = table.get_double(key("xi_m"));
+        event.k_p = table.get_double(key("k_p"));
+        event.xi_et = table.get_double(key("xi_et"));
+        if (!(event.r > 0.0)) fail_key(key("r"), header, "join r must be > 0");
+        if (!(event.deadline > 0.0))
+          fail_key(key("deadline"), header, "join deadline must be > 0");
+        if (!(event.xi_tt > 0.0)) fail_key(key("xi_tt"), header, "join xi_tt must be > 0");
+        if (!(event.xi_m >= event.xi_tt))
+          fail_key(key("xi_m"), header, "join xi_m must be >= xi_tt (the tent rises)");
+        if (!(event.k_p >= 0.0)) fail_key(key("k_p"), header, "join k_p must be >= 0");
+        if (!(event.xi_et > event.k_p))
+          fail_key(key("xi_et"), header, "join xi_et must be > k_p (the tent falls)");
+        break;
+      }
+      case EventKind::kLeave:
+        break;
+    }
+
+    // Membership: faults target apps that are in the fleet WHEN the
+    // event fires; join requires a fresh name.
+    if (event.kind == EventKind::kJoin) {
+      if (event.app.empty()) fail_key(key("app"), header, "join app must be non-empty");
+      if (members.count(event.app) != 0)
+        fail_key(key("app"), header,
+                 "join app '" + event.app + "' is already in the fleet at tick " +
+                     std::to_string(event.at_tick));
+      members.insert(event.app);
+    } else if (!info->required.empty()) {  // every other targeted kind
+      if (members.count(event.app) == 0)
+        fail_key(key("app"), header,
+                 "event targets app '" + event.app + "', which is not in the fleet at "
+                 "tick " + std::to_string(event.at_tick));
+      if (event.kind == EventKind::kLeave) members.erase(event.app);
+    }
+
+    scenario.events.push_back(std::move(event));
+  }
+  return scenario;
+}
+
+ScenarioSpec load_scenario(const std::string& path) {
+  return make_scenario(util::parse_toml_file(path), path);
+}
+
+std::uint64_t effective_scenario_seed(const runtime::ExperimentContext& ctx,
+                                      const ScenarioSpec& scenario) {
+  if (ctx.seed_explicit) return ctx.seed;
+  if (scenario.has_seed) return scenario.seed;
+  return ctx.seed;  // spec seed (folded in by cps_run) or the default
+}
+
+void apply_drop_frames(plants::SynthesizedSchedApp& app, double factor) {
+  CPS_ENSURE(factor >= 1.0, "apply_drop_frames: factor must be >= 1");
+  app.xi_m *= factor;
+  app.k_p *= factor;
+  app.xi_et *= factor;
+}
+
+void apply_delay_frames(plants::SynthesizedSchedApp& app, double delay) {
+  CPS_ENSURE(delay > 0.0, "apply_delay_frames: delay must be > 0");
+  app.deadline = std::max(app.deadline - delay, 1e-9);
+}
+
+void apply_drift(plants::SynthesizedSchedApp& app, double factor) {
+  CPS_ENSURE(factor > 0.0, "apply_drift: factor must be > 0");
+  app.xi_tt *= factor;
+  app.xi_m *= factor;
+  app.k_p *= factor;
+  app.xi_et *= factor;
+}
+
+std::vector<analysis::AppSchedParams> fleet_to_params(
+    const std::vector<plants::SynthesizedSchedApp>& apps) {
+  std::vector<analysis::AppSchedParams> params;
+  params.reserve(apps.size());
+  for (const auto& app : apps) {
+    params.push_back({app.name, app.r, app.deadline,
+                      std::make_shared<analysis::NonMonotonicModel>(app.xi_tt, app.xi_m,
+                                                                    app.k_p, app.xi_et)});
+  }
+  return params;
+}
+
+}  // namespace cps::online

@@ -1,0 +1,145 @@
+// Declarative fault-injection scenario scripts for the online world.
+//
+// A scenario is a small TOML-subset file (util/toml.hpp, with `[[event]]`
+// table arrays) that fully determines one online run: the resident fleet
+// to synthesize, the tick clock, and a time-ordered list of faults to
+// inject at tick boundaries:
+//
+//   scenario_version = 1
+//   [scenario]
+//   name         = "drop_slot_recovery"
+//   ticks        = 40
+//   tick_seconds = 0.5
+//   seed         = 7            # optional (see effective_scenario_seed)
+//   [fleet]
+//   n_apps      = 8
+//   utilization = 1.6
+//   slot_budget = 5             # optional; absent/0 = unlimited
+//   [[event]]
+//   at_tick = 10
+//   kind    = "drop_slot"
+//   [[event]]
+//   at_tick = 20
+//   kind    = "drift"
+//   app     = "G3"
+//   factor  = 1.25
+//
+// Event kinds: drop_slot (one TT slot is lost), drop_frames (dropped
+// frames stretch an app's disturbance handling: xi_m/k_p/xi_et scale by
+// `factor` >= 1), delay_frames (frame delay eats `delay` seconds of an
+// app's deadline), drift (plant-parameter drift scales the whole tent by
+// `factor`), join (a new app with explicit tent parameters enters the
+// fleet), leave (an app retires).
+//
+// make_scenario VALIDATES beyond the parse, and every semantic error —
+// an unknown event kind, out-of-order at_tick, an event targeting an
+// absent app, an unknown key — throws util::TomlError carrying
+// "<source>:<line>:" for the offending line, exactly like a parse error
+// (tests/online_scenario_test.cpp holds the full malformed-script
+// table).  A scenario that cannot be fully understood must not half run.
+//
+// Determinism: the scenario (by value) plus one resolved seed fully
+// determine the World's event log (online/world.hpp).  Seed resolution
+// is "explicit flags win", composing the three sources the online layer
+// sees: an explicit `cps_run --seed` beats the scenario's own seed,
+// which beats the campaign spec's seed, which beats the built-in
+// default (effective_scenario_seed; tests/online_scenario_test.cpp
+// covers the three-way precedence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plants/fleet_synthesis.hpp"
+#include "util/toml.hpp"
+
+namespace cps::runtime {
+struct ExperimentContext;
+}
+
+namespace cps::online {
+
+/// The scenario-file format version this build understands.
+inline constexpr std::int64_t kScenarioVersion = 1;
+
+/// The injectable fault kinds (see file comment for semantics).
+enum class EventKind {
+  kDropSlot,
+  kDropFrames,
+  kDelayFrames,
+  kDrift,
+  kJoin,
+  kLeave,
+};
+
+/// Stable script/CSV name of a kind ("drop_slot", ...).
+const char* event_kind_name(EventKind kind);
+
+/// One scheduled fault.  `at_tick` is the tick at whose START the fault
+/// applies (events fire before the tick's arrivals are simulated).
+struct ScenarioEvent {
+  std::uint64_t at_tick = 0;
+  EventKind kind = EventKind::kDropSlot;
+  std::string app;      ///< target app ("" for drop_slot)
+  double factor = 1.0;  ///< drop_frames (>= 1) / drift (> 0) scale
+  double delay = 0.0;   ///< delay_frames: seconds taken off the deadline
+  /// join only: the new app's tent + timing parameters (all required in
+  /// the script; validated like a synthesized app's).
+  double r = 0.0, deadline = 0.0, xi_tt = 0.0, xi_m = 0.0, k_p = 0.0, xi_et = 0.0;
+  std::size_t line = 0;  ///< `[[event]]` header line in the source file
+};
+
+/// One parsed, validated scenario script.
+struct ScenarioSpec {
+  std::string name;            ///< scenario.name (required, non-empty)
+  std::string source;          ///< file/label the script was parsed from
+  std::uint64_t ticks = 0;     ///< scenario.ticks (>= 1)
+  double tick_seconds = 0.0;   ///< sim seconds per tick (> 0)
+  std::uint64_t seed = 0;      ///< scenario.seed
+  bool has_seed = false;       ///< scenario.seed was present
+  std::size_t n_apps = 0;      ///< fleet.n_apps (1..64)
+  double utilization = 0.0;    ///< fleet.utilization (> 0)
+  std::size_t slot_budget = 0; ///< fleet.slot_budget (0 = unlimited)
+  std::vector<ScenarioEvent> events;  ///< non-decreasing at_tick order
+};
+
+/// Validate and extract a parsed table into a ScenarioSpec.  Throws
+/// util::TomlError with "<source>:<line>:" on every semantic error (see
+/// file comment).
+ScenarioSpec make_scenario(util::TomlTable table, std::string source);
+
+/// parse + validate a scenario file (util::parse_toml_file + make_scenario).
+ScenarioSpec load_scenario(const std::string& path);
+
+/// The seed an online run uses, "explicit flags win" (PR-6 contract,
+/// extended one level): an explicit `--seed` (ctx.seed_explicit) >
+/// the scenario's own seed > the campaign spec's seed (already folded
+/// into ctx.seed by cps_run when no --seed was given) > the default.
+std::uint64_t effective_scenario_seed(const runtime::ExperimentContext& ctx,
+                                      const ScenarioSpec& scenario);
+
+// -- fault application ------------------------------------------------
+// The tent/timing mutations shared by World and sweep_fault_recovery,
+// exposed so the two inject bit-identical faults.
+
+/// drop_frames: dropped frames stretch the disturbance handling —
+/// xi_m, k_p and xi_et scale by `factor` (>= 1); xi_tt and the deadline
+/// are untouched.
+void apply_drop_frames(plants::SynthesizedSchedApp& app, double factor);
+
+/// delay_frames: frame delay consumes `delay` seconds of the deadline
+/// (floored at a hair above zero; an app driven below its xi_tt simply
+/// becomes infeasible, which is the point of the fault).
+void apply_delay_frames(plants::SynthesizedSchedApp& app, double delay);
+
+/// drift: plant-parameter drift scales the WHOLE tent (xi_tt, xi_m,
+/// k_p, xi_et) by `factor` (> 0); the deadline is untouched.
+void apply_drift(plants::SynthesizedSchedApp& app, double factor);
+
+/// Materialize apps as allocator input (NonMonotonicModel per app) —
+/// the single-app counterpart of plants::to_sched_params.
+std::vector<analysis::AppSchedParams> fleet_to_params(
+    const std::vector<plants::SynthesizedSchedApp>& apps);
+
+}  // namespace cps::online

@@ -24,6 +24,16 @@ struct ExperimentContext {
   int jobs = 1;
   /// Base seed; every randomized sweep derives per-task seeds from it.
   std::uint64_t seed = 0x5EED5EEDULL;
+  /// True when `seed` came from an EXPLICIT --seed flag (not a spec or
+  /// the default).  Layers with their own seed sources — the online
+  /// scenario scripts — consult this to implement "explicit flags win":
+  /// an explicit --seed beats the scenario's seed beats the spec's seed
+  /// beats the default (online/scenario.hpp, effective_scenario_seed).
+  bool seed_explicit = false;
+  /// Scenario script for the run_scenario experiment (`cps_run
+  /// --scenario FILE`); empty = the spec's scenario.file key, or the
+  /// experiment's built-in demo scenario.
+  std::string scenario_path;
   /// Directory for CSV artifacts; empty means the working directory.
   std::string csv_dir;
   /// Narrative output stream (tables, verdicts).

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -246,8 +247,37 @@ void TomlTable::set(const std::string& key, TomlValue value) {
   values_.insert_or_assign(key, std::move(value));
 }
 
+void TomlTable::set_line(const std::string& key, std::size_t line) {
+  lines_.insert_or_assign(key, line);
+}
+
+std::size_t TomlTable::line_of(const std::string& key) const {
+  const auto it = lines_.find(key);
+  return it == lines_.end() ? 0 : it->second;
+}
+
+std::size_t TomlTable::note_table_array(const std::string& name, std::size_t line) {
+  auto& lines = array_lines_[name];
+  lines.push_back(line);
+  return lines.size() - 1;
+}
+
+std::size_t TomlTable::table_array_size(const std::string& name) const {
+  const auto it = array_lines_.find(name);
+  return it == array_lines_.end() ? 0 : it->second.size();
+}
+
+std::size_t TomlTable::table_array_line(const std::string& name, std::size_t index) const {
+  const auto it = array_lines_.find(name);
+  if (it == array_lines_.end() || index >= it->second.size()) return 0;
+  return it->second[index];
+}
+
 std::string TomlTable::canonical() const {
   std::string text;
+  for (const auto& [name, lines] : array_lines_) {  // '@' sorts before bare keys
+    text += "@count." + name + "=" + std::to_string(lines.size()) + "\n";
+  }
   for (const auto& [key, value] : values_) {  // std::map: already sorted
     text += key;
     text += "=";
@@ -320,6 +350,22 @@ struct Parser {
     while (!eof() && is_bare_key_char(peek())) ++pos;
     if (pos == start) error(std::string("expected ") + what);
     return std::string(text.substr(start, pos - start));
+  }
+
+  /// `[[name]]` after both opening brackets were consumed.
+  std::string parse_table_array_header() {
+    std::string name = parse_bare_name("a name after '[['");
+    while (!eof() && peek() == '.') {
+      take();
+      name += "." + parse_bare_name("a name after '.' in the table-array header");
+    }
+    skip_blanks();
+    if (eof() || peek() != ']') error("expected ']]' to close the table-array header");
+    take();
+    if (eof() || peek() != ']') error("expected ']]' to close the table-array header");
+    take();
+    expect_line_end("the table-array header");
+    return name;
   }
 
   /// `[section]` or `[a.b]` after the opening '[' was consumed.
@@ -468,6 +514,10 @@ TomlTable parse_toml(std::string_view text, const std::string& source) {
   TomlTable table;
   Parser parser(text, source);
   std::string section;
+  // A name must be consistently a plain section or a table array within
+  // one file — `[event]` after `[[event]]` is a typo'd entry, not a
+  // fifth addressing mode.
+  std::set<std::string> plain_sections;
 
   while (!parser.eof()) {
     parser.skip_blanks();
@@ -479,9 +529,25 @@ TomlTable parse_toml(std::string_view text, const std::string& source) {
     }
     if (parser.peek() == '[') {
       parser.take();
-      if (!parser.eof() && parser.peek() == '[')
-        parser.error("table arrays ([[...]]) are outside the supported TOML subset");
+      if (!parser.eof() && parser.peek() == '[') {
+        parser.take();
+        const std::size_t header_line = parser.line;
+        const std::string name = parser.parse_table_array_header();
+        if (plain_sections.count(name) != 0)
+          fail(source, header_line,
+               "'" + name + "' is already a plain [section]; it cannot also be a "
+               "[[table array]]");
+        const std::size_t index = table.note_table_array(name, header_line);
+        section = name + "." + std::to_string(index);
+        continue;
+      }
+      const std::size_t header_line = parser.line;
       section = parser.parse_section_header();
+      if (table.table_array_size(section) != 0)
+        fail(source, header_line,
+             "'" + section + "' is already a [[table array]]; it cannot also be a "
+             "plain [section]");
+      plain_sections.insert(section);
       continue;
     }
     if (!is_bare_key_char(parser.peek()))
@@ -501,6 +567,7 @@ TomlTable parse_toml(std::string_view text, const std::string& source) {
     const std::string full_key = section.empty() ? key : section + "." + key;
     if (table.has(full_key)) fail(source, key_line, "duplicate key '" + full_key + "'");
     table.set(full_key, std::move(value));
+    table.set_line(full_key, key_line);
   }
   return table;
 }

@@ -7,23 +7,29 @@
 //
 //   * `#` comments (to end of line, outside strings);
 //   * `[section]` / `[section.sub]` headers (bare dotted names);
+//   * `[[name]]` table-array headers: each occurrence appends one entry
+//     whose keys flatten to "name.<index>.<key>" in occurrence order
+//     (the online scenario scripts' `[[event]]` blocks);
 //   * `key = value` pairs with bare keys `[A-Za-z0-9_-]+`;
 //   * values: basic "strings" (\" \\ \n \t \r escapes), booleans,
 //     integers (decimal, optional sign), floats (decimal point and/or
 //     exponent), and homogeneous single- or multi-line arrays thereof.
 //
-// Everything outside that subset — table arrays, inline tables, dotted
-// keys, dates, literal strings — is a LOUD parse error, never a silent
-// skip: a campaign spec that cannot be fully understood must not half
-// run.  Errors carry "<source>:<line>: ..." so a bad spec line is one
-// jump away.
+// Everything outside that subset — inline tables, dotted keys, dates,
+// literal strings, mixing `[name]` with `[[name]]` — is a LOUD parse
+// error, never a silent skip: a campaign spec that cannot be fully
+// understood must not half run.  Errors carry "<source>:<line>: ..." so
+// a bad spec line is one jump away.
 //
 // Parsed files flatten into a TomlTable mapping "section.key" to typed
 // values (root-level keys keep their bare name).  The table offers
-// strict typed getters (wrong type = loud TomlError naming the key) and
-// a canonical rendering used for content digests: sorted keys, exact
-// bit-pattern float formatting — so two spec files with the same VALUES
-// digest identically regardless of key order, comments, or whitespace.
+// strict typed getters (wrong type = loud TomlError naming the key), a
+// per-key source-line map (so VALIDATION errors — an unknown event
+// kind, an out-of-order tick — can point at the offending line, not
+// just parse errors), and a canonical rendering used for content
+// digests: sorted keys, exact bit-pattern float formatting — so two
+// spec files with the same VALUES digest identically regardless of key
+// order, comments, or whitespace.
 #pragma once
 
 #include <cstdint>
@@ -111,6 +117,34 @@ class TomlTable {
   /// All keys, sorted (the storage is an ordered map).
   std::vector<std::string> keys() const;
 
+  // -- source lines ---------------------------------------------------
+  // The parser records the physical line every key was assigned on, so
+  // semantic validation layered on top of the parse (scenario scripts,
+  // campaign specs) can report "<source>:<line>:" errors for VALUES
+  // that parsed fine but mean nothing — an unknown event kind must be
+  // as jumpable as a missing '='.
+
+  /// Record the source line of `key` (parser-facing; harmless for
+  /// hand-built tables, which simply report line 0).
+  void set_line(const std::string& key, std::size_t line);
+
+  /// Source line `key` was assigned on; 0 when unknown.
+  std::size_t line_of(const std::string& key) const;
+
+  // -- table arrays ---------------------------------------------------
+  // `[[name]]` blocks flatten to "name.<index>.<key>" keys plus an
+  // explicit per-name entry count, so an EMPTY [[name]] block (no keys)
+  // is still visible to validation instead of silently vanishing.
+
+  /// Append one `[[name]]` entry (parser-facing); returns its index.
+  std::size_t note_table_array(const std::string& name, std::size_t line);
+
+  /// Number of `[[name]]` entries (0 when the file has none).
+  std::size_t table_array_size(const std::string& name) const;
+
+  /// Source line of the i-th `[[name]]` header; 0 when out of range.
+  std::size_t table_array_line(const std::string& name, std::size_t index) const;
+
   /// Keys beginning with `prefix` ("campaign." lists that section).
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
 
@@ -123,11 +157,16 @@ class TomlTable {
   /// Canonical "key=value\n" rendering in sorted key order: the digest
   /// input of runtime::CampaignSpec.  Identical VALUES give identical
   /// canonical text no matter how the source file ordered, spaced, or
-  /// commented them.
+  /// commented them.  Table-array entry counts render as "@count.name=n"
+  /// lines ('@' sorts before every bare key, and files without table
+  /// arrays render exactly as before, so existing spec digests are
+  /// unchanged); source lines never enter the canonical form.
   std::string canonical() const;
 
  private:
   std::map<std::string, TomlValue> values_;
+  std::map<std::string, std::size_t> lines_;
+  std::map<std::string, std::vector<std::size_t>> array_lines_;
 };
 
 /// Parse TOML-subset `text`; `source` names the input in error messages

@@ -1,0 +1,244 @@
+// Scenario-script validation tests: the malformed-scenario table (every
+// broken script must die with a loud "<source>:<line>:" TomlError, never
+// a crash or a half-run), the full-schema happy path, the fault
+// application helpers, and the three-way seed precedence of
+// effective_scenario_seed ("explicit flags win").
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "online/scenario.hpp"
+#include "runtime/experiment.hpp"
+#include "util/toml.hpp"
+
+namespace {
+
+using namespace cps;
+using cps::online::ScenarioSpec;
+using cps::util::TomlError;
+
+/// A minimal valid header (lines 1-8); cases append events below it.
+std::string base(const std::string& events) {
+  return
+      "scenario_version = 1\n"  // 1
+      "[scenario]\n"            // 2
+      "name = \"t\"\n"          // 3
+      "ticks = 20\n"            // 4
+      "tick_seconds = 0.5\n"    // 5
+      "[fleet]\n"               // 6
+      "n_apps = 4\n"            // 7
+      "utilization = 1.2\n" +   // 8
+      events;
+}
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  return online::make_scenario(util::parse_toml(text, "s.toml"), "s.toml");
+}
+
+struct BrokenScript {
+  std::string text;
+  const char* expected_substring;
+};
+
+TEST(ScenarioValidationTest, EveryBrokenScriptFailsLoudlyWithSourceAndLine) {
+  const std::vector<BrokenScript> cases = {
+      // -- header-level breakage --
+      {"[scenario]\nname = \"t\"\n", "missing required key 'scenario_version'"},
+      {"scenario_version = 2\n", "unsupported scenario_version 2"},
+      {base("bogus = 1\n"), "unknown key 'fleet.bogus'"},
+      {base("[typo]\nx = 1\n"), "unknown key 'typo.x'"},
+      {"scenario_version = 1\n[fleet]\nn_apps = 4\nutilization = 1.2\n",
+       "missing required key 'scenario.name'"},
+      {"scenario_version = 1\n[scenario]\nname = \"\"\nticks = 20\n"
+       "tick_seconds = 0.5\n[fleet]\nn_apps = 4\nutilization = 1.2\n",
+       "scenario.name must be non-empty"},
+      {"scenario_version = 1\n[scenario]\nname = \"t\"\nticks = 0\n"
+       "tick_seconds = 0.5\n[fleet]\nn_apps = 4\nutilization = 1.2\n",
+       "scenario.ticks must be in [1, 1000000]"},
+      {"scenario_version = 1\n[scenario]\nname = \"t\"\nticks = 20\n"
+       "[fleet]\nn_apps = 4\nutilization = 1.2\n",
+       "scenario.tick_seconds must be > 0"},
+      {"scenario_version = 1\n[scenario]\nname = \"t\"\nticks = 20\n"
+       "tick_seconds = 0.5\nseed = -1\n[fleet]\nn_apps = 4\nutilization = 1.2\n",
+       "scenario.seed must be >= 0"},
+      {"scenario_version = 1\n[scenario]\nname = \"t\"\nticks = 20\n"
+       "tick_seconds = 0.5\n[fleet]\nutilization = 1.2\n",
+       "fleet.n_apps must be in [1, 64]"},
+      {"scenario_version = 1\n[scenario]\nname = \"t\"\nticks = 20\n"
+       "tick_seconds = 0.5\n[fleet]\nn_apps = 4\nutilization = 9.0\n",
+       "exceeds 0.95 * n_apps"},
+      // -- event-level breakage --
+      {base("[[event]]\nat_tick = 3\n"), "missing required key 'kind'"},
+      {base("[[event]]\nat_tick = 3\nkind = \"melt\"\n"),
+       "unknown event kind 'melt' (valid: drop_slot, drop_frames, delay_frames, "
+       "drift, join, leave)"},
+      {base("[[event]]\nkind = \"drop_slot\"\n"), "missing required key 'at_tick'"},
+      {base("[[event]]\nat_tick = 25\nkind = \"drop_slot\"\n"),
+       "at_tick 25 is past the scenario's 20 ticks"},
+      {base("[[event]]\nat_tick = 9\nkind = \"drop_slot\"\n"
+            "[[event]]\nat_tick = 4\nkind = \"drop_slot\"\n"),
+       "non-decreasing at_tick order"},
+      {base("[[event]]\nat_tick = 3\nkind = \"drop_slot\"\nfactor = 2.0\n"),
+       "key 'event.0.factor' is not valid for a drop_slot event"},
+      {base("[[event]]\nat_tick = 3\nkind = \"drop_frames\"\napp = \"G0\"\n"),
+       "drop_frames event is missing required key 'factor'"},
+      {base("[[event]]\nat_tick = 3\nkind = \"drop_frames\"\napp = \"G0\"\n"
+            "factor = 0.5\n"),
+       "drop_frames factor must be >= 1"},
+      {base("[[event]]\nat_tick = 3\nkind = \"delay_frames\"\napp = \"G0\"\n"
+            "delay = 0.0\n"),
+       "delay_frames delay must be > 0"},
+      {base("[[event]]\nat_tick = 3\nkind = \"drift\"\napp = \"G0\"\nfactor = 0.0\n"),
+       "drift factor must be > 0"},
+      {base("[[event]]\nat_tick = 3\nkind = \"join\"\napp = \"H\"\nr = 10.0\n"
+            "deadline = 8.0\nxi_tt = 2.0\nxi_m = 1.0\nk_p = 0.2\nxi_et = 3.0\n"),
+       "join xi_m must be >= xi_tt"},
+      {base("[[event]]\nat_tick = 3\nkind = \"join\"\napp = \"G2\"\nr = 10.0\n"
+            "deadline = 8.0\nxi_tt = 0.5\nxi_m = 1.5\nk_p = 0.2\nxi_et = 3.0\n"),
+       "join app 'G2' is already in the fleet at tick 3"},
+      {base("[[event]]\nat_tick = 3\nkind = \"drift\"\napp = \"G9\"\nfactor = 1.1\n"),
+       "event targets app 'G9', which is not in the fleet at tick 3"},
+      {base("[[event]]\nat_tick = 3\nkind = \"leave\"\napp = \"G1\"\n"
+            "[[event]]\nat_tick = 5\nkind = \"drift\"\napp = \"G1\"\nfactor = 1.1\n"),
+       "app 'G1', which is not in the fleet at tick 5"},
+      // -- parse-level breakage of the [[event]] extension --
+      {base("[event]\nat_tick = 3\n"
+            "[[event]]\nat_tick = 5\nkind = \"drop_slot\"\n"),
+       "already a plain [section]"},
+  };
+  for (const auto& test_case : cases) {
+    try {
+      parse_scenario(test_case.text);
+      FAIL() << "no error for:\n" << test_case.text;
+    } catch (const TomlError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(test_case.expected_substring), std::string::npos)
+          << "script:\n" << test_case.text << "\nerror: " << what;
+      EXPECT_EQ(what.rfind("s.toml:", 0), 0u)
+          << "error must lead with '<source>:<line>:': " << what;
+    }
+  }
+}
+
+TEST(ScenarioValidationTest, ErrorsBlameTheOffendingLine) {
+  // The base header is lines 1-8; the [[event]] header lands on line 9
+  // and its kind key on line 11.
+  try {
+    parse_scenario(base("[[event]]\nat_tick = 3\nkind = \"melt\"\n"));
+    FAIL() << "expected TomlError";
+  } catch (const TomlError& error) {
+    EXPECT_EQ(std::string(error.what()).rfind("s.toml:11:", 0), 0u) << error.what();
+  }
+  // A MISSING key blames the [[event]] header line.
+  try {
+    parse_scenario(base("[[event]]\nat_tick = 3\n"));
+    FAIL() << "expected TomlError";
+  } catch (const TomlError& error) {
+    EXPECT_EQ(std::string(error.what()).rfind("s.toml:9:", 0), 0u) << error.what();
+  }
+}
+
+TEST(ScenarioValidationTest, FullSchemaRoundTrips) {
+  const ScenarioSpec scenario = parse_scenario(
+      "scenario_version = 1\n"
+      "[scenario]\n"
+      "name = \"full\"\n"
+      "ticks = 40\n"
+      "tick_seconds = 0.25\n"
+      "seed = 9\n"
+      "[fleet]\n"
+      "n_apps = 4\n"
+      "utilization = 1.2\n"
+      "slot_budget = 5\n"
+      "[[event]]\nat_tick = 0\nkind = \"drop_slot\"\n"
+      "[[event]]\nat_tick = 5\nkind = \"drop_frames\"\napp = \"G0\"\nfactor = 1.5\n"
+      "[[event]]\nat_tick = 5\nkind = \"delay_frames\"\napp = \"G1\"\ndelay = 0.25\n"
+      "[[event]]\nat_tick = 8\nkind = \"drift\"\napp = \"G2\"\nfactor = 0.8\n"
+      "[[event]]\nat_tick = 10\nkind = \"join\"\napp = \"H\"\nr = 10.0\n"
+      "deadline = 8.0\nxi_tt = 0.5\nxi_m = 1.5\nk_p = 0.5\nxi_et = 2.0\n"
+      "[[event]]\nat_tick = 12\nkind = \"leave\"\napp = \"H\"\n");
+  EXPECT_EQ(scenario.name, "full");
+  EXPECT_EQ(scenario.source, "s.toml");
+  EXPECT_EQ(scenario.ticks, 40u);
+  EXPECT_DOUBLE_EQ(scenario.tick_seconds, 0.25);
+  EXPECT_TRUE(scenario.has_seed);
+  EXPECT_EQ(scenario.seed, 9u);
+  EXPECT_EQ(scenario.n_apps, 4u);
+  EXPECT_DOUBLE_EQ(scenario.utilization, 1.2);
+  EXPECT_EQ(scenario.slot_budget, 5u);
+  ASSERT_EQ(scenario.events.size(), 6u);
+  EXPECT_EQ(scenario.events[0].kind, online::EventKind::kDropSlot);
+  EXPECT_EQ(scenario.events[1].kind, online::EventKind::kDropFrames);
+  EXPECT_DOUBLE_EQ(scenario.events[1].factor, 1.5);
+  EXPECT_EQ(scenario.events[2].kind, online::EventKind::kDelayFrames);
+  EXPECT_DOUBLE_EQ(scenario.events[2].delay, 0.25);
+  EXPECT_EQ(scenario.events[3].kind, online::EventKind::kDrift);
+  EXPECT_EQ(scenario.events[4].kind, online::EventKind::kJoin);
+  EXPECT_EQ(scenario.events[4].app, "H");
+  EXPECT_DOUBLE_EQ(scenario.events[4].xi_et, 2.0);
+  EXPECT_EQ(scenario.events[5].kind, online::EventKind::kLeave);
+  // A scenario with no seed reports has_seed = false.
+  EXPECT_FALSE(parse_scenario(base("")).has_seed);
+  // An event-free scenario is valid (a pure steady-state run).
+  EXPECT_TRUE(parse_scenario(base("")).events.empty());
+}
+
+TEST(ScenarioFaultTest, ApplyHelpersMutateExactlyTheDocumentedFields) {
+  plants::SynthesizedSchedApp app;
+  app.r = 10.0;
+  app.deadline = 8.0;
+  app.xi_tt = 0.5;
+  app.xi_m = 1.5;
+  app.k_p = 0.5;
+  app.xi_et = 2.0;
+
+  auto dropped = app;
+  online::apply_drop_frames(dropped, 2.0);
+  EXPECT_DOUBLE_EQ(dropped.xi_tt, 0.5);  // untouched
+  EXPECT_DOUBLE_EQ(dropped.deadline, 8.0);
+  EXPECT_DOUBLE_EQ(dropped.xi_m, 3.0);
+  EXPECT_DOUBLE_EQ(dropped.k_p, 1.0);
+  EXPECT_DOUBLE_EQ(dropped.xi_et, 4.0);
+
+  auto delayed = app;
+  online::apply_delay_frames(delayed, 3.0);
+  EXPECT_DOUBLE_EQ(delayed.deadline, 5.0);
+  online::apply_delay_frames(delayed, 100.0);  // floors just above zero
+  EXPECT_GT(delayed.deadline, 0.0);
+
+  auto drifted = app;
+  online::apply_drift(drifted, 2.0);
+  EXPECT_DOUBLE_EQ(drifted.xi_tt, 1.0);  // the WHOLE tent scales
+  EXPECT_DOUBLE_EQ(drifted.xi_m, 3.0);
+  EXPECT_DOUBLE_EQ(drifted.k_p, 1.0);
+  EXPECT_DOUBLE_EQ(drifted.xi_et, 4.0);
+  EXPECT_DOUBLE_EQ(drifted.deadline, 8.0);  // untouched
+}
+
+TEST(ScenarioSeedTest, ThreeWayPrecedenceExplicitFlagsWin) {
+  ScenarioSpec with_seed = parse_scenario(base(""));
+  with_seed.has_seed = true;
+  with_seed.seed = 222;
+  ScenarioSpec without_seed = parse_scenario(base(""));
+
+  runtime::ExperimentContext ctx;  // default seed, nothing explicit
+
+  // 1. An explicit --seed beats the scenario's own seed.
+  ctx.seed = 111;
+  ctx.seed_explicit = true;
+  EXPECT_EQ(online::effective_scenario_seed(ctx, with_seed), 111u);
+
+  // 2. Without --seed, the scenario's seed beats whatever ctx.seed holds
+  //    (the spec's seed, already folded in by cps_run).
+  ctx.seed_explicit = false;
+  ctx.seed = 333;
+  EXPECT_EQ(online::effective_scenario_seed(ctx, with_seed), 222u);
+
+  // 3. No --seed and no scenario seed: ctx.seed (spec seed or default).
+  EXPECT_EQ(online::effective_scenario_seed(ctx, without_seed), 333u);
+  runtime::ExperimentContext defaults;
+  EXPECT_EQ(online::effective_scenario_seed(defaults, without_seed), defaults.seed);
+}
+
+}  // namespace

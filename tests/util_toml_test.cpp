@@ -165,6 +165,45 @@ TEST(TomlCanonicalTest, FloatRenderingIsExactBitPattern) {
   EXPECT_EQ(table.canonical(), "a=f:3fb999999999999a\n");
 }
 
+TEST(TomlTableArrayTest, EntriesFlattenToIndexedKeys) {
+  const auto table = parse_toml(
+      "[[event]]\n"
+      "kind = \"drop_slot\"\n"
+      "at_tick = 3\n"
+      "[[event]]\n"
+      "kind = \"drift\"\n");
+  EXPECT_EQ(table.table_array_size("event"), 2u);
+  EXPECT_EQ(table.table_array_size("absent"), 0u);
+  EXPECT_EQ(table.get_string("event.0.kind"), "drop_slot");
+  EXPECT_EQ(table.get_int("event.0.at_tick"), 3);
+  EXPECT_EQ(table.get_string("event.1.kind"), "drift");
+  // Header and key lines feed validation's "<source>:<line>:" errors.
+  EXPECT_EQ(table.table_array_line("event", 0), 1u);
+  EXPECT_EQ(table.table_array_line("event", 1), 4u);
+  EXPECT_EQ(table.table_array_line("event", 2), 0u);  // out of range
+  EXPECT_EQ(table.line_of("event.1.kind"), 5u);
+  EXPECT_EQ(table.line_of("absent"), 0u);
+}
+
+TEST(TomlTableArrayTest, EmptyEntriesStayVisible) {
+  // An [[event]] block with no keys must still count — validation has to
+  // see it to reject it, not have it silently vanish.
+  const auto table = parse_toml("[[event]]\n[[event]]\nx = 1\n");
+  EXPECT_EQ(table.table_array_size("event"), 2u);
+  EXPECT_FALSE(table.has("event.0.x"));
+  EXPECT_EQ(table.get_int("event.1.x"), 1);
+}
+
+TEST(TomlTableArrayTest, CanonicalCarriesEntryCountsAndOldDigestsHold) {
+  // Entry counts render as '@count.' lines (so one empty entry and two
+  // digest differently), while files WITHOUT table arrays render exactly
+  // as before — existing campaign-spec digests must not move.
+  EXPECT_EQ(parse_toml("a = 1\n").canonical(), "a=1\n");
+  EXPECT_EQ(parse_toml("[[e]]\n").canonical(), "@count.e=1\n");
+  EXPECT_NE(parse_toml("[[e]]\n").canonical(), parse_toml("[[e]]\n[[e]]\n").canonical());
+  EXPECT_EQ(parse_toml("[[e]]\nk = 2\n").canonical(), "@count.e=1\ne.0.k=2\n");
+}
+
 struct GoldenCase {
   const char* input;
   const char* expected_substring;
@@ -175,7 +214,9 @@ TEST(TomlGoldenTest, MalformedInputsFailLoudlyWithTheDocumentedMessage) {
       {"a = {x = 1}\n", "inline tables"},
       {"a = 'literal'\n", "literal strings"},
       {"a.b = 1\n", "dotted keys"},
-      {"[[points]]\n", "table arrays"},
+      {"[s]\nk = 1\n[[s]]\nk = 2\n", "already a plain [section]"},
+      {"[[s]]\nk = 1\n[s]\nk = 2\n", "already a [[table array]]"},
+      {"[[unclosed]\n", "expected ']]'"},
       {"a = 1\na = 2\n", "duplicate key 'a'"},
       {"[s]\nk = 1\n[s]\nk = 2\n", "duplicate key 's.k'"},
       {"a = [1, \"x\"]\n", "mixed value kinds in array"},

@@ -19,9 +19,14 @@
 //               compose unchanged (the spec picks the workload, never the
 //               partition).  Incompatible with positional experiment
 //               names and 'all'.
-//   --dry-run   with --spec: print the validated expansion (campaign
-//               name, content digest, experiments, seed, store, shard
-//               plan) and exit without running anything
+//   --scenario FILE
+//               online fault-injection scenario script (online/scenario.hpp):
+//               runs the run_scenario experiment over it.  Excludes --spec
+//               and 'all'; --seed beats the scenario's own seed.
+//   --dry-run   with --spec or --scenario: print the validated expansion
+//               (campaign name, content digest, experiments, seed, store,
+//               shard plan — or the scenario's fleet and event list) and
+//               exit without running anything
 //   --fixture-store DIR
 //               persistent content-addressed fixture store shared across
 //               processes (runtime/fixture_store.hpp)
@@ -45,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "online/scenario.hpp"
 #include "runtime/campaign_spec.hpp"
 #include "runtime/cli.hpp"
 #include "runtime/experiment.hpp"
@@ -133,6 +139,27 @@ std::pair<std::uint64_t, std::uint64_t> parse_shard(const std::string& value) {
     throw CliError("--shard needs 0 <= i < N <= " + std::to_string(kMaxShards) + ", got '" +
                    value + "'");
   return {index, count};
+}
+
+/// `--scenario --dry-run`: print the validated scenario without running.
+void print_scenario_expansion(const cps::online::ScenarioSpec& scenario,
+                              const ExperimentContext& context) {
+  std::printf("scenario %s (script %s)\n", scenario.name.c_str(), scenario.source.c_str());
+  std::printf("  ticks:  %llu x %s s\n", static_cast<unsigned long long>(scenario.ticks),
+              cps::format_general(scenario.tick_seconds).c_str());
+  std::printf("  fleet:  %zu apps at utilization %s, slot budget %s\n", scenario.n_apps,
+              cps::format_general(scenario.utilization).c_str(),
+              scenario.slot_budget == 0 ? "unlimited"
+                                        : std::to_string(scenario.slot_budget).c_str());
+  const std::uint64_t seed = cps::online::effective_scenario_seed(context, scenario);
+  std::printf("  seed:   %llu (from %s)\n", static_cast<unsigned long long>(seed),
+              context.seed_explicit ? "--seed"
+                                    : (scenario.has_seed ? "the scenario" : "the default"));
+  std::printf("  events (%zu):\n", scenario.events.size());
+  for (const auto& event : scenario.events)
+    std::printf("    tick %llu: %s%s%s\n", static_cast<unsigned long long>(event.at_tick),
+                cps::online::event_kind_name(event.kind), event.app.empty() ? "" : " ",
+                event.app.c_str());
 }
 
 /// `--spec --dry-run`: print the validated expansion without running.
@@ -234,6 +261,7 @@ int main(int argc, char** argv) {
   std::string store_stats_dir;
   std::string shard_text;
   std::string spec_path;
+  std::string scenario_path;
   std::uint64_t gc_max_bytes = 0;
   bool gc_requested = false;
   std::uint64_t merge_shards = 0;
@@ -249,8 +277,11 @@ int main(int argc, char** argv) {
   cli.add_string({"--spec"}, &spec_path, "FILE",
                  "declarative campaign spec: runs its experiments with its typed "
                  "parameters (excludes positional names/'all')");
+  cli.add_string({"--scenario"}, &scenario_path, "FILE",
+                 "online fault-injection scenario script: runs the run_scenario "
+                 "experiment over it (excludes --spec/'all')");
   cli.add_flag({"--dry-run"}, &dry_run,
-               "with --spec: print the validated expansion, run nothing");
+               "with --spec/--scenario: print the validated expansion, run nothing");
   cli.add_string({"--fixture-store"}, &fixture_store_dir, "DIR",
                  "persistent content-addressed fixture store shared across processes",
                  &fixture_store_seen);
@@ -271,6 +302,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   bool run_all = false;
   std::optional<cps::runtime::CampaignSpec> spec;
+  std::optional<cps::online::ScenarioSpec> scenario;
   ExperimentContext context;
   try {
     names = cli.parse({argv + 1, argv + argc});
@@ -292,6 +324,7 @@ int main(int argc, char** argv) {
       throw CliError("--jobs must be in [1, " + std::to_string(kMaxJobs) + "]");
     context.jobs = static_cast<int>(jobs);
     if (seed_seen) context.seed = seed_flag;
+    context.seed_explicit = seed_seen;
     context.csv_dir = csv_dir;
     if (!shard_text.empty()) {
       const auto [index, count] = parse_shard(shard_text);
@@ -310,7 +343,23 @@ int main(int argc, char** argv) {
     if (!spec_path.empty() && (run_all || !names.empty()))
       throw CliError("--spec declares the experiments to run; positional names and "
                      "'all' cannot be combined with it");
-    if (dry_run && spec_path.empty()) throw CliError("--dry-run requires --spec");
+    if (!scenario_path.empty()) {
+      // --scenario IS a run of run_scenario; anything that names a
+      // different workload contradicts it.
+      if (!spec_path.empty())
+        throw CliError("--scenario cannot be combined with --spec (use the spec's "
+                       "scenario.file key instead)");
+      if (run_all) throw CliError("--scenario cannot be combined with 'all'");
+      if (merge) throw CliError("--scenario cannot be combined with --merge");
+      for (const auto& name : names)
+        if (name != "run_scenario")
+          throw CliError("--scenario runs the run_scenario experiment; '" + name +
+                         "' cannot be combined with it");
+      names = {"run_scenario"};
+      context.scenario_path = scenario_path;
+    }
+    if (dry_run && spec_path.empty() && scenario_path.empty())
+      throw CliError("--dry-run requires --spec or --scenario");
     if (!store_stats_dir.empty()) {
       // Standalone inspector: combining it with a run (or a second store
       // via --fixture-store) would make it ambiguous which store the GC
@@ -336,6 +385,10 @@ int main(int argc, char** argv) {
                        spec->name + "' sets none");
       context.spec = &*spec;
     }
+
+    // Scenario script: parse + validate up front, so a malformed script
+    // reports as a usage error (exit 2) exactly like a malformed --spec.
+    if (!scenario_path.empty()) scenario = cps::online::load_scenario(scenario_path);
 
     if (!list_only && store_stats_dir.empty() && names.empty() && !run_all)
       throw CliError("nothing to run: name experiments, 'all', or --spec FILE");
@@ -382,7 +435,10 @@ int main(int argc, char** argv) {
   }
 
   if (dry_run) {
-    print_spec_expansion(*spec, experiments, context, fixture_store_dir);
+    if (spec)
+      print_spec_expansion(*spec, experiments, context, fixture_store_dir);
+    else
+      print_scenario_expansion(*scenario, context);
     return 0;
   }
 
