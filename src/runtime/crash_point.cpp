@@ -1,0 +1,48 @@
+#include "runtime/crash_point.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace cps::runtime {
+
+void crash_point(const char* site) {
+  const char* spec = std::getenv("CPS_CRASH_AT");
+  if (spec == nullptr || *spec == '\0') return;
+
+  // "<site>[:<count>]"; a malformed count falls back to 1 rather than
+  // throwing — crash injection must never alter a run it does not kill.
+  const std::string text(spec);
+  const std::size_t colon = text.rfind(':');
+  const std::string wanted = colon == std::string::npos ? text : text.substr(0, colon);
+  if (wanted != site) return;
+  long count = 1;
+  if (colon != std::string::npos) {
+    count = std::strtol(text.c_str() + colon + 1, nullptr, 10);
+    if (count < 1) count = 1;
+  }
+
+  static std::mutex mutex;
+  static std::map<std::string, long> hits;
+  long hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    hit = ++hits[wanted];
+  }
+  if (hit != count) return;
+
+  std::fprintf(stderr, "[crash-injection] CPS_CRASH_AT=%s: killing pid %d at site '%s' (hit %ld)\n",
+               spec, static_cast<int>(::getpid()), site, hit);
+  std::fflush(stderr);
+  ::kill(::getpid(), SIGKILL);
+  // SIGKILL cannot be caught; pause until it lands so no code below a
+  // crash point ever executes.
+  for (;;) ::pause();
+}
+
+}  // namespace cps::runtime

@@ -1,0 +1,38 @@
+// Deterministic crash injection for multi-process robustness tests.
+//
+// A supervised campaign must survive children dying at ARBITRARY points:
+// mid-write into a shared store file, between publishing a shard CSV and
+// stamping its sidecar, and so on.  Reproducing those windows with real
+// kill-signals is racy; this hook makes them exact.  Publication paths
+// call crash_point("<site>") at each interesting instant, and setting
+//
+//   CPS_CRASH_AT=<site>[:<count>]
+//
+// in the environment kills the process with SIGKILL (no unwinding, no
+// destructors — a genuine crash) the <count>-th time that site is hit
+// (default: the first).  Unset, the hook is a getenv + early return, so
+// it costs nothing on hot paths (and it is only placed on file-IO paths
+// anyway).
+//
+// The environment is re-read on every call, so a test can fork, setenv
+// in the child, and trigger a crash there without the parent's earlier
+// calls having latched a stale spec.  Hit counts are per process.
+//
+// Instrumented sites (grep for crash_point to verify):
+//   store_save_mid      FixtureStore::save, after the magic bytes of the
+//                       temp file are on disk (a torn, unpublished temp)
+//   store_save_rename   FixtureStore::save, temp complete but not yet
+//                       renamed into place (file still unpublished)
+//   artifact_publish    cps_run, staged sweep CSV complete but not yet
+//                       renamed to its final shard path
+//   meta_publish        write_shard_meta, sidecar temp complete but not
+//                       yet renamed (CSV published, provenance missing)
+#pragma once
+
+namespace cps::runtime {
+
+/// Die (SIGKILL) here when CPS_CRASH_AT selects this site and the
+/// per-process hit count matches; otherwise return immediately.
+void crash_point(const char* site);
+
+}  // namespace cps::runtime

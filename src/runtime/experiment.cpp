@@ -16,7 +16,9 @@ std::string ExperimentContext::csv_path(const std::string& filename) const {
 }
 
 std::string ExperimentContext::artifact_path(const std::string& filename) const {
-  return csv_path(filename) + shard_suffix(shard_index, shard_count);
+  std::string path = csv_path(filename) + shard_suffix(shard_index, shard_count);
+  if (stage_artifacts) path += ".inprogress";
+  return path;
 }
 
 Experiment::Experiment(std::string name, std::string description, RunFn run)

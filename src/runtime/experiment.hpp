@@ -49,6 +49,13 @@ struct ExperimentContext {
   /// (runtime/campaign_spec.hpp), so every experiment keeps its built-in
   /// defaults when run bare.
   const CampaignSpec* spec = nullptr;
+  /// Crash-safe publication (set by the cps_run driver around sweep
+  /// experiments): while true, artifact_path() appends ".inprogress", so
+  /// the experiment body writes to a staging name; the driver renames the
+  /// staged file onto the real artifact path only AFTER the experiment
+  /// succeeds.  A crash, kill, or SIGINT mid-experiment therefore leaves
+  /// only staging debris — never a torn CSV at a name the merge trusts.
+  bool stage_artifacts = false;
 
   /// True when this invocation is one shard of a multi-process campaign.
   bool sharded() const { return shard_count > 1; }

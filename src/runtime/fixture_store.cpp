@@ -1,17 +1,23 @@
 #include "runtime/fixture_store.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <utility>
 
+#include "runtime/crash_point.hpp"
 #include "util/error.hpp"
 #include "util/serialize.hpp"
 
@@ -152,26 +158,55 @@ void FixtureStore::save(const std::string& key, std::string_view format,
   std::filesystem::create_directories(std::filesystem::path(path).parent_path(), error);
   if (error) return warn(error.message());
 
-  // Unique temp name per process+object so concurrent shards warming the
-  // same store never interleave writes; rename() then publishes the file
-  // atomically (POSIX), so readers see either nothing or a whole file.
+  // Unique temp name per process + per-process sequence number, claimed
+  // with O_EXCL, so two shards publishing the same digest can never open
+  // the SAME temp file and interleave writes (pid disambiguates across
+  // processes, the counter within one, O_EXCL catches pid reuse after a
+  // crash); rename() then publishes the file atomically (POSIX), so
+  // readers see either nothing or a whole file — never a torn one.
+  static std::atomic<std::uint64_t> sequence{0};
   std::ostringstream temp_name;
-  temp_name << path << ".tmp." << ::getpid() << "." << this;
+  temp_name << path << ".tmp." << ::getpid() << "." << sequence.fetch_add(1);
   const std::string temp_path = temp_name.str();
-  {
-    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return warn("cannot open temp file");
-    out.write(kMagic, sizeof(kMagic));
-    out.write(writer.bytes().data(), static_cast<std::streamsize>(writer.bytes().size()));
-    util::BinaryWriter trailer;
-    trailer.write_u64(checksum);
-    out.write(trailer.bytes().data(), static_cast<std::streamsize>(trailer.bytes().size()));
-    if (!out) {
-      warn("short write");
-      std::filesystem::remove(temp_path, error);
-      return;
-    }
+  int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0 && errno == EEXIST) {
+    // Only a crashed earlier process with a recycled pid can have left
+    // this exact name behind; its payload is dead, reclaim the name.
+    ::unlink(temp_path.c_str());
+    fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
   }
+  if (fd < 0) return warn(std::string("cannot open temp file: ") + std::strerror(errno));
+  const auto write_all = [fd](const char* data, std::size_t size) {
+    std::size_t done = 0;
+    while (done < size) {
+      const ::ssize_t n = ::write(fd, data + done, size - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  util::BinaryWriter trailer;
+  trailer.write_u64(checksum);
+  bool wrote = write_all(kMagic, sizeof(kMagic));
+  // Crash window: magic on disk, payload missing — a torn temp that must
+  // never become visible under the final name.
+  if (wrote) crash_point("store_save_mid");
+  wrote = wrote && write_all(writer.bytes().data(), writer.bytes().size()) &&
+          write_all(trailer.bytes().data(), trailer.bytes().size());
+  // fsync before rename: a machine crash right after the rename must not
+  // leave a published name pointing at unwritten blocks.
+  wrote = wrote && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote) {
+    warn("short write");
+    std::filesystem::remove(temp_path, error);
+    return;
+  }
+  // Crash window: temp complete but unpublished — invisible to readers.
+  crash_point("store_save_rename");
   std::filesystem::rename(temp_path, path, error);
   if (error) {
     warn("rename failed: " + error.message());
@@ -221,6 +256,53 @@ double age_seconds(std::filesystem::file_time_type mtime) {
       .count();
 }
 
+/// Scoped advisory lock on `DIR/.gc.lock`.  Two processes running
+/// `--store-gc-max-bytes` against the same store would otherwise race
+/// the scan-then-unlink window: both could pick the same eviction
+/// victims, and one could evict a file the other just published and
+/// touched.  flock serializes whole GC passes; everything else (load,
+/// save) stays lock-free — publication is already atomic.  Best effort:
+/// when the lock file cannot be created the pass proceeds unlocked, as
+/// the store is an accelerator and GC correctness degrades to the old
+/// (pre-lock) behavior rather than failing the run.
+class GcLock {
+ public:
+  explicit GcLock(const std::string& directory) {
+    fd_ = ::open((directory + "/.gc.lock").c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ >= 0) {
+      while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+      }
+    }
+  }
+  ~GcLock() {
+    if (fd_ >= 0) ::close(fd_);  // releases the flock
+  }
+  GcLock(const GcLock&) = delete;
+  GcLock& operator=(const GcLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Unpublished temp files (".tmp." in the name) left behind by crashed
+/// writers.  Fresh temps may belong to a LIVE writer that has not
+/// renamed yet, so only temps older than this are reclaimed.
+constexpr double kStaleTempSeconds = 3600.0;
+
+void remove_stale_temps(const std::string& directory) {
+  std::error_code error;
+  std::filesystem::recursive_directory_iterator it(directory, error), end;
+  if (error) return;
+  for (; it != end; it.increment(error)) {
+    if (error) break;
+    if (!it->is_regular_file(error)) continue;
+    if (it->path().filename().string().find(".tmp.") == std::string::npos) continue;
+    const auto mtime = std::filesystem::last_write_time(it->path(), error);
+    if (error || age_seconds(mtime) < kStaleTempSeconds) continue;
+    std::filesystem::remove(it->path(), error);
+  }
+}
+
 }  // namespace
 
 std::vector<FixtureStore::DomainUsage> FixtureStore::usage() const {
@@ -253,6 +335,11 @@ std::vector<FixtureStore::DomainUsage> FixtureStore::usage() const {
 }
 
 FixtureStore::GcResult FixtureStore::gc_to_max_bytes(std::uintmax_t max_bytes) const {
+  // One GC pass at a time per store (across processes): without the
+  // lock, two concurrent passes could each evict a file the other's
+  // campaign just published between its scan and its unlink.
+  GcLock lock(directory_);
+  remove_stale_temps(directory_);
   auto files = scan_store(directory_);
   GcResult result;
   result.scanned = files.size();
@@ -279,6 +366,15 @@ FixtureStore::GcResult FixtureStore::gc_to_max_bytes(std::uintmax_t max_bytes) c
       continue;
     }
     std::error_code error;
+    // Re-stat before the unlink: a file ANOTHER process loaded or
+    // republished since our scan has a newer mtime and is part of a live
+    // working set — spare it, like this process's own touched files.
+    const auto mtime_now = std::filesystem::last_write_time(file.path, error);
+    if (error) continue;  // already gone (nothing to evict)
+    if (mtime_now != file.mtime) {
+      ++result.kept_in_use;
+      continue;
+    }
     // unlink(2) is atomic: a concurrent reader either opened the file
     // before (and keeps a valid handle) or misses and recomputes.
     if (!std::filesystem::remove(file.path, error) || error) continue;

@@ -54,9 +54,12 @@ class FixtureStore {
   std::optional<std::string> load(const std::string& key, std::string_view format,
                                   std::string_view material) const;
 
-  /// Persist `payload` for `key` atomically (temp file + rename).  A
-  /// failure to write warns and is otherwise ignored: the store is an
-  /// accelerator, never a correctness dependency.
+  /// Persist `payload` for `key` atomically (unique-per-process O_EXCL
+  /// temp file, fsync, then rename).  Two processes racing the same
+  /// digest each write their own temp and the second rename wins with a
+  /// whole file — a reader can never observe a torn one.  A failure to
+  /// write warns and is otherwise ignored: the store is an accelerator,
+  /// never a correctness dependency.
   void save(const std::string& key, std::string_view format, std::string_view material,
             std::string_view payload) const;
 
@@ -107,7 +110,14 @@ class FixtureStore {
   /// except files this process touched (loaded or wrote), which are NEVER
   /// evicted; unlinks are atomic, so a concurrent reader either sees the
   /// whole file or recomputes (the store is an accelerator, never a
-  /// correctness dependency).  Invoked by `cps_run --store-gc-max-bytes`.
+  /// correctness dependency).  Whole passes are serialized across
+  /// processes by an advisory flock on `DIR/.gc.lock`, and each victim is
+  /// re-stat'ed immediately before its unlink — a file another process
+  /// loaded or republished since the scan counts as in-use and is spared,
+  /// so two simultaneous GCs can neither double-unlink nor evict a file
+  /// the other process just published.  The pass also reclaims temp files
+  /// (".tmp.") older than an hour, the debris of crashed writers.
+  /// Invoked by `cps_run --store-gc-max-bytes`.
   GcResult gc_to_max_bytes(std::uintmax_t max_bytes) const;
 
  private:

@@ -45,7 +45,10 @@ std::string shard_suffix(std::size_t shard_index, std::size_t shard_count);
 /// requires it and refuses to concatenate shards whose seeds differ —
 /// structural index checks alone cannot tell a stale partial from a
 /// re-run campaign, the sidecar can.  Kept OUTSIDE the CSV so the
-/// merged bytes stay identical to the unsharded artifact.
+/// merged bytes stay identical to the unsharded artifact.  Published
+/// atomically (temp + rename) and strictly AFTER the CSV: a crash at
+/// any instant leaves either no sidecar (shard treated as not landed)
+/// or a whole one — never a torn file that could pass a weaker check.
 void write_shard_meta(const std::string& csv_path, std::uint64_t seed,
                       std::size_t shard_index, std::size_t shard_count);
 
@@ -54,11 +57,71 @@ void write_shard_meta(const std::string& csv_path, std::uint64_t seed,
 /// Verifies every shard file and its .meta sidecar exist, all sidecars
 /// carry the SAME campaign seed and the expected shard spec (stale or
 /// mixed-campaign partials fail here), all headers are identical, and
-/// the concatenated `index` column is exactly 0, 1, ..., total-1;
-/// throws cps::Error naming the offending file on any gap, overlap, or
-/// mismatch.  Returns the number of data rows merged.  The merged bytes
-/// equal what an unsharded run writes (same header, same rows, same
-/// order), so `cmp` against a single-process artifact must pass.
+/// the concatenated `index` column is exactly 0, 1, ..., total-1.
+/// EVERY shard is validated before anything is reported: on failure the
+/// single cps::Error lists every missing, stale, truncated or corrupt
+/// shard (one line each), so one merge attempt diagnoses the whole
+/// campaign instead of forcing serial rediscovery.  Returns the number
+/// of data rows merged; the canonical file is published atomically
+/// (temp + rename) and its bytes equal what an unsharded run writes
+/// (same header, same rows, same order), so `cmp` against a
+/// single-process artifact must pass.
 std::size_t merge_sweep_csv(const std::string& canonical_path, std::size_t shard_count);
+
+/// A half-open global-index range; `open_ended` marks a trailing range
+/// whose end is unknown (the final shard never landed, so the sweep's
+/// total row count cannot be derived from the partials).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool open_ended = false;
+};
+
+/// Outcome of a DEGRADED merge (merge_sweep_csv_partial): which shards
+/// merged, which failed and why, and exactly which global-index ranges
+/// the published partial artifact covers.
+struct PartialMergeReport {
+  std::size_t shard_count = 0;
+  std::size_t rows_merged = 0;
+  /// Shards whose rows made it into the partial canonical file.
+  std::vector<std::size_t> merged_shards;
+  struct ShardFailure {
+    std::size_t shard = 0;
+    std::string error;
+  };
+  /// Shards refused (missing, corrupt, stale seed, overlapping), with
+  /// the full validation message each.
+  std::vector<ShardFailure> failures;
+  /// Covered [begin, end) index intervals, ascending, adjacent blocks
+  /// coalesced.  Equal to [0, total) iff failures is empty.
+  std::vector<IndexRange> covered_ranges;
+  /// Complement of covered_ranges: the index ranges the partial artifact
+  /// is missing.  Interior gaps are exact (both neighbors landed); a
+  /// missing FINAL shard yields a trailing open_ended range.
+  std::vector<IndexRange> missing_ranges() const;
+  bool complete() const { return failures.empty(); }
+};
+
+/// Graceful-degradation flavour of the merge: concatenate every shard
+/// that validates (same checks as merge_sweep_csv, applied per shard),
+/// skip — and report — the ones that do not, and publish the partial
+/// canonical file atomically with the valid rows in global-index order.
+/// Gaps BETWEEN valid shards are permitted (that is the point); rows
+/// within a shard must still be contiguous, and a shard overlapping an
+/// earlier accepted one is refused as stale.  When no shard validates,
+/// nothing is published and rows_merged is 0.  Used by
+/// `cps_run --launch N --allow-partial` after a shard exhausts its
+/// retries; the caller records missing_ranges() in the campaign
+/// manifest.
+PartialMergeReport merge_sweep_csv_partial(const std::string& canonical_path,
+                                           std::size_t shard_count);
+
+/// True iff shard `shard_index`'s partial CSV and sidecar for
+/// `canonical_path` are on disk, internally consistent (slot claim, row
+/// count, contiguous indices) and stamped with `expected_seed` — the
+/// resume check of the ShardSupervisor: a landed shard is skipped on
+/// restart, anything less is re-run.
+bool shard_artifact_landed(const std::string& canonical_path, std::size_t shard_index,
+                           std::size_t shard_count, std::uint64_t expected_seed);
 
 }  // namespace cps::runtime

@@ -1,0 +1,187 @@
+// Fixture-store crash-safety under REAL process faults: concurrent
+// writers racing the same digest, children SIGKILLed mid-write by the
+// deterministic CPS_CRASH_AT hook (runtime/crash_point.hpp), and the
+// GC's reclamation of the temp debris crashes leave behind.
+//
+// These tests fork: the child performs the racing/crashing save and the
+// parent asserts the store never publishes a torn file — corruption may
+// cost a recompute, never a wrong payload.
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "runtime/fixture_store.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using cps::runtime::FixtureStore;
+
+struct StoreConcurrencyFixture : public ::testing::Test {
+  void SetUp() override {
+    dir = (std::filesystem::temp_directory_path() /
+           ("cps-store-conc-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++)))
+              .string();
+    std::filesystem::create_directories(dir);
+  }
+  void TearDown() override {
+    std::error_code error;
+    std::filesystem::remove_all(dir, error);
+  }
+  /// Fork, run `child` in the child process, return its wait status.
+  template <typename Fn>
+  int run_in_child(Fn child) {
+    const ::pid_t pid = ::fork();
+    if (pid == 0) {
+      child();
+      ::_exit(0);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return status;
+  }
+  static std::atomic<int> counter;
+  std::string dir;
+};
+std::atomic<int> StoreConcurrencyFixture::counter{0};
+
+TEST_F(StoreConcurrencyFixture, TwoProcessesRacingTheSameDigestNeverTearTheFile) {
+  // Both processes publish the same key concurrently, many rounds.  The
+  // O_EXCL-unique temps + atomic rename guarantee a reader sees ONE
+  // writer's whole payload — never an interleaving.
+  const std::string payload_parent(4096, 'P');
+  const std::string payload_child(4096, 'C');
+  for (int round = 0; round < 10; ++round) {
+    const std::string key = "race/digest" + std::to_string(round);
+    const int status = run_in_child([&] {
+      FixtureStore child_store(dir);
+      child_store.save(key, "fmt/v1", "material", payload_child);
+    });
+    FixtureStore store(dir);
+    store.save(key, "fmt/v1", "material", payload_parent);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+    FixtureStore reader(dir);
+    const auto loaded = reader.load(key, "fmt/v1", "material");
+    ASSERT_TRUE(loaded.has_value()) << "round " << round;
+    EXPECT_TRUE(*loaded == payload_parent || *loaded == payload_child)
+        << "torn payload in round " << round;
+    EXPECT_EQ(reader.stats().invalid, 0u);
+  }
+}
+
+TEST_F(StoreConcurrencyFixture, CrashMidWritePublishesNothingAndHealsOnRetry) {
+  const std::string key = "crash/mid";
+  const int status = run_in_child([&] {
+    ::setenv("CPS_CRASH_AT", "store_save_mid:1", 1);
+    FixtureStore doomed(dir);
+    doomed.save(key, "fmt/v1", "material", "payload-that-never-lands");
+  });
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Torn temp debris is allowed; a PUBLISHED file is not.
+  FixtureStore store(dir);
+  EXPECT_FALSE(store.load(key, "fmt/v1", "material").has_value());
+
+  // Heal: a clean retry (no injection) publishes normally.
+  store.save(key, "fmt/v1", "material", "healed-payload");
+  const auto loaded = store.load(key, "fmt/v1", "material");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "healed-payload");
+}
+
+TEST_F(StoreConcurrencyFixture, CrashBeforeRenameLeavesOnlyTempDebris) {
+  const std::string key = "crash/rename";
+  const int status = run_in_child([&] {
+    ::setenv("CPS_CRASH_AT", "store_save_rename:1", 1);
+    FixtureStore doomed(dir);
+    doomed.save(key, "fmt/v1", "material", "fully-written-but-unpublished");
+  });
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  // The payload was completely written to the temp — but the rename never
+  // ran, so the store must still report a miss.
+  FixtureStore store(dir);
+  EXPECT_FALSE(store.load(key, "fmt/v1", "material").has_value());
+  // And the debris is visible as a ".tmp." file awaiting GC reclamation.
+  bool temp_found = false;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(dir))
+    if (entry.is_regular_file() &&
+        entry.path().filename().string().find(".tmp.") != std::string::npos)
+      temp_found = true;
+  EXPECT_TRUE(temp_found);
+}
+
+TEST_F(StoreConcurrencyFixture, CrashCounterFiresOnTheNthHitOnly) {
+  // CPS_CRASH_AT=<site>:2 must let the first save through untouched and
+  // kill the second — that is what makes injected faults deterministic.
+  const int status = run_in_child([&] {
+    ::setenv("CPS_CRASH_AT", "store_save_mid:2", 1);
+    FixtureStore doomed(dir);
+    doomed.save("count/first", "fmt/v1", "material", "survives");
+    doomed.save("count/second", "fmt/v1", "material", "never-lands");
+  });
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  FixtureStore store(dir);
+  const auto first = store.load("count/first", "fmt/v1", "material");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "survives");
+  EXPECT_FALSE(store.load("count/second", "fmt/v1", "material").has_value());
+}
+
+TEST_F(StoreConcurrencyFixture, GcReclaimsStaleTempDebrisButSparesFreshTemps) {
+  FixtureStore store(dir);
+  store.save("domain/live", "fmt/v1", "material", "payload");
+
+  // Fake a crashed writer from two hours ago and one from just now.
+  const std::string stale = dir + "/domain/dead.fix.tmp.1234";
+  const std::string fresh = dir + "/domain/racing.fix.tmp.5678";
+  { std::ofstream(stale) << "half-written"; }
+  { std::ofstream(fresh) << "half-written"; }
+  struct timespec times[2];
+  times[0].tv_sec = ::time(nullptr) - 7200;
+  times[0].tv_nsec = 0;
+  times[1] = times[0];
+  ASSERT_EQ(::utimensat(AT_FDCWD, stale.c_str(), times, 0), 0);
+
+  store.gc_to_max_bytes(1ull << 40);  // cap far above usage: evicts nothing
+  EXPECT_FALSE(std::filesystem::exists(stale)) << "stale temp not reclaimed";
+  EXPECT_TRUE(std::filesystem::exists(fresh)) << "fresh temp wrongly reclaimed";
+  // The published file is untouched either way.
+  EXPECT_TRUE(store.load("domain/live", "fmt/v1", "material").has_value());
+}
+
+TEST_F(StoreConcurrencyFixture, ConcurrentGcPassesAreSerializedByTheLock) {
+  // Two simultaneous GC passes over the same store (child + parent) must
+  // both complete and leave every in-cap file intact — the flock means
+  // they cannot double-unlink or race each other's scans.
+  FixtureStore store(dir);
+  for (int i = 0; i < 8; ++i)
+    store.save("domain/key" + std::to_string(i), "fmt/v1", "material", std::string(100, 'x'));
+  const int status = run_in_child([&] {
+    FixtureStore child_store(dir);
+    child_store.gc_to_max_bytes(1ull << 40);
+  });
+  store.gc_to_max_bytes(1ull << 40);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  FixtureStore reader(dir);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_TRUE(
+        reader.load("domain/key" + std::to_string(i), "fmt/v1", "material").has_value())
+        << "key" << i;
+}
+
+}  // namespace

@@ -476,6 +476,97 @@ TEST_F(MergeFixture, SidecarClaimingWrongSlotFailsLoudly) {
   EXPECT_THROW(merge_sweep_csv(canonical, 2), cps::Error);
 }
 
+TEST_F(MergeFixture, OneErrorReportsEveryBrokenShard) {
+  // Three distinct problems in one campaign: shard 0 is missing, shard
+  // 2's sidecar is gone.  The single error must name BOTH so one failed
+  // merge diagnoses the whole campaign instead of forcing serial
+  // rediscovery.
+  write_shard(1, 3, "index,v", {2, 3});
+  {
+    std::ofstream out(canonical + shard_suffix(2, 3));
+    out << "index,v\n4,value4\n";  // CSV present, .meta absent
+  }
+  try {
+    merge_sweep_csv(canonical, 3);
+    FAIL() << "merge of a broken campaign must throw";
+  } catch (const cps::Error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("shard 0/3"), std::string::npos) << message;
+    EXPECT_NE(message.find("shard 2/3"), std::string::npos) << message;
+    EXPECT_NE(message.find("missing sidecar"), std::string::npos) << message;
+  }
+}
+
+TEST_F(MergeFixture, TruncatedSidecarIsRefusedAsInterruptedPublication) {
+  // A sidecar that lost its tail (e.g. a pre-atomic-publication crash)
+  // must be refused even though the CSV itself is fine.
+  write_shard(0, 2, "index,v", {0, 1});
+  write_shard(1, 2, "index,v", {2, 3});
+  {
+    std::ofstream out(canonical + shard_suffix(1, 2) + ".meta", std::ios::trunc);
+    out << "seed=0x0000000000005eed\n";  // shard= and rows= lines lost
+  }
+  try {
+    merge_sweep_csv(canonical, 2);
+    FAIL() << "a truncated sidecar must be refused";
+  } catch (const cps::Error& error) {
+    EXPECT_NE(std::string(error.what()).find("truncated sidecar"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(MergeFixture, PartialMergePublishesWhatLandedAndReportsTheRest) {
+  write_shard(0, 3, "index,v", {0, 1});
+  write_shard(2, 3, "index,v", {4, 5});  // shard 1 (indices 2..3) never landed
+  const auto report = cps::runtime::merge_sweep_csv_partial(canonical, 3);
+  EXPECT_FALSE(report.complete());
+  EXPECT_EQ(report.rows_merged, 4u);
+  ASSERT_EQ(report.merged_shards.size(), 2u);
+  EXPECT_EQ(report.merged_shards[0], 0u);
+  EXPECT_EQ(report.merged_shards[1], 2u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].shard, 1u);
+  // The published partial holds exactly the landed rows, in index order.
+  EXPECT_EQ(read_file(canonical), "index,v\n0,value0\n1,value1\n4,value4\n5,value5\n");
+  // And the coverage arithmetic pinpoints the hole.
+  const auto missing = report.missing_ranges();
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].begin, 2u);
+  EXPECT_EQ(missing[0].end, 4u);
+  EXPECT_FALSE(missing[0].open_ended);
+}
+
+TEST_F(MergeFixture, PartialMergeMissingFinalShardIsOpenEnded) {
+  write_shard(0, 2, "index,v", {0, 1, 2});
+  const auto report = cps::runtime::merge_sweep_csv_partial(canonical, 2);
+  const auto missing = report.missing_ranges();
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].begin, 3u);
+  EXPECT_TRUE(missing[0].open_ended);  // total sweep size is unknowable
+}
+
+TEST_F(MergeFixture, PartialMergeWithNothingLandedPublishesNothing) {
+  const auto report = cps::runtime::merge_sweep_csv_partial(canonical, 2);
+  EXPECT_EQ(report.rows_merged, 0u);
+  EXPECT_TRUE(report.merged_shards.empty());
+  EXPECT_EQ(report.failures.size(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(canonical));
+}
+
+TEST_F(MergeFixture, ShardArtifactLandedVerifiesSeedAndIntegrity) {
+  using cps::runtime::shard_artifact_landed;
+  write_shard(0, 2, "index,v", {0, 1}, /*seed=*/0xCAFE);
+  EXPECT_TRUE(shard_artifact_landed(canonical, 0, 2, 0xCAFE));
+  EXPECT_FALSE(shard_artifact_landed(canonical, 0, 2, 0xBEEF));  // stale campaign
+  EXPECT_FALSE(shard_artifact_landed(canonical, 1, 2, 0xCAFE));  // never written
+  // Truncate the CSV below the sidecar's row count: no longer landed.
+  {
+    std::ofstream out(canonical + shard_suffix(0, 2), std::ios::trunc);
+    out << "index,v\n0,value0\n";
+  }
+  EXPECT_FALSE(shard_artifact_landed(canonical, 0, 2, 0xCAFE));
+}
+
 TEST_F(MergeFixture, TruncatedFinalShardFailsLoudly) {
   // Losing the TAIL of the LAST shard keeps the index column contiguous
   // (any prefix is), so only the sidecar's recorded row count can catch

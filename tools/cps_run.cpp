@@ -33,30 +33,66 @@
 //   --shard i/N run only shard i of each named SWEEP experiment's index
 //               range; --merge N concatenates the partials (gap/overlap
 //               checked) into the canonical CSVs
+//   --launch N  supervised campaign: fan out N `--shard i/N` child
+//               processes of THIS command (runtime/supervisor.hpp) with
+//               per-shard timeouts, heartbeat monitoring, bounded
+//               jittered-backoff retries and resume (shards whose
+//               .meta-verified partials already landed are skipped),
+//               then merge.  On permanently failed shards: a hard
+//               multi-shard error report — or, with --allow-partial, a
+//               degraded partial merge plus a machine-readable
+//               campaign_manifest.json naming the missing index ranges.
+//               Tuning: --launch-parallel/-retries/-timeout/-heartbeat/
+//               -backoff-ms; --exec-template wraps each shard command
+//               (e.g. 'ssh worker{i} {cmd}').
 //   --store-stats DIR / --store-gc-max-bytes N
 //               store inspection and LRU eviction (standalone or
 //               post-campaign; see the flag help)
 //
-// Exit status: 0 on success, 1 on experiment/merge failure, 2 on usage
-// errors (including malformed or invalid --spec files).
+// Robustness plumbing (this file is the process boundary):
+//  * Sweep artifacts are STAGED: experiments write to `...inprogress`
+//    names and the driver renames them into place only after the body
+//    succeeds, so an interrupted run never publishes a partial CSV.
+//  * SIGINT/SIGTERM: worker processes _exit immediately (staged
+//    artifacts are simply abandoned); a --launch supervisor instead
+//    tears down its children first.
+//  * CPS_CRASH_AT=<site>[:<count>] (runtime/crash_point.hpp) kills the
+//    process at a named publication site — the deterministic fault
+//    injection the chaos tests and the CI chaos job drive.
+//  * A child started by the supervisor touches the heartbeat file named
+//    by CPS_SHARD_HEARTBEAT so a hung shard is detectable.
+//
+// Exit status: 0 on success (including a degraded --allow-partial merge),
+// 1 on experiment/merge/campaign failure, 2 on usage errors (including
+// malformed or invalid --spec files).
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "online/scenario.hpp"
 #include "runtime/campaign_spec.hpp"
 #include "runtime/cli.hpp"
+#include "runtime/crash_point.hpp"
 #include "runtime/experiment.hpp"
 #include "runtime/fixture_cache.hpp"
 #include "runtime/fixture_store.hpp"
 #include "runtime/shard.hpp"
+#include "runtime/supervisor.hpp"
+#include "util/error.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -69,6 +105,50 @@ using cps::runtime::ExperimentRegistry;
 
 constexpr std::uint64_t kMaxJobs = 1024;
 constexpr std::uint64_t kMaxShards = 4096;
+
+// ---- interruption contract -------------------------------------------
+// Worker processes (the default) _exit the moment SIGINT/SIGTERM lands:
+// sweep artifacts are staged (ExperimentContext::stage_artifacts) and the
+// shard/store layers publish via temp+rename, so dying at ANY instant
+// abandons staging debris but never a torn published file.  A --launch
+// supervisor instead flips g_interrupt and lets the supervision loop tear
+// its children down before exiting.
+volatile std::sig_atomic_t g_interrupt = 0;
+volatile std::sig_atomic_t g_supervising = 0;
+
+extern "C" void handle_interrupt(int sig) {
+  if (g_supervising != 0) {
+    g_interrupt = 1;
+    return;
+  }
+  ::_exit(128 + sig);
+}
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_interrupt;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+/// Supervised child mode: CPS_SHARD_HEARTBEAT names a sidecar file this
+/// process must keep fresh.  A detached thread bumps its mtime ~10x/s;
+/// the supervisor treats a stale heartbeat as a hang and escalates
+/// SIGTERM -> SIGKILL.  Detached on purpose: it must die WITH the
+/// process, not gate its exit.
+void start_heartbeat_if_requested() {
+  const char* heartbeat = std::getenv("CPS_SHARD_HEARTBEAT");
+  if (heartbeat == nullptr || *heartbeat == '\0') return;
+  std::thread([path = std::string(heartbeat)] {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) return;
+    for (;;) {
+      ::futimens(fd, nullptr);
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }).detach();
+}
 
 /// Human-scale seconds for the store-stats table.
 std::string format_age(double seconds) {
@@ -187,9 +267,28 @@ int run_experiments(const std::vector<const Experiment*>& experiments,
   for (const Experiment* experiment : experiments) {
     const auto start = std::chrono::steady_clock::now();
     try {
+      // Sweep experiments write their artifacts to STAGED names
+      // (`...inprogress`); only after the body returns do the renames
+      // below publish them.  A crash, kill or signal mid-body therefore
+      // never leaves a partial CSV where --merge (or a resume check)
+      // would trust it.
+      context.stage_artifacts = experiment->shardable();
       experiment->run(context);
+      context.stage_artifacts = false;
+      for (const auto& artifact : experiment->sweep_artifacts()) {
+        const std::string published = context.artifact_path(artifact);
+        const std::string staged = published + ".inprogress";
+        cps::runtime::crash_point("artifact_publish");
+        std::error_code error;
+        std::filesystem::rename(staged, published, error);
+        if (error)
+          throw cps::Error("staged artifact '" + staged +
+                           "' was not published: " + error.message());
+      }
       // Shard provenance: stamp each partial with the campaign seed and
       // its slot so --merge can refuse stale or mixed-campaign partials.
+      // Strictly AFTER the CSV rename: the sidecar's existence certifies
+      // a fully published artifact.
       if (context.sharded()) {
         for (const auto& artifact : experiment->sweep_artifacts())
           cps::runtime::write_shard_meta(context.artifact_path(artifact), context.seed,
@@ -199,6 +298,7 @@ int run_experiments(const std::vector<const Experiment*>& experiments,
       std::fprintf(context.out, "[cps_run] %s done in %.2f s\n", experiment->name().c_str(),
                    elapsed.count());
     } catch (const std::exception& error) {
+      context.stage_artifacts = false;
       ++failures;
       std::fprintf(stderr, "[cps_run] %s FAILED: %s\n", experiment->name().c_str(),
                    error.what());
@@ -246,9 +346,159 @@ int merge_experiments(const std::vector<const Experiment*>& experiments,
   return failures == 0 ? 0 : 1;
 }
 
+/// `--launch` knobs, straight from the flag table.
+struct LaunchConfig {
+  std::uint64_t shards = 0;
+  std::uint64_t parallel = 0;        ///< 0 = min(shards, cores)
+  std::uint64_t retries = 3;         ///< attempts per shard
+  std::uint64_t timeout_seconds = 0; ///< 0 = no per-attempt timeout
+  std::uint64_t heartbeat_stale_seconds = 0;  ///< 0 = no heartbeat check
+  std::uint64_t backoff_ms = 500;    ///< base retry delay
+  std::string exec_template;
+  bool allow_partial = false;
+};
+
+/// `--launch N`: the supervised campaign.  Fans the shard children out
+/// under the full robustness policy, then either merges strictly (all
+/// shards landed), fails with a complete multi-shard report, or — with
+/// --allow-partial — degrades to a partial merge plus manifest.
+int run_supervised_campaign(const std::vector<const Experiment*>& experiments,
+                            ExperimentContext& context, const LaunchConfig& config,
+                            const std::vector<std::string>& child_command,
+                            const std::string& fixture_store_dir, bool gc_requested,
+                            std::uint64_t gc_max_bytes) {
+  namespace rt = cps::runtime;
+  rt::SupervisorOptions options;
+  options.shard_count = static_cast<std::size_t>(config.shards);
+  options.max_parallel = static_cast<std::size_t>(config.parallel);
+  options.max_attempts = static_cast<int>(config.retries);
+  options.timeout_seconds = static_cast<double>(config.timeout_seconds);
+  options.heartbeat_stale_seconds = static_cast<double>(config.heartbeat_stale_seconds);
+  options.backoff_base_seconds = static_cast<double>(config.backoff_ms) / 1000.0;
+  options.backoff_seed = context.seed;
+  options.exec_template = config.exec_template;
+  options.work_dir = context.csv_path(".launch");
+  options.expected_seed = context.seed;
+  for (const Experiment* experiment : experiments)
+    for (const auto& artifact : experiment->sweep_artifacts())
+      options.expected_artifacts.push_back(context.csv_path(artifact));
+  // Chaos plumbing: a CPS_CRASH_AT in our environment is meant for the
+  // CHILDREN (first attempts only — retries run clean), never for the
+  // supervisor itself.
+  if (const char* inject = std::getenv("CPS_CRASH_AT"); inject != nullptr && *inject != '\0') {
+    options.crash_inject = inject;
+    ::unsetenv("CPS_CRASH_AT");
+  }
+  options.interrupt_flag = &g_interrupt;
+
+  std::fprintf(context.out, "[cps_run] launching %llu shards (parallel %s, %llu attempts)\n",
+               static_cast<unsigned long long>(config.shards),
+               config.parallel == 0 ? "auto" : std::to_string(config.parallel).c_str(),
+               static_cast<unsigned long long>(config.retries));
+
+  rt::SupervisorReport report;
+  try {
+    g_supervising = 1;
+    rt::ShardSupervisor supervisor(child_command, options);
+    report = supervisor.run();
+    g_supervising = 0;
+  } catch (const std::exception& error) {
+    g_supervising = 0;
+    std::fprintf(stderr, "cps_run: --launch failed: %s\n", error.what());
+    return 1;
+  }
+
+  for (const auto& outcome : report.outcomes) {
+    const char* status = outcome.status == rt::ShardOutcome::Status::kSucceeded ? "ok"
+                         : outcome.status == rt::ShardOutcome::Status::kSkipped
+                             ? "skipped (already landed)"
+                         : outcome.status == rt::ShardOutcome::Status::kFailed ? "FAILED"
+                                                                               : "interrupted";
+    std::fprintf(context.out, "[cps_run] shard %zu/%llu: %s (%d attempt%s)\n", outcome.shard,
+                 static_cast<unsigned long long>(config.shards), status, outcome.attempts,
+                 outcome.attempts == 1 ? "" : "s");
+  }
+  if (report.interrupted) {
+    std::fprintf(stderr, "cps_run: campaign interrupted; nothing merged\n");
+    return 1;
+  }
+
+  const auto gc_store = [&] {
+    if (!gc_requested || fixture_store_dir.empty()) return;
+    try {
+      run_store_gc(cps::runtime::FixtureStore(fixture_store_dir), gc_max_bytes, context.out);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "cps_run: post-campaign store gc failed: %s\n", error.what());
+    }
+  };
+
+  if (report.all_ok()) {
+    const int status =
+        merge_experiments(experiments, context, static_cast<std::size_t>(config.shards));
+    gc_store();
+    return status;
+  }
+
+  // Permanent shard failures.  Without --allow-partial this is a hard
+  // stop, and the report must be COMPLETE: every failed shard, its final
+  // error and its log, in one message — not just the first casualty.
+  if (!config.allow_partial) {
+    std::fprintf(stderr, "cps_run: campaign failed: %zu of %llu shards did not land\n",
+                 report.failed_shards().size(),
+                 static_cast<unsigned long long>(config.shards));
+    for (const auto& outcome : report.outcomes) {
+      if (outcome.status != rt::ShardOutcome::Status::kFailed) continue;
+      std::fprintf(stderr, "  shard %zu: %s\n", outcome.shard, outcome.detail.c_str());
+      if (!outcome.log_path.empty())
+        std::fprintf(stderr, "    log: %s\n", outcome.log_path.c_str());
+    }
+    std::fprintf(stderr,
+                 "  re-run the same command to retry only the missing shards, or add "
+                 "--allow-partial to merge what landed\n");
+    return 1;
+  }
+
+  // Degraded mode: merge every shard that landed, and say EXACTLY what is
+  // missing — machine-readably — in the campaign manifest.
+  std::vector<std::string> artifacts;
+  std::vector<rt::PartialMergeReport> merges;
+  for (const Experiment* experiment : experiments) {
+    for (const auto& artifact : experiment->sweep_artifacts()) {
+      const std::string canonical = context.csv_path(artifact);
+      try {
+        auto merge = rt::merge_sweep_csv_partial(canonical,
+                                                 static_cast<std::size_t>(config.shards));
+        std::fprintf(context.out,
+                     "[cps_run] partial merge -> %s: %zu rows from %zu of %llu shards\n",
+                     canonical.c_str(), merge.rows_merged, merge.merged_shards.size(),
+                     static_cast<unsigned long long>(config.shards));
+        artifacts.push_back(canonical);
+        merges.push_back(std::move(merge));
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "[cps_run] partial merge of %s FAILED: %s\n", canonical.c_str(),
+                     error.what());
+        return 1;
+      }
+    }
+  }
+  try {
+    const std::string manifest = rt::write_campaign_manifest(
+        context.csv_dir, report, context.seed, artifacts, merges);
+    std::fprintf(context.out, "[cps_run] degraded campaign manifest: %s\n", manifest.c_str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "cps_run: cannot write campaign manifest: %s\n", error.what());
+    return 1;
+  }
+  gc_store();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  install_signal_handlers();
+  start_heartbeat_if_requested();
+
   // ---- flag table (everything --help shows is declared right here) ----
   bool list_only = false;
   bool dry_run = false;
@@ -266,6 +516,14 @@ int main(int argc, char** argv) {
   bool gc_requested = false;
   std::uint64_t merge_shards = 0;
   bool merge = false;
+  LaunchConfig launch;
+  bool launch_requested = false;
+  bool launch_parallel_seen = false;
+  bool launch_retries_seen = false;
+  bool launch_timeout_seen = false;
+  bool launch_heartbeat_seen = false;
+  bool launch_backoff_seen = false;
+  bool exec_template_seen = false;
 
   cps::runtime::CliParser cli("cps_run", "[experiment ...|all]");
   cli.add_flag({"--list", "-l"}, &list_only, "enumerate the experiment catalog and exit");
@@ -289,6 +547,35 @@ int main(int argc, char** argv) {
                  "run only shard i of each sweep experiment's index range");
   cli.add_u64({"--merge"}, &merge_shards, "N",
               "merge N shard artifacts under --csv into the canonical CSVs", &merge);
+  cli.add_u64({"--launch"}, &launch.shards, "N",
+              "supervised campaign: run N --shard children of this command with "
+              "retries/timeouts/resume, then merge",
+              &launch_requested);
+  cli.add_flag({"--allow-partial"}, &launch.allow_partial,
+               "with --launch: merge the shards that landed and write "
+               "campaign_manifest.json instead of failing hard");
+  cli.add_u64({"--launch-parallel"}, &launch.parallel, "P",
+              "with --launch: concurrent shard processes (default: min(N, cores))",
+              &launch_parallel_seen);
+  cli.add_u64({"--launch-retries"}, &launch.retries, "K",
+              "with --launch: attempts per shard before permanent failure (default 3)",
+              &launch_retries_seen);
+  cli.add_u64({"--launch-timeout"}, &launch.timeout_seconds, "S",
+              "with --launch: per-attempt wall-clock timeout in seconds, SIGTERM then "
+              "SIGKILL (default 0 = none)",
+              &launch_timeout_seen);
+  cli.add_u64({"--launch-heartbeat"}, &launch.heartbeat_stale_seconds, "S",
+              "with --launch: treat a shard as hung when its heartbeat file is S "
+              "seconds stale (default 0 = off)",
+              &launch_heartbeat_seen);
+  cli.add_u64({"--launch-backoff-ms"}, &launch.backoff_ms, "MS",
+              "with --launch: base retry backoff in milliseconds, doubled per failure "
+              "with deterministic jitter (default 500)",
+              &launch_backoff_seen);
+  cli.add_string({"--exec-template"}, &launch.exec_template, "TPL",
+                 "with --launch: run each shard as `sh -c TPL` with {cmd}/{i}/{n} "
+                 "substituted (e.g. 'ssh worker{i} {cmd}')",
+                 &exec_template_seen);
   cli.add_string({"--store-stats"}, &store_stats_dir, "DIR",
                  "standalone store inspector: per-domain usage report, then exit");
   cli.add_u64({"--store-gc-max-bytes"}, &gc_max_bytes, "N",
@@ -340,6 +627,28 @@ int main(int argc, char** argv) {
       throw CliError("'all' cannot be combined with named experiments");
     if (merge && (context.sharded() || run_all))
       throw CliError("--merge cannot be combined with --shard or 'all'");
+    if (launch_requested) {
+      if (launch.shards < 2 || launch.shards > kMaxShards)
+        throw CliError("--launch needs a shard count in [2, " + std::to_string(kMaxShards) +
+                       "]");
+      if (context.sharded())
+        throw CliError("--launch supervises its own --shard children; they cannot be "
+                       "combined");
+      if (merge) throw CliError("--launch merges automatically; drop --merge");
+      if (run_all)
+        throw CliError("--launch needs shardable sweep experiments; 'all' includes "
+                       "non-shardable ones");
+      if (!scenario_path.empty())
+        throw CliError("--launch cannot be combined with --scenario");
+      if (launch.retries < 1 || launch.retries > 100)
+        throw CliError("--launch-retries must be in [1, 100]");
+      if (launch.parallel > kMaxShards)
+        throw CliError("--launch-parallel must be at most " + std::to_string(kMaxShards));
+    } else if (launch.allow_partial || launch_parallel_seen || launch_retries_seen ||
+               launch_timeout_seen || launch_heartbeat_seen || launch_backoff_seen ||
+               exec_template_seen) {
+      throw CliError("--allow-partial/--launch-*/--exec-template require --launch N");
+    }
     if (!spec_path.empty() && (run_all || !names.empty()))
       throw CliError("--spec declares the experiments to run; positional names and "
                      "'all' cannot be combined with it");
@@ -421,14 +730,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (context.sharded()) {
+  if (context.sharded() || launch_requested) {
     // Sharding partitions sweep index ranges; an experiment that never
     // consults ctx.shard_* would silently run in full on every shard, so
-    // only experiments that declare sweep artifacts accept --shard.
+    // only experiments that declare sweep artifacts accept --shard (and
+    // --launch, which is just supervised --shard children).
     for (const Experiment* experiment : experiments) {
       if (!experiment->shardable()) {
-        std::fprintf(stderr, "cps_run: experiment '%s' does not support --shard\n",
-                     experiment->name().c_str());
+        std::fprintf(stderr, "cps_run: experiment '%s' does not support %s\n",
+                     experiment->name().c_str(), launch_requested ? "--launch" : "--shard");
         return 2;
       }
     }
@@ -452,6 +762,39 @@ int main(int argc, char** argv) {
                    context.csv_dir.c_str(), error.message().c_str());
       return 2;
     }
+  }
+
+  if (launch_requested) {
+    // The children re-run THIS command, reduced to its workload flags
+    // plus a `--shard {i}/{n}` the supervisor substitutes per shard.
+    // Launch-only and post-merge flags (--launch-*, --store-gc-max-bytes)
+    // deliberately do not propagate: the parent owns supervision and GC.
+    std::vector<std::string> child_command;
+    child_command.push_back(argv[0]);
+    if (spec) {
+      child_command.push_back("--spec");
+      child_command.push_back(spec_path);
+    } else {
+      for (const auto& name : names) child_command.push_back(name);
+    }
+    child_command.push_back("--jobs");
+    child_command.push_back(std::to_string(jobs));
+    if (seed_seen) {
+      child_command.push_back("--seed");
+      child_command.push_back(std::to_string(seed_flag));
+    }
+    if (!csv_dir.empty()) {
+      child_command.push_back("--csv");
+      child_command.push_back(csv_dir);
+    }
+    if (!fixture_store_dir.empty()) {
+      child_command.push_back("--fixture-store");
+      child_command.push_back(fixture_store_dir);
+    }
+    child_command.push_back("--shard");
+    child_command.push_back("{i}/{n}");
+    return run_supervised_campaign(experiments, context, launch, child_command,
+                                   fixture_store_dir, gc_requested, gc_max_bytes);
   }
 
   if (!fixture_store_dir.empty()) {
