@@ -7,7 +7,7 @@
 //
 // Branch-and-bound iterations are timed manually on
 // std::chrono::steady_clock (monotonic) and reported as ns/op.
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
 
 #include <chrono>
 
@@ -79,4 +79,4 @@ BENCHMARK(bm_optimal_reference_n12)->UseManualTime()->Unit(benchmark::kNanosecon
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

@@ -2,7 +2,7 @@
 // (Eq. 20) and the exact fixed point (Eq. 5).  The tightness campaign
 // itself is produced by `cps_run ablation_bounds`
 // (src/experiments/ablation_bounds.cpp).
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
 
 #include "analysis/slot_allocation.hpp"
 #include "experiments/fixtures.hpp"
@@ -41,4 +41,4 @@ BENCHMARK(bm_fixed_point);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

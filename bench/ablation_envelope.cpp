@@ -1,7 +1,7 @@
 // Microbenchmark for fitting every envelope family to the synthesized
 // fleet.  The granularity comparison itself is produced by
 // `cps_run ablation_envelope` (src/experiments/ablation_envelope.cpp).
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
 
 #include "core/application.hpp"
 #include "experiments/fixtures.hpp"
@@ -27,4 +27,4 @@ BENCHMARK(bm_fit_all_models);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

@@ -1,7 +1,7 @@
 // Microbenchmarks for the jitter-campaign and transient-growth kernels.
 // The jitter robustness comparison itself is produced by
 // `cps_run ablation_jitter` (src/experiments/ablation_jitter.cpp).
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
 
 #include "analysis/transient.hpp"
 #include "plants/servo_motor.hpp"
@@ -35,4 +35,4 @@ BENCHMARK(bm_transient_growth);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "analysis/slot_allocation.hpp"
+#include "linalg/simd_batch.hpp"
 #include "experiments/fixtures.hpp"
 
 namespace {
@@ -110,8 +111,10 @@ int main(int argc, char** argv) {
   // this binary links no benchmark harness, so both build-type fields
   // mean the project library).
   std::printf("{\n  \"context\": {\"executable\": \"alloc_parallel\", "
-              "\"library_build_type\": \"%s\", \"cps_library_build_type\": \"%s\"},\n",
-              build_type, build_type);
+              "\"library_build_type\": \"%s\", \"cps_library_build_type\": \"%s\", "
+              "\"cps_simd_width\": \"%zu\", \"cps_simd_isa\": \"%s\"},\n",
+              build_type, build_type, cps::linalg::kSimdWidth,
+              cps::linalg::simd_isa_name());
   std::printf("  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < g_results.size(); ++i) {
     std::printf("    {\"name\": \"%s\", \"run_type\": \"iteration\", "

@@ -1,0 +1,25 @@
+// Shared main() for the Google-Benchmark executables: BENCHMARK_MAIN()
+// plus the project context every recorded JSON must carry —
+// cps_simd_width / cps_simd_isa identify the batched-SIMD configuration
+// the numbers were measured under, so tools/bench_compare.py can refuse
+// to diff runs from different lane widths (mirroring the
+// cps_library_build_type field CI injects via --benchmark_context).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "linalg/simd_batch.hpp"
+
+#define CPS_BENCHMARK_MAIN()                                                    \
+  int main(int argc, char** argv) {                                             \
+    benchmark::AddCustomContext("cps_simd_width",                               \
+                                std::to_string(cps::linalg::kSimdWidth));       \
+    benchmark::AddCustomContext("cps_simd_isa", cps::linalg::simd_isa_name());  \
+    benchmark::Initialize(&argc, argv);                                         \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;           \
+    benchmark::RunSpecifiedBenchmarks();                                        \
+    benchmark::Shutdown();                                                      \
+    return 0;                                                                   \
+  }

@@ -43,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "linalg/simd_batch.hpp"
+
 namespace {
 
 constexpr int kIterations = 3;
@@ -224,8 +226,10 @@ int main(int argc, char** argv) {
   // including the build-type fields the debug-snapshot gate checks; this
   // binary links no benchmark harness, so both fields mean the project).
   std::printf("{\n  \"context\": {\"executable\": \"campaign_scaling\", "
-              "\"library_build_type\": \"%s\", \"cps_library_build_type\": \"%s\"},\n",
-              build_type, build_type);
+              "\"library_build_type\": \"%s\", \"cps_library_build_type\": \"%s\", "
+              "\"cps_simd_width\": \"%zu\", \"cps_simd_isa\": \"%s\"},\n",
+              build_type, build_type, cps::linalg::kSimdWidth,
+              cps::linalg::simd_isa_name());
   std::printf("  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < g_results.size(); ++i) {
     std::printf("    {\"name\": \"%s\", \"run_type\": \"iteration\", "

@@ -9,7 +9,7 @@
 // pre-optimization kernel, and experiments::measure_servo_curve is the
 // cached fixture path.  Kernel iterations are timed manually on
 // std::chrono::steady_clock (monotonic) and reported as ns/op.
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
 
 #include <chrono>
 
@@ -101,4 +101,4 @@ BENCHMARK(bm_servo_loop_design)->Unit(benchmark::kNanosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

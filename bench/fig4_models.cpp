@@ -1,6 +1,6 @@
 // Microbenchmarks for the Figure 4 fitting kernels.  The figure itself is
 // produced by `cps_run fig4` (src/experiments/fig4_models.cpp).
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
 
 #include "analysis/dwell_wait_model.hpp"
 #include "experiments/fixtures.hpp"
@@ -30,4 +30,4 @@ BENCHMARK(bm_fit_concave_hull)->Unit(benchmark::kNanosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

@@ -1,7 +1,7 @@
 // Microbenchmarks for the Figure 5 multi-application co-simulation.  The
 // figure itself is produced by `cps_run fig5`
 // (src/experiments/fig5_responses.cpp).
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
 
 #include "core/co_simulation.hpp"
 #include "experiments/fixtures.hpp"
@@ -42,4 +42,4 @@ BENCHMARK(bm_cosim_without_bus);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

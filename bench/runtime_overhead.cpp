@@ -2,7 +2,7 @@
 // overhead, SweepRunner fan-out cost relative to an inline loop, and the
 // FixtureCache hit path.  These bound the fixed cost every parallel
 // experiment pays.
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
 
 #include <cstddef>
 #include <future>
@@ -81,4 +81,4 @@ BENCHMARK(bm_fixture_key_build)->Unit(benchmark::kNanosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

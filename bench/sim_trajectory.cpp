@@ -6,7 +6,10 @@
 // frozen pre-optimization *_reference twin (same FP order, bit-identical
 // outputs — tests/sim_golden_test.cpp), so the committed JSON snapshot
 // records the in-place-kernel speedup on identical work.
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <vector>
 
 #include "analysis/transient.hpp"
 #include "plants/servo_motor.hpp"
@@ -50,6 +53,30 @@ void bm_trajectory_simulate_reference(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_trajectory_simulate_reference)->Unit(benchmark::kNanosecond);
+
+void bm_trajectory_simulate_batch(benchmark::State& state) {
+  // kSimdWidth lockstep trajectories per call on a recycled workspace
+  // (what a sweep loop does: consumed trajectories give their sample
+  // storage back); manual time divides the batch wall time by the lane
+  // count so the reported ns is PER TRAJECTORY, directly comparable to
+  // bm_trajectory_simulate (each lane performs that kernel's exact FP
+  // work — bit-identical samples).
+  const ServoSetup setup;
+  constexpr std::size_t kLanes = linalg::kSimdWidth;
+  const std::vector<linalg::Vector> x0s(kLanes, setup.x0);
+  sim::TrajectoryBatchWorkspace workspace;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto trajs = setup.sys.simulate_batch(x0s.data(), kLanes, ServoSetup::kSwitchStep,
+                                          ServoSetup::kTotalSteps, 0.02, workspace);
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(trajs);
+    state.SetIterationTime(std::chrono::duration<double>(stop - start).count() /
+                           static_cast<double>(kLanes));
+    for (auto& traj : trajs) workspace.recycle(std::move(traj));
+  }
+}
+BENCHMARK(bm_trajectory_simulate_batch)->Unit(benchmark::kNanosecond)->UseManualTime();
 
 /// Jitter settle loop on the servo ET design (the kernel
 /// run_jitter_campaign spins per run).
@@ -104,4 +131,4 @@ BENCHMARK(bm_transient_growth_kernel_reference)->Unit(benchmark::kNanosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

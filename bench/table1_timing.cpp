@@ -1,7 +1,7 @@
 // Microbenchmarks for the Table I pipeline: fleet synthesis and single-app
 // characterization.  The table itself is produced by `cps_run table1`
 // (src/experiments/table1_timing.cpp).
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
 
 #include <algorithm>
 
@@ -44,4 +44,4 @@ BENCHMARK(bm_characterize_one_app)->Unit(benchmark::kNanosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

@@ -1,7 +1,7 @@
 // Microbenchmarks for the Section V schedulability analysis and the
 // first-fit allocator.  The allocation tables themselves are produced by
 // `cps_run table_alloc` (src/experiments/table_allocation.cpp).
-#include <benchmark/benchmark.h>
+#include "bench_common.hpp"
 
 #include "analysis/slot_allocation.hpp"
 #include "experiments/fixtures.hpp"
@@ -42,4 +42,4 @@ BENCHMARK(bm_max_wait_fixed_point);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPS_BENCHMARK_MAIN();

@@ -27,6 +27,19 @@ void check_no_alias(const Matrix& out, const Matrix& a, const char* kernel) {
 
 }  // namespace
 
+namespace detail {
+
+void throw_apply_into_alias() {
+  throw InvalidArgument("apply_into: out must not alias x");
+}
+
+void throw_apply_into_mismatch(std::size_t rows, std::size_t cols, std::size_t size) {
+  throw DimensionMismatch("apply_into: " + std::to_string(rows) + "x" + std::to_string(cols) +
+                          " times vector of size " + std::to_string(size));
+}
+
+}  // namespace detail
+
 void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
   check_no_alias(out, a, "multiply_into");
   check_no_alias(out, b, "multiply_into");

@@ -21,11 +21,8 @@
 // each other (e.g. multiply_into(x, x, out) squares x).
 #pragma once
 
-#include <string>
-
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
-#include "util/error.hpp"
 
 namespace cps::linalg {
 
@@ -52,15 +49,21 @@ void add_identity_into(Matrix& m);
 /// (x + x.transpose()) * 0.5 by commutativity of IEEE addition.
 void symmetrize_in_place(Matrix& x);
 
+namespace detail {
+/// Out-of-line throw paths of apply_into (kernels.cpp): keeping the
+/// string building and throw statements out of the inline hot body keeps
+/// the per-step matvec small enough to stay inlined in simulation loops.
+[[noreturn]] void throw_apply_into_alias();
+[[noreturn]] void throw_apply_into_mismatch(std::size_t rows, std::size_t cols,
+                                            std::size_t size);
+}  // namespace detail
+
 /// out = a * x.  Bit-identical to Matrix::operator*(const Vector&).
 /// Defined inline: this is the one kernel sitting inside every per-step
 /// simulation loop, where the cross-TU call would dominate a 3x3 matvec.
 inline void apply_into(const Matrix& a, const Vector& x, Vector& out) {
-  if (&out == &x) throw InvalidArgument("apply_into: out must not alias x");
-  if (a.cols() != x.size())
-    throw DimensionMismatch("apply_into: " + std::to_string(a.rows()) + "x" +
-                            std::to_string(a.cols()) + " times vector of size " +
-                            std::to_string(x.size()));
+  if (&out == &x) detail::throw_apply_into_alias();
+  if (a.cols() != x.size()) detail::throw_apply_into_mismatch(a.rows(), a.cols(), x.size());
   const std::size_t rows = a.rows();
   const std::size_t cols = a.cols();
   if (out.size() != rows) out = Vector(rows);

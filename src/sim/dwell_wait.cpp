@@ -75,34 +75,65 @@ DwellWaitCurve measure_dwell_wait_curve(const SwitchedLinearSystem& sys,
     throw NumericalError("dwell/wait sweep: ET loop did not settle within the cap");
   const std::size_t sweep_end = std::min(*et_settle, opts.max_wait_steps);
 
-  // Incremental sweep: the ET prefix state A1^w x0 is carried from grid
-  // point to grid point (one multiply per point instead of w), and the TT
-  // settling per point runs on the workspace buffers (caller-reusable
-  // across sweeps).  The per-step arithmetic matches the reference kernel
-  // exactly, so the measured curve is bit-identical.
+  // Incremental batched sweep: the ET prefix state A1^w x0 is carried from
+  // grid point to grid point (one scalar matvec per point instead of w),
+  // and consecutive wait points are gathered linalg::kSimdWidth at a time
+  // into the workspace's SoA lane buffers, whose TT settles then advance
+  // in lockstep (detail::settle_batch) with per-lane early exit.  Each
+  // lane runs the exact floating-point operations of the scalar settle in
+  // the same order, so the curve is bit-identical to
+  // measure_dwell_wait_curve_reference — and independent of the group
+  // boundaries — for every input.  Ragged tails and single-point sweeps
+  // take the scalar settle (the odd-shape fallback).
+  constexpr std::size_t W = linalg::kSimdWidth;
   std::vector<double>& et_state = workspace.et_state;  // A1^w x0 for the current w
   std::vector<double>& tt_state = workspace.tt_state;  // settle scratch: clobbered per point
   std::vector<double>& scratch = workspace.scratch;
+  const std::size_t dim = sys.dimension();
   et_state.assign(x0.data(), x0.data() + x0.size());
+  workspace.batch_state.resize(dim);
+  workspace.batch_scratch.resize(dim);
 
   std::vector<DwellWaitPoint> points;
   points.reserve(sweep_end + 1);
-  for (std::size_t w = 0; w <= sweep_end; ++w) {
-    tt_state = et_state;
-    const auto dwell =
-        detail::settle_in_place(sys.a_tt(), tt_state, scratch, sys.norm_dim(), opts.settling);
-    if (!dwell.has_value())
-      throw NumericalError("dwell/wait sweep: TT loop did not settle within the cap");
+  const auto push_point = [&](std::size_t w, std::size_t dwell) {
     DwellWaitPoint p;
     p.wait_steps = w;
-    p.dwell_steps = *dwell;
+    p.dwell_steps = dwell;
     p.wait_s = static_cast<double>(w) * sampling_period;
-    p.dwell_s = static_cast<double>(*dwell) * sampling_period;
+    p.dwell_s = static_cast<double>(dwell) * sampling_period;
     points.push_back(p);
-    if (w < sweep_end) {
-      detail::apply_into(sys.a_et(), et_state, scratch);
-      et_state.swap(scratch);
+  };
+
+  std::size_t w = 0;
+  std::optional<std::size_t> dwells[W];
+  while (w <= sweep_end) {
+    const std::size_t group = std::min(W, sweep_end - w + 1);
+    if (group == 1) {
+      // Scalar fallback for the one-lane tail (also the whole sweep when
+      // it has a single point).
+      tt_state = et_state;
+      dwells[0] =
+          detail::settle_in_place(sys.a_tt(), tt_state, scratch, sys.norm_dim(), opts.settling);
+    } else {
+      // Lane l holds A1^{w+l} x0: gather the current prefix state, then
+      // advance it scalar — the prefix chain stays the carried recurrence.
+      for (std::size_t l = 0; l < group; ++l) {
+        workspace.batch_state.load_lane(l, et_state.data());
+        if (w + l < sweep_end) {
+          detail::apply_into(sys.a_et(), et_state, scratch);
+          et_state.swap(scratch);
+        }
+      }
+      detail::settle_batch(sys.a_tt(), workspace.batch_state, workspace.batch_scratch,
+                           sys.norm_dim(), opts.settling, group, dwells);
     }
+    for (std::size_t l = 0; l < group; ++l) {
+      if (!dwells[l].has_value())
+        throw NumericalError("dwell/wait sweep: TT loop did not settle within the cap");
+      push_point(w + l, *dwells[l]);
+    }
+    w += group;
   }
   return DwellWaitCurve(sampling_period, std::move(points));
 }

@@ -68,16 +68,19 @@ struct DwellWaitSweepOptions {
 };
 
 /// Reusable scratch of one dwell/wait sweep: the carried ET prefix
-/// state, the per-point TT settle buffer and the shared matvec scratch.
-/// A SweepRunner worker keeps one of these across every curve it
-/// measures (runtime/sweep_runner.hpp, run_with_workspace), so
-/// back-to-back sweeps stop paying the three per-call allocations.  All
-/// contents are fully overwritten per call — results never depend on
-/// what a previous sweep left behind.
+/// state, the per-point TT settle buffer and the shared matvec scratch,
+/// plus the SoA lane buffers of the batched TT settle (linalg::kSimdWidth
+/// wait points per lockstep group).  A SweepRunner worker keeps one of
+/// these across every curve it measures (runtime/sweep_runner.hpp,
+/// run_with_workspace), so back-to-back sweeps stop paying the per-call
+/// allocations.  All contents are fully overwritten per call — results
+/// never depend on what a previous sweep left behind.
 struct DwellWaitWorkspace {
   std::vector<double> et_state;
   std::vector<double> tt_state;
   std::vector<double> scratch;
+  linalg::BatchVec batch_state;
+  linalg::BatchVec batch_scratch;
 };
 
 /// Run the full sweep.  Throws NumericalError when either pure-mode loop

@@ -52,6 +52,59 @@ std::optional<std::size_t> settle_in_place(const linalg::Matrix& a, std::vector<
   return std::nullopt;
 }
 
+void settle_batch(const linalg::Matrix& a, linalg::BatchVec& state, linalg::BatchVec& scratch,
+                  std::size_t norm_dim, const SettlingOptions& opts, std::size_t active,
+                  std::optional<std::size_t>* results) {
+  CPS_ENSURE(opts.threshold > 0.0, "settling: threshold must be positive");
+  CPS_ENSURE(opts.decay_margin > 0.0 && opts.decay_margin < 1.0,
+             "settling: decay margin must be in (0, 1)");
+  constexpr std::size_t W = linalg::kSimdWidth;
+  CPS_ENSURE(active >= 1 && active <= W, "settle_batch: active lanes out of range");
+  CPS_ENSURE(norm_dim <= state.size(), "settle_batch: norm_dim out of range");
+
+  const double stop_level = opts.threshold * opts.decay_margin;
+  std::size_t last_violation[W] = {};
+  bool ever_violated[W] = {};
+  bool done[W] = {};
+  std::size_t pending = active;
+  for (std::size_t l = 0; l < active; ++l) results[l] = std::nullopt;
+
+  for (std::size_t k = 0; k <= opts.max_steps; ++k) {
+    // One W-wide pass over the leading norm_dim components: per lane the
+    // same ascending-index acc += x_i * x_i sum and IEEE sqrt as the
+    // scalar loop, so every extracted norm is bit-identical.
+    linalg::DoubleBatch acc = linalg::DoubleBatch::zero();
+    for (std::size_t i = 0; i < norm_dim; ++i) {
+      const linalg::DoubleBatch xi = linalg::DoubleBatch::load(state.at(i));
+      acc = linalg::DoubleBatch::multiply_add(xi, xi, acc);
+    }
+    double norms[W];
+    linalg::DoubleBatch::sqrt(acc).store(norms);
+
+    // The settle decision is scalar per lane — identical control flow to
+    // settle_in_place, just indexed by lane.
+    for (std::size_t l = 0; l < active; ++l) {
+      if (done[l]) continue;
+      const double norm = norms[l];
+      if (!std::isfinite(norm)) {
+        done[l] = true;  // results[l] stays nullopt
+        --pending;
+      } else if (norm > opts.threshold) {
+        last_violation[l] = k;
+        ever_violated[l] = true;
+      } else if (norm <= stop_level) {
+        results[l] = ever_violated[l] ? last_violation[l] + 1 : 0;
+        done[l] = true;
+        --pending;
+      }
+    }
+    if (pending == 0) return;
+    if (k == opts.max_steps) break;  // unfinished lanes stay nullopt
+    linalg::batch_apply_shared_into(a, state, scratch);
+    state.swap(scratch);
+  }
+}
+
 }  // namespace detail
 
 std::optional<std::size_t> settling_step(const linalg::Matrix& a, const linalg::Vector& x0,

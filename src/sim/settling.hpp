@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <optional>
 
+#include "linalg/batch_kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 #include "sim/switched_system.hpp"
@@ -61,6 +62,23 @@ void apply_into(const linalg::Matrix& a, const std::vector<double>& x, std::vect
 std::optional<std::size_t> settle_in_place(const linalg::Matrix& a, std::vector<double>& state,
                                            std::vector<double>& scratch, std::size_t norm_dim,
                                            const SettlingOptions& opts);
+
+/// Batched settle: `state` holds linalg::kSimdWidth lane-interleaved
+/// states evolving in lockstep under the SHARED matrix `a`, and
+/// results[l] receives, for each of the first `active` lanes, exactly
+/// what settle_in_place would return for that lane's initial state —
+/// bit-identical per lane (same ascending-index norm accumulation, IEEE
+/// sqrt, and matvec order; the settle decisions run per lane on the
+/// extracted norms).  Lanes retire individually as they settle (per-lane
+/// early exit); the loop ends when every active lane has retired or the
+/// step cap is reached.  Retired and inactive lanes keep evolving
+/// harmlessly — their results are already recorded / never read — so the
+/// lockstep advance needs no masking.  `state` and `scratch` are
+/// clobbered.  Zero allocations once both buffers have size
+/// state-dimension (the workspace contract of the dwell/wait sweep).
+void settle_batch(const linalg::Matrix& a, linalg::BatchVec& state, linalg::BatchVec& scratch,
+                  std::size_t norm_dim, const SettlingOptions& opts, std::size_t active,
+                  std::optional<std::size_t>* results);
 
 }  // namespace detail
 

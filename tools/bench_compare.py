@@ -26,6 +26,16 @@ A missing or empty --baseline-dir is not an error: the script explains the
 situation and exits 0 (first run of a new repo / branch without committed
 snapshots), so CI does not fail before any baseline exists.
 
+SIMD-width guard: snapshots record the batched-SIMD lane configuration in
+the context (cps_simd_width / cps_simd_isa).  Comparing runs recorded at
+different widths is meaningless for the batched kernels (per-instance
+ns/op scales with the lane count), so a width mismatch between the
+baseline and fresh sides SKIPS the comparison with a warning and exits 0
+— unless --fail-on is set, in which case the comparison is a hard gate
+and the mismatch is a hard error (exit 2): a gate that silently compared
+across widths could wave a real regression through.  Files without the
+field (pre-SIMD snapshots) never trigger the guard.
+
 Usage:
   python3 tools/bench_compare.py --fresh-dir bench-fresh \
       [--baseline-dir bench/results] [--threshold 1.3] [--fail-on 3.0] \
@@ -58,12 +68,26 @@ def snapshot_build_type(context):
     return context.get("library_build_type")
 
 
-def load_benchmarks(directory, debug_files=None):
+def snapshot_simd_width(context):
+    """The cps_simd_width a bench JSON was recorded at, or None.
+
+    Google Benchmark stores AddCustomContext entries as top-level context
+    strings; the self-JSON benches emit the field directly.  Pre-SIMD
+    snapshots lack it — None means "unknown", which never triggers the
+    width-mismatch guard.
+    """
+    width = context.get("cps_simd_width")
+    return None if width is None else str(width)
+
+
+def load_benchmarks(directory, debug_files=None, widths=None):
     """Map benchmark name -> real_time (ns) across all JSON files in a dir.
 
     When `debug_files` is a list, any file recorded from a debug build
     (see snapshot_build_type) is appended to it — debug numbers must
     never enter the regression gate on either side (see main()).
+    When `widths` is a dict, each file recording a cps_simd_width maps
+    path -> width in it, feeding the width-mismatch guard.
     """
     results = {}
     for path in sorted(glob.glob(os.path.join(directory, "*.json"))):
@@ -75,6 +99,10 @@ def load_benchmarks(directory, debug_files=None):
             continue
         if debug_files is not None and snapshot_build_type(data.get("context", {})) == "debug":
             debug_files.append(path)
+        if widths is not None:
+            width = snapshot_simd_width(data.get("context", {}))
+            if width is not None:
+                widths[path] = width
         for bench in data.get("benchmarks", []):
             name = bench.get("name")
             time = bench.get("real_time")
@@ -120,17 +148,39 @@ def main():
               f"snapshots there to enable the regression gate)")
         return 0
     debug_files = []
-    baseline = load_benchmarks(args.baseline_dir, debug_files)
+    baseline_widths = {}
+    fresh_widths = {}
+    baseline = load_benchmarks(args.baseline_dir, debug_files, baseline_widths)
     if not baseline:
         print(f"note: no benchmark JSON under '{args.baseline_dir}'; nothing to "
               f"compare against — skipping (commit BENCH_*.json snapshots "
               f"there to enable the regression gate)")
         return 0
-    fresh = load_benchmarks(args.fresh_dir, debug_files)
+    fresh = load_benchmarks(args.fresh_dir, debug_files, fresh_widths)
     if not fresh:
         print(f"error: no benchmarks found under {args.fresh_dir} — did the "
               f"bench step run and write its JSON there?", file=sys.stderr)
         return 2
+
+    widths_seen = set(baseline_widths.values()) | set(fresh_widths.values())
+    if len(widths_seen) > 1:
+        detail = "; ".join(
+            f"{os.path.basename(path)}: width {width}"
+            for path, width in sorted({**baseline_widths, **fresh_widths}.items()))
+        message = (f"SIMD width mismatch between bench snapshots "
+                   f"({', '.join(sorted(widths_seen))}): per-instance ns/op is "
+                   f"not comparable across lane widths ({detail})")
+        if args.fail_on is not None:
+            # The hard gate must not silently compare apples to oranges —
+            # a cross-width ratio could mask a real regression.
+            print(f"error: {message}", file=sys.stderr)
+            if args.github:
+                print(f"::error title=bench SIMD width mismatch::{message}")
+            return 2
+        print(f"warning: {message} — skipping the comparison", file=sys.stderr)
+        if args.github:
+            print(f"::warning title=bench SIMD width mismatch::{message}")
+        return 0
     if debug_files:
         # A debug-build snapshot poisons every ratio in the table (debug
         # ns/op are 5-20x Release), so this is a hard error on either

@@ -83,6 +83,7 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/simd_batch.hpp"
 #include "online/scenario.hpp"
 #include "runtime/campaign_spec.hpp"
 #include "runtime/cli.hpp"
@@ -305,6 +306,8 @@ int run_experiments(const std::vector<const Experiment*>& experiments,
     }
   }
   const auto cache = cps::runtime::FixtureCache::instance().stats();
+  std::fprintf(context.out, "[cps_run] simd: width=%zu isa=%s\n", cps::linalg::kSimdWidth,
+               cps::linalg::simd_isa_name());
   std::fprintf(context.out, "[cps_run] fixture cache: %zu hits, %zu misses, %zu entries\n",
                cache.hits, cache.misses, cache.entries);
   if (const auto store = cps::runtime::FixtureCache::instance().store()) {
