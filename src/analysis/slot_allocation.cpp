@@ -477,8 +477,10 @@ struct SearchFacts {
 class CountProver {
  public:
   CountProver(SlotFeasibility& engine, const SearchFacts& facts,
-              runtime::SharedIncumbent& incumbent)
-      : engine_(engine), facts_(facts), incumbent_(incumbent), n_(facts.n) {}
+              runtime::SharedIncumbent& incumbent,
+              const std::atomic<bool>* cancel = nullptr)
+      : engine_(engine), facts_(facts), incumbent_(incumbent), n_(facts.n),
+        cancel_(cancel) {}
 
   /// Prove from the root (sequential path).
   void prove() {
@@ -508,6 +510,12 @@ class CountProver {
 
   void dfs(SearchState& state, std::size_t i) {
     ++visited_;
+    // Cooperative cancellation: a relaxed flag poll every 32 nodes keeps
+    // the check off the profile while bounding the latency between a
+    // deadline expiring and the search abandoning (node cost times 32).
+    if (cancel_ != nullptr && (visited_ & 31u) == 0 &&
+        cancel_->load(std::memory_order_relaxed))
+      throw CancelledError("optimal_allocate: bound proving cancelled");
     if (state.blocks.size() >= incumbent_.load()) return;
     if (facts_.lower_bound_at(i, state) >= incumbent_.load()) return;
     if (i == n_) {
@@ -563,6 +571,7 @@ class CountProver {
   runtime::SharedIncumbent& incumbent_;
   std::size_t n_;
   std::size_t visited_ = 0;
+  const std::atomic<bool>* cancel_ = nullptr;
   std::vector<std::size_t> candidate_;
 };
 
@@ -634,10 +643,11 @@ constexpr std::size_t kMinAppsForParallelProve = 10;
 /// in which incumbent improvements arrive.
 std::size_t prove_optimal_count(const std::vector<AppSchedParams>& apps,
                                 SlotFeasibility& engine, const SearchFacts& facts,
-                                std::size_t upper_bound, int jobs) {
+                                std::size_t upper_bound, int jobs,
+                                const std::atomic<bool>* cancel) {
   runtime::SharedIncumbent incumbent(upper_bound);
   if (jobs <= 1 || facts.n < kMinAppsForParallelProve) {
-    CountProver prover(engine, facts, incumbent);
+    CountProver prover(engine, facts, incumbent, cancel);
     prover.prove();
     return incumbent.load();
   }
@@ -645,9 +655,12 @@ std::size_t prove_optimal_count(const std::vector<AppSchedParams>& apps,
   runtime::ParallelSearch search({jobs});
   search.map(frontier.size(), [&](std::size_t t) {
     // Per-task feasibility engine: the facts are identical (same inputs,
-    // same construction), only the memo is task-private.
+    // same construction), only the memo is task-private.  A task that
+    // observes the cancel flag throws CancelledError, which map()
+    // rethrows after cancelling the pending subtree tasks — the reused
+    // interrupt machinery of the parallel search.
     SlotFeasibility task_engine(apps, facts.method);
-    CountProver prover(task_engine, facts, incumbent);
+    CountProver prover(task_engine, facts, incumbent, cancel);
     prover.prove_from(frontier[t].state, frontier[t].next_app);
     return prover.visited();
   });
@@ -664,8 +677,9 @@ std::size_t prove_optimal_count(const std::vector<AppSchedParams>& apps,
 /// makes the returned Allocation independent of exact_jobs.
 class WitnessSearch {
  public:
-  WitnessSearch(SlotFeasibility& engine, const SearchFacts& facts)
-      : engine_(engine), facts_(facts), n_(facts.n) {}
+  WitnessSearch(SlotFeasibility& engine, const SearchFacts& facts,
+                const std::atomic<bool>* cancel = nullptr)
+      : engine_(engine), facts_(facts), n_(facts.n), cancel_(cancel) {}
 
   std::vector<std::vector<std::size_t>> find(std::size_t optimal_count) {
     bound_ = optimal_count + 1;
@@ -679,6 +693,10 @@ class WitnessSearch {
  private:
   void dfs(SearchState& state, std::size_t i) {
     if (found_) return;
+    ++visited_;
+    if (cancel_ != nullptr && (visited_ & 31u) == 0 &&
+        cancel_->load(std::memory_order_relaxed))
+      throw CancelledError("optimal_allocate: witness reconstruction cancelled");
     if (state.blocks.size() >= bound_) return;
     if (facts_.lower_bound_at(i, state) >= bound_) return;
     if (i == n_) {
@@ -719,7 +737,9 @@ class WitnessSearch {
   const SearchFacts& facts_;
   std::size_t n_;
   std::size_t bound_ = 0;
+  std::size_t visited_ = 0;
   bool found_ = false;
+  const std::atomic<bool>* cancel_ = nullptr;
   std::vector<std::vector<std::size_t>> result_;
   std::vector<std::size_t> candidate_;
 };
@@ -805,9 +825,10 @@ Allocation optimal_allocate(std::vector<AppSchedParams> apps, const AllocationOp
     upper = options.warm_incumbent;
   std::size_t optimal_count = upper;
   if (upper > facts.total_lb)
-    optimal_count = prove_optimal_count(apps, engine, facts, upper, options.exact_jobs);
+    optimal_count = prove_optimal_count(apps, engine, facts, upper, options.exact_jobs,
+                                        options.cancel);
   if (optimal_count < seed.size())
-    best = WitnessSearch(engine, facts).find(optimal_count);
+    best = WitnessSearch(engine, facts, options.cancel).find(optimal_count);
 
   if (options.max_slots != 0 && best.size() > options.max_slots)
     throw InfeasibleError("optimal allocation still exceeds the available " +

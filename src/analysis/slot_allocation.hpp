@@ -8,6 +8,7 @@
 // remains schedulable; open a new slot when none fits.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -55,6 +56,18 @@ struct AllocationOptions {
   /// contract violation (the witness reconstruction would fail loudly).
   /// 0 = cold start.
   std::size_t warm_incumbent = 0;
+  /// Cooperative cancellation for optimal_allocate's exact search: when
+  /// non-null, the bound-proving and witness passes poll the flag every
+  /// few dozen expanded nodes and throw cps::CancelledError once it
+  /// reads true (the cps_serve daemon sets it when a per-request
+  /// deadline expires, so a pathological exact query returns
+  /// deadline_exceeded instead of starving the worker pool).  Under
+  /// exact_jobs > 1 the throw propagates through
+  /// runtime::ParallelSearch::map, which cancels the pending subtree
+  /// tasks.  A search that completes without observing the flag is
+  /// unaffected — cancellation changes time, never answers.  Ignored by
+  /// the heuristics (they are allocation-free fast paths).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// First-fit allocation (the paper's heuristic).  Applications may be

@@ -345,6 +345,14 @@ std::shared_ptr<const std::vector<plants::SchedFleet>> sched_fleet_batch(
       });
 }
 
+std::shared_ptr<const control::HybridLoopDesign> paper_loop_design(std::size_t index) {
+  const auto fleet = paper_fleet();
+  CPS_ENSURE(index < fleet->size(),
+             "paper_loop_design: index past the synthesized fleet");
+  const auto& item = (*fleet)[index];
+  return cached_design(item.plant, item.spec);
+}
+
 std::vector<core::ControlApplication> build_paper_fleet() {
   std::vector<core::ControlApplication> apps;
   const auto fleet = paper_fleet();

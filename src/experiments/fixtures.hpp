@@ -59,6 +59,13 @@ std::shared_ptr<const std::vector<plants::SynthesizedApp>> extra_fleet(std::size
 std::shared_ptr<const std::vector<plants::SchedFleet>> sched_fleet_batch(
     const plants::FleetSynthesisSpec& spec, std::size_t trials, std::uint64_t batch_seed);
 
+/// The cached two-mode loop design of paper-fleet application `index`
+/// (0-based synthesis order; throws InvalidArgument past the fleet).
+/// The warm path of cps_serve's loop-design query: fleet and design both
+/// come from the two-level FixtureCache, so a resident server answers
+/// from memory after the first request.
+std::shared_ptr<const control::HybridLoopDesign> paper_loop_design(std::size_t index);
+
 /// Build the six case-study ControlApplications from the synthesized
 /// fleet (cached fleet + cached hybrid loop designs; the applications
 /// themselves are fresh mutable copies).

@@ -1,0 +1,65 @@
+// Deterministic jittered exponential backoff, shared by every retry loop
+// in the runtime (the PR-8 campaign supervisor, the cps_query client's
+// overloaded-retry loop).
+//
+// The schedule is a PURE FUNCTION of (policy, stream, failed_attempts):
+//
+//   delay  = min(base * factor^(attempts-1), max) * jitter
+//   jitter = uniform in [0.5, 1.5), derived from splitmix64 over
+//            (seed, stream, attempts)
+//
+// so the same inputs give the same delays on every platform — which is
+// what makes supervisor behavior reproducible under test, and what keeps
+// a fleet of retrying clients decorrelated (each stream gets its own
+// jitter sequence) without any shared randomness.  This header is the
+// single home of that math; runtime/supervisor.hpp's
+// backoff_delay_seconds() is a thin wrapper over it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace cps::runtime {
+
+/// Knobs of one backoff schedule.  Defaults match the supervisor's.
+struct BackoffPolicy {
+  double base_seconds = 0.5;   ///< first-retry delay before jitter
+  double factor = 2.0;         ///< per-failure multiplier
+  double max_seconds = 30.0;   ///< cap applied before jitter
+  std::uint64_t seed = 0x5EED5EEDULL;  ///< decorrelation seed
+};
+
+/// The splitmix64 mixer (Steele et al.) the jitter derives from; exposed
+/// because tests pin the schedule bit-for-bit.
+inline std::uint64_t backoff_splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The deterministic retry delay after `failed_attempts` (>= 1) failures
+/// on `stream` (a shard index, a client request slot — anything that
+/// should retry on its own decorrelated schedule): capped exponential
+/// backoff times a [0.5, 1.5) jitter that depends only on
+/// (policy.seed, stream, failed_attempts).
+inline double backoff_delay(const BackoffPolicy& policy, std::size_t stream,
+                            int failed_attempts) {
+  CPS_ENSURE(failed_attempts >= 1, "backoff_delay: needs >= 1 failed attempt");
+  double delay = policy.base_seconds;
+  for (int i = 1; i < failed_attempts; ++i) delay *= policy.factor;
+  delay = std::min(delay, policy.max_seconds);
+  // Jitter decorrelates retry storms across streams without breaking
+  // reproducibility: the factor is a pure function of (seed, stream,
+  // attempt), uniform in [0.5, 1.5).
+  const std::uint64_t h =
+      backoff_splitmix64(policy.seed ^ (0x9E37u + stream) ^
+                         (static_cast<std::uint64_t>(failed_attempts) << 32));
+  const double jitter = 0.5 + static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return delay * jitter;
+}
+
+}  // namespace cps::runtime

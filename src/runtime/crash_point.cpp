@@ -3,11 +3,12 @@
 #include <signal.h>
 #include <unistd.h>
 
-#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
 #include <string>
+
+#include "util/signal_safe.hpp"
 
 namespace cps::runtime {
 
@@ -36,9 +37,19 @@ void crash_point(const char* site) {
   }
   if (hit != count) return;
 
-  std::fprintf(stderr, "[crash-injection] CPS_CRASH_AT=%s: killing pid %d at site '%s' (hit %ld)\n",
-               spec, static_cast<int>(::getpid()), site, hit);
-  std::fflush(stderr);
+  // Raw writes only: a crash point may sit in a forked child of a
+  // multithreaded process (the supervisor's shards), where stdio locks
+  // can be held by threads that do not exist — fprintf could deadlock
+  // the very process the test is about to kill.
+  util::safe_write_str(STDERR_FILENO, "[crash-injection] CPS_CRASH_AT=");
+  util::safe_write_str(STDERR_FILENO, spec);
+  util::safe_write_str(STDERR_FILENO, ": killing pid ");
+  util::safe_write_dec(STDERR_FILENO, static_cast<long long>(::getpid()));
+  util::safe_write_str(STDERR_FILENO, " at site '");
+  util::safe_write_str(STDERR_FILENO, site);
+  util::safe_write_str(STDERR_FILENO, "' (hit ");
+  util::safe_write_dec(STDERR_FILENO, hit);
+  util::safe_write_str(STDERR_FILENO, ")\n");
   ::kill(::getpid(), SIGKILL);
   // SIGKILL cannot be caught; pause until it lands so no code below a
   // crash point ever executes.

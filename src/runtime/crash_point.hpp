@@ -27,6 +27,12 @@
 //                       renamed to its final shard path
 //   meta_publish        write_shard_meta, sidecar temp complete but not
 //                       yet renamed (CSV published, provenance missing)
+//   serve_ready         cps_serve, sockets bound and workers running but
+//                       the --ready-file not yet published (a daemon that
+//                       dies before anyone could have connected)
+//   serve_drain         cps_serve, drain begun (accepting stopped) but
+//                       in-flight requests and the stats flush still
+//                       pending (a daemon that dies mid-shutdown)
 #pragma once
 
 namespace cps::runtime {

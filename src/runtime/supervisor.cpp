@@ -17,7 +17,9 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/backoff.hpp"
 #include "util/error.hpp"
+#include "util/signal_safe.hpp"
 
 namespace cps::runtime {
 
@@ -66,13 +68,6 @@ std::string log_tail(const std::string& path) {
   std::string tail;
   for (const auto& kept : lines) tail += "\n      | " + kept;
   return tail;
-}
-
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
 }
 
 /// Atomic small-file publication (same contract as the shard layer's).
@@ -144,17 +139,15 @@ struct ShardState {
 
 double backoff_delay_seconds(const SupervisorOptions& options, std::size_t shard,
                              int failed_attempts) {
-  CPS_ENSURE(failed_attempts >= 1, "backoff_delay_seconds: needs >= 1 failed attempt");
-  double delay = options.backoff_base_seconds;
-  for (int i = 1; i < failed_attempts; ++i) delay *= options.backoff_factor;
-  delay = std::min(delay, options.backoff_max_seconds);
-  // Jitter decorrelates retry storms across shards without breaking
-  // reproducibility: the factor is a pure function of (seed, shard,
-  // attempt), uniform in [0.5, 1.5).
-  const std::uint64_t h = splitmix64(options.backoff_seed ^ (0x9E37u + shard) ^
-                                     (static_cast<std::uint64_t>(failed_attempts) << 32));
-  const double jitter = 0.5 + static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
-  return delay * jitter;
+  // The math lives in runtime/backoff.hpp (shared with the cps_query
+  // retry loop); this wrapper only maps the option fields, so the
+  // supervisor's schedule is bit-identical to what it always was.
+  BackoffPolicy policy;
+  policy.base_seconds = options.backoff_base_seconds;
+  policy.factor = options.backoff_factor;
+  policy.max_seconds = options.backoff_max_seconds;
+  policy.seed = options.backoff_seed;
+  return backoff_delay(policy, shard, failed_attempts);
 }
 
 ShardSupervisor::ShardSupervisor(std::vector<std::string> shard_command,
@@ -265,8 +258,14 @@ SupervisorReport ShardSupervisor::run() {
       else
         ::unsetenv("CPS_CRASH_AT");
       ::execvp(argv[0], argv.data());
-      std::fprintf(stderr, "ShardSupervisor: exec '%s' failed: %s\n", argv[0],
-                   std::strerror(errno));
+      // Forked child of a multithreaded parent: stdio locks may be held
+      // by threads that do not exist here, so report with raw writes
+      // only (util/signal_safe.hpp), never fprintf.
+      util::safe_write_str(STDERR_FILENO, "ShardSupervisor: exec '");
+      util::safe_write_str(STDERR_FILENO, argv[0]);
+      util::safe_write_str(STDERR_FILENO, "' failed: errno ");
+      util::safe_write_dec(STDERR_FILENO, errno);
+      util::safe_write_str(STDERR_FILENO, "\n");
       ::_exit(127);
     }
     if (log_fd >= 0) ::close(log_fd);

@@ -141,7 +141,8 @@ struct SupervisorReport {
 /// of `shard`: capped exponential backoff times a [0.5, 1.5) jitter that
 /// depends only on (options.backoff_seed, shard, failed_attempts) — same
 /// inputs, same schedule, which is what makes supervisor behavior
-/// reproducible under test.
+/// reproducible under test.  A thin wrapper over runtime/backoff.hpp's
+/// backoff_delay(), the shared schedule every runtime retry loop uses.
 double backoff_delay_seconds(const SupervisorOptions& options, std::size_t shard,
                              int failed_attempts);
 

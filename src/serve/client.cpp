@@ -1,0 +1,119 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace cps::serve {
+
+QueryClient::QueryClient(ClientOptions options) : timeout_ms_(options.timeout_ms) {
+  if (options.tcp_port > 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    CPS_ENSURE(fd_ >= 0, "cps_query: socket(AF_INET) failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options.tcp_port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw Error("cps_query: cannot connect to 127.0.0.1:" +
+                  std::to_string(options.tcp_port) + ": " + std::strerror(saved));
+    }
+  } else {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    CPS_ENSURE(fd_ >= 0, "cps_query: socket(AF_UNIX) failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    CPS_ENSURE(options.socket_path.size() < sizeof(addr.sun_path),
+               "cps_query: socket path too long for AF_UNIX");
+    std::memcpy(addr.sun_path, options.socket_path.c_str(),
+                options.socket_path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw Error("cps_query: cannot connect to " + options.socket_path + ": " +
+                  std::strerror(saved));
+    }
+  }
+}
+
+QueryClient::~QueryClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void QueryClient::send_all(const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms_);
+    if (ready == 0) throw Error("cps_query: send timed out");
+    if (ready < 0 && errno != EINTR)
+      throw Error(std::string("cps_query: poll(send) failed: ") + std::strerror(errno));
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw Error(std::string("cps_query: send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void QueryClient::recv_all(char* data, std::size_t size) {
+  std::size_t received = 0;
+  while (received < size) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms_);
+    if (ready == 0) throw Error("cps_query: receive timed out");
+    if (ready < 0 && errno != EINTR)
+      throw Error(std::string("cps_query: poll(recv) failed: ") + std::strerror(errno));
+    const ssize_t n = ::read(fd_, data + received, size - received);
+    if (n == 0) throw Error("cps_query: server closed the connection mid-frame");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw Error(std::string("cps_query: read failed: ") + std::strerror(errno));
+    }
+    received += static_cast<std::size_t>(n);
+  }
+}
+
+Reply QueryClient::call(Opcode opcode, std::string_view payload,
+                        std::uint32_t deadline_ms) {
+  FrameHeader request;
+  request.kind = static_cast<std::uint16_t>(opcode);
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  const std::string frame = encode_frame(request, payload);
+  send_all(frame.data(), frame.size());
+
+  char header_bytes[kHeaderSize];
+  recv_all(header_bytes, kHeaderSize);
+  Reply reply;
+  const HeaderError framing = decode_header(
+      std::string_view(header_bytes, kHeaderSize), kMaxPayloadBytes, reply.header);
+  if (framing == HeaderError::kBadMagic)
+    throw Error("cps_query: response is not a protocol frame");
+  if (framing == HeaderError::kOversizedPayload)
+    throw Error("cps_query: response payload exceeds the protocol cap");
+  if (framing == HeaderError::kBadVersion)
+    throw Error("cps_query: response speaks protocol version " +
+                std::to_string(reply.header.version) + ", client speaks " +
+                std::to_string(kProtocolVersion));
+  if (reply.header.request_id != request.request_id)
+    throw Error("cps_query: response request_id mismatch");
+  reply.payload.resize(reply.header.payload_size);
+  if (reply.header.payload_size > 0)
+    recv_all(reply.payload.data(), reply.header.payload_size);
+  return reply;
+}
+
+}  // namespace cps::serve

@@ -1,0 +1,65 @@
+// Blocking client for the cps_serve frame protocol: one connection, one
+// outstanding request at a time (request_ids still increment, so a
+// pipelining client could be built on the same frames).  Used by the
+// cps_query CLI, the serve tests and bench/serve_qps.cpp.
+//
+// Transport errors (connect/read/write failures, timeouts, a server
+// that closes mid-frame) throw cps::Error; protocol-level outcomes —
+// kOverloaded sheds, kDeadlineExceeded, kBadRequest — are NOT errors
+// here, they come back as the Reply status for the caller to act on
+// (cps_query retries sheds with runtime/backoff.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+namespace cps::serve {
+
+/// Where and how to connect.
+struct ClientOptions {
+  /// Unix-domain socket path (used when tcp_port == 0).
+  std::string socket_path;
+  /// When > 0, connect to 127.0.0.1:tcp_port instead of the Unix socket.
+  int tcp_port = 0;
+  /// Transport timeout per send/receive (distinct from the per-request
+  /// deadline_ms, which the SERVER enforces on the query itself).
+  int timeout_ms = 10000;
+};
+
+/// One decoded response frame.
+struct Reply {
+  FrameHeader header;
+  std::string payload;
+
+  Status status() const { return static_cast<Status>(header.kind); }
+  bool ok() const { return status() == Status::kOk; }
+};
+
+/// RAII connection to a cps_serve daemon.
+class QueryClient {
+ public:
+  /// Connects immediately; throws cps::Error when the daemon is not
+  /// reachable.
+  explicit QueryClient(ClientOptions options);
+  ~QueryClient();
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  /// Send one request and block for its response.  `deadline_ms` is the
+  /// server-side budget stamped into the frame header (0 = none).
+  Reply call(Opcode opcode, std::string_view payload, std::uint32_t deadline_ms = 0);
+
+ private:
+  void send_all(const char* data, std::size_t size);
+  void recv_all(char* data, std::size_t size);
+
+  int fd_ = -1;
+  int timeout_ms_ = 10000;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace cps::serve

@@ -1,0 +1,81 @@
+#include "serve/protocol.hpp"
+
+namespace cps::serve {
+
+namespace {
+
+void put_u16(std::uint16_t value, std::string& out) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void put_u32(std::uint32_t value, std::string& out) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+void put_u64(std::uint64_t value, std::string& out) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+std::uint64_t get_le(const unsigned char* bytes, std::size_t count) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < count; ++i)
+    value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return value;
+}
+
+}  // namespace
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kShuttingDown: return "shutting_down";
+    case Status::kInternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+void encode_header(const FrameHeader& header, std::string& out) {
+  out.reserve(out.size() + kHeaderSize);
+  put_u32(kMagic, out);
+  put_u16(header.version, out);
+  put_u16(header.kind, out);
+  put_u64(header.request_id, out);
+  put_u32(header.deadline_ms, out);
+  put_u32(header.payload_size, out);
+}
+
+std::string encode_frame(const FrameHeader& header, std::string_view payload) {
+  FrameHeader stamped = header;
+  stamped.payload_size = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  encode_header(stamped, frame);
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+HeaderError decode_header(std::string_view bytes, std::uint32_t max_payload,
+                          FrameHeader& header) {
+  const auto* raw = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (bytes.size() < kHeaderSize || get_le(raw, 4) != kMagic)
+    return HeaderError::kBadMagic;
+  header.version = static_cast<std::uint16_t>(get_le(raw + 4, 2));
+  header.kind = static_cast<std::uint16_t>(get_le(raw + 6, 2));
+  header.request_id = get_le(raw + 8, 8);
+  header.deadline_ms = static_cast<std::uint32_t>(get_le(raw + 16, 4));
+  header.payload_size = static_cast<std::uint32_t>(get_le(raw + 20, 4));
+  // Size before version: an oversized frame must drop the connection
+  // even when it also claims a wrong version, or a garbage client could
+  // force the server to buffer max_payload bytes just to answer it.
+  if (header.payload_size > max_payload) return HeaderError::kOversizedPayload;
+  if (header.version != kProtocolVersion) return HeaderError::kBadVersion;
+  return HeaderError::kNone;
+}
+
+}  // namespace cps::serve

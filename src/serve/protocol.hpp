@@ -1,0 +1,119 @@
+// The cps_serve wire protocol: small, length-prefixed, versioned binary
+// frames on top of the util/serialize codecs.
+//
+// Every message — request or response — is one frame:
+//
+//   offset  size  field         notes
+//   ------  ----  ------------  ------------------------------------------
+//        0     4  magic         0x43505351 ("QSPC" on the wire, LE)
+//        4     2  version       kProtocolVersion; mismatches are rejected
+//                               with Status::kBadRequest before the
+//                               payload is even read
+//        6     2  kind          request: an Opcode; response: a Status
+//        8     8  request_id    chosen by the client, echoed verbatim in
+//                               the response (pipelining / load tools)
+//       16     4  deadline_ms   request: per-request deadline budget in
+//                               milliseconds, 0 = none; response: 0
+//       20     4  payload_size  bytes following the header;
+//                               > max_payload() is a framing error
+//       24     -  payload       BinaryWriter-encoded, per-opcode layout
+//                               (serve/queries.hpp)
+//
+// All integers little-endian regardless of host order (same convention
+// as util/serialize.hpp).  The header is fixed-size so a reader can
+// validate magic/version/size before committing any payload memory —
+// that is what lets the server drop garbage and slow-loris clients
+// cheaply: a bad magic or an oversized payload_size kills the
+// connection without reading another byte.
+//
+// Error taxonomy on the response side (Status):
+//   kOk                the payload is the query's answer
+//   kBadRequest        undecodable payload, unknown opcode, or version
+//                      skew; payload = one diagnostic string
+//   kOverloaded        admission control shed the request (bounded queue
+//                      full); payload = one diagnostic string.  The
+//                      machine-readable retry signal — cps_query backs
+//                      off (runtime/backoff.hpp) and retries on it
+//   kDeadlineExceeded  the deadline_ms budget expired before (or while)
+//                      the query ran; payload = one diagnostic string
+//   kShuttingDown      the daemon is draining; payload = one string
+//   kInternalError     the query threw; payload = one diagnostic string
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cps::serve {
+
+/// First four bytes of every frame ("QSPC" on the wire).
+inline constexpr std::uint32_t kMagic = 0x43505351u;
+
+/// Bump on any header or payload layout change; the server answers a
+/// mismatched frame with Status::kBadRequest naming both versions.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Fixed frame-header size in bytes.
+inline constexpr std::size_t kHeaderSize = 24;
+
+/// Hard cap on payload_size (requests and responses): frames beyond it
+/// are a framing error and the connection is dropped.  Bounds per-
+/// connection memory no matter what a client claims it will send.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+/// Request opcodes (header `kind` on the request side).
+enum class Opcode : std::uint16_t {
+  kPing = 1,        ///< liveness/latency probe; echoes its payload
+  kCurve = 2,       ///< servo dwell/wait curve characteristics
+  kLoopDesign = 3,  ///< hybrid loop design facts for one fleet app
+  kAllocate = 4,    ///< ff/bf/exact slot allocation of a synthesized fleet
+  kSchedCheck = 5,  ///< one-slot schedulability verdict of a fleet
+  kStats = 6,       ///< server counters (admission, deadlines, cache)
+};
+
+/// Response statuses (header `kind` on the response side).
+enum class Status : std::uint16_t {
+  kOk = 0,
+  kBadRequest = 1,
+  kOverloaded = 2,
+  kDeadlineExceeded = 3,
+  kShuttingDown = 4,
+  kInternalError = 5,
+};
+
+/// Stable lower-case name of a status ("ok", "overloaded", ...), for
+/// logs and the cps_query output.
+const char* status_name(Status status);
+
+/// Decoded frame header (see the layout table above).
+struct FrameHeader {
+  std::uint16_t version = kProtocolVersion;
+  std::uint16_t kind = 0;           ///< Opcode or Status
+  std::uint64_t request_id = 0;
+  std::uint32_t deadline_ms = 0;
+  std::uint32_t payload_size = 0;
+};
+
+/// Append the 24 header bytes for `header` to `out`.
+void encode_header(const FrameHeader& header, std::string& out);
+
+/// One whole frame: header bytes + payload.
+std::string encode_frame(const FrameHeader& header, std::string_view payload);
+
+/// Outcome of decode_header on exactly kHeaderSize bytes.
+enum class HeaderError {
+  kNone = 0,        ///< header decoded; version/size not yet judged
+  kBadMagic,        ///< not a protocol frame: drop the connection
+  kBadVersion,      ///< frame-shaped but wrong version: answer kBadRequest
+  kOversizedPayload,  ///< payload_size > max payload: drop the connection
+};
+
+/// Decode `bytes` (which must hold >= kHeaderSize bytes) into `header`.
+/// Never throws: framing errors are return values because they decide
+/// connection fate, not exception flow.  `max_payload` caps
+/// payload_size (pass kMaxPayloadBytes or a smaller server limit).
+HeaderError decode_header(std::string_view bytes, std::uint32_t max_payload,
+                          FrameHeader& header);
+
+}  // namespace cps::serve

@@ -1,0 +1,412 @@
+#include "serve/queries.hpp"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "analysis/schedulability.hpp"
+#include "analysis/slot_allocation.hpp"
+#include "experiments/fixtures.hpp"
+#include "plants/fleet_synthesis.hpp"
+#include "util/error.hpp"
+
+namespace cps::serve {
+
+namespace {
+
+void check_cancel(const QueryContext& context, const char* what) {
+  if (context.cancel != nullptr && context.cancel->load(std::memory_order_relaxed))
+    throw CancelledError(what);
+}
+
+analysis::MaxWaitMethod method_from(std::uint64_t method) {
+  if (method == 0) return analysis::MaxWaitMethod::kClosedFormBound;
+  if (method == 1) return analysis::MaxWaitMethod::kFixedPoint;
+  throw InvalidArgument("method must be 0 (closed-form bound) or 1 (fixed point)");
+}
+
+plants::FleetSynthesisSpec to_spec(const FleetQuery& query) {
+  plants::FleetSynthesisSpec spec;
+  spec.n_apps = static_cast<std::size_t>(query.n_apps);
+  spec.target_utilization = query.target_utilization;
+  spec.max_app_utilization = query.max_app_utilization;
+  spec.period_lo = query.period_lo;
+  spec.period_hi = query.period_hi;
+  spec.deadline_frac_lo = query.deadline_frac_lo;
+  spec.deadline_frac_hi = query.deadline_frac_hi;
+  return spec;  // families: generator default (all three, equal weight)
+}
+
+/// The warm fleet draw behind kAllocate / kSchedCheck: a one-trial batch
+/// through the two-level FixtureCache, so repeated queries for the same
+/// (spec, seed) hit memory and restarted daemons hit the store.
+std::vector<analysis::AppSchedParams> fleet_params(const FleetQuery& query) {
+  const auto batch = experiments::sched_fleet_batch(to_spec(query), 1, query.seed);
+  return plants::to_sched_params(batch->front());
+}
+
+std::string handle_ping(util::BinaryReader& in, const QueryContext& context) {
+  auto request = PingRequest::decode(in);
+  // Sleep in small slices so a deadline can cut the wait short — this is
+  // what makes the overload/deadline tests deterministic without leaning
+  // on branch-and-bound runtimes.
+  auto remaining = std::chrono::milliseconds(request.sleep_ms);
+  while (remaining.count() > 0) {
+    check_cancel(context, "ping: sleep cancelled");
+    const auto slice = std::min(remaining, std::chrono::milliseconds(2));
+    std::this_thread::sleep_for(slice);
+    remaining -= slice;
+  }
+  check_cancel(context, "ping: sleep cancelled");
+  util::BinaryWriter out;
+  request.encode(out);
+  return out.take();
+}
+
+std::string handle_curve(util::BinaryReader& in) {
+  in.expect_end();  // kCurve takes no parameters
+  const auto curve = experiments::measure_servo_curve();
+  CurveResponse response;
+  response.sampling_period = curve->sampling_period();
+  response.xi_tt = curve->xi_tt();
+  response.xi_et = curve->xi_et();
+  response.xi_m = curve->xi_m();
+  response.k_p = curve->k_p();
+  response.n_points = curve->points().size();
+  util::BinaryWriter out;
+  response.encode(out);
+  return out.take();
+}
+
+std::string handle_loop_design(util::BinaryReader& in) {
+  const auto request = LoopDesignRequest::decode(in);
+  const auto index = static_cast<std::size_t>(request.app_index);
+  const auto fleet = experiments::paper_fleet();
+  CPS_ENSURE(index < fleet->size(), "loop_design: app_index past the paper fleet");
+  const auto design = experiments::paper_loop_design(index);
+  LoopDesignResponse response;
+  response.name = (*fleet)[index].target.name;
+  response.rho_tt = design->rho_tt;
+  response.rho_et = design->rho_et;
+  response.state_dim = design->state_dim;
+  response.input_dim = design->input_dim;
+  util::BinaryWriter out;
+  response.encode(out);
+  return out.take();
+}
+
+std::string handle_allocate(util::BinaryReader& in, const QueryContext& context) {
+  const auto request = AllocateRequest::decode(in);
+  analysis::AllocationOptions options;
+  options.method = method_from(request.method);
+  options.max_slots = static_cast<std::size_t>(request.max_slots);
+  options.cancel = context.cancel;
+  auto params = fleet_params(request.fleet);
+  check_cancel(context, "allocate: cancelled before the allocator ran");
+
+  AllocateResponse response;
+  try {
+    analysis::Allocation allocation;
+    switch (static_cast<AllocatorKind>(request.allocator)) {
+      case AllocatorKind::kFirstFit:
+        allocation = analysis::first_fit_allocate(std::move(params), options);
+        break;
+      case AllocatorKind::kBestFit:
+        allocation = analysis::best_fit_allocate(std::move(params), options);
+        break;
+      case AllocatorKind::kExact:
+        allocation = analysis::optimal_allocate(std::move(params), options);
+        break;
+      default:
+        throw InvalidArgument("allocator must be 0 (ff), 1 (bf) or 2 (exact)");
+    }
+    response.slot_count = allocation.slot_count();
+    response.slots = allocation.slots;
+    response.all_schedulable = 1;
+    for (const auto& slot_verdict : allocation.analyses)
+      if (!slot_verdict.all_schedulable) response.all_schedulable = 0;
+  } catch (const InfeasibleError&) {
+    // A domain answer (the fleet cannot fit max_slots), not a failure.
+    response.feasible = 0;
+    response.slot_count = 0;
+    response.all_schedulable = 0;
+    response.slots.clear();
+  }
+  util::BinaryWriter out;
+  response.encode(out);
+  return out.take();
+}
+
+std::string handle_sched_check(util::BinaryReader& in, const QueryContext& context) {
+  const auto request = SchedCheckRequest::decode(in);
+  const auto method = method_from(request.method);
+  auto params = fleet_params(request.fleet);
+  check_cancel(context, "sched_check: cancelled before the analysis ran");
+  const auto verdict = analysis::analyze_slot(std::move(params), method);
+  SchedCheckResponse response;
+  response.all_schedulable = verdict.all_schedulable ? 1 : 0;
+  response.apps.reserve(verdict.results.size());
+  for (const auto& result : verdict.results) {
+    SchedCheckResponse::App app;
+    app.name = result.name;
+    app.response = result.response;
+    app.deadline = result.deadline;
+    app.schedulable = result.schedulable ? 1 : 0;
+    response.apps.push_back(std::move(app));
+  }
+  util::BinaryWriter out;
+  response.encode(out);
+  return out.take();
+}
+
+std::string handle_stats(util::BinaryReader& in, const QueryContext& context) {
+  in.expect_end();  // kStats takes no parameters
+  StatsResponse response;
+  if (context.stats) response.counters = context.stats();
+  util::BinaryWriter out;
+  response.encode(out);
+  return out.take();
+}
+
+QueryResult error_result(Status status, const std::string& what) {
+  util::BinaryWriter out;
+  out.write_string(what);
+  return QueryResult{status, out.take()};
+}
+
+}  // namespace
+
+void PingRequest::encode(util::BinaryWriter& out) const {
+  out.write_string(echo);
+  out.write_u64(sleep_ms);
+}
+
+PingRequest PingRequest::decode(util::BinaryReader& in) {
+  PingRequest request;
+  request.echo = in.read_string();
+  request.sleep_ms = in.read_u64();
+  in.expect_end();
+  return request;
+}
+
+void CurveResponse::encode(util::BinaryWriter& out) const {
+  out.write_double(sampling_period);
+  out.write_double(xi_tt);
+  out.write_double(xi_et);
+  out.write_double(xi_m);
+  out.write_double(k_p);
+  out.write_u64(n_points);
+}
+
+CurveResponse CurveResponse::decode(util::BinaryReader& in) {
+  CurveResponse response;
+  response.sampling_period = in.read_double();
+  response.xi_tt = in.read_double();
+  response.xi_et = in.read_double();
+  response.xi_m = in.read_double();
+  response.k_p = in.read_double();
+  response.n_points = in.read_u64();
+  in.expect_end();
+  return response;
+}
+
+void LoopDesignRequest::encode(util::BinaryWriter& out) const {
+  out.write_u64(app_index);
+}
+
+LoopDesignRequest LoopDesignRequest::decode(util::BinaryReader& in) {
+  LoopDesignRequest request;
+  request.app_index = in.read_u64();
+  in.expect_end();
+  return request;
+}
+
+void LoopDesignResponse::encode(util::BinaryWriter& out) const {
+  out.write_string(name);
+  out.write_double(rho_tt);
+  out.write_double(rho_et);
+  out.write_u64(state_dim);
+  out.write_u64(input_dim);
+}
+
+LoopDesignResponse LoopDesignResponse::decode(util::BinaryReader& in) {
+  LoopDesignResponse response;
+  response.name = in.read_string();
+  response.rho_tt = in.read_double();
+  response.rho_et = in.read_double();
+  response.state_dim = in.read_u64();
+  response.input_dim = in.read_u64();
+  in.expect_end();
+  return response;
+}
+
+void FleetQuery::encode(util::BinaryWriter& out) const {
+  out.write_u64(n_apps);
+  out.write_double(target_utilization);
+  out.write_double(max_app_utilization);
+  out.write_double(period_lo);
+  out.write_double(period_hi);
+  out.write_double(deadline_frac_lo);
+  out.write_double(deadline_frac_hi);
+  out.write_u64(seed);
+}
+
+FleetQuery FleetQuery::decode(util::BinaryReader& in) {
+  FleetQuery query;
+  query.n_apps = in.read_u64();
+  query.target_utilization = in.read_double();
+  query.max_app_utilization = in.read_double();
+  query.period_lo = in.read_double();
+  query.period_hi = in.read_double();
+  query.deadline_frac_lo = in.read_double();
+  query.deadline_frac_hi = in.read_double();
+  query.seed = in.read_u64();
+  return query;
+}
+
+void AllocateRequest::encode(util::BinaryWriter& out) const {
+  fleet.encode(out);
+  out.write_u64(allocator);
+  out.write_u64(method);
+  out.write_u64(max_slots);
+}
+
+AllocateRequest AllocateRequest::decode(util::BinaryReader& in) {
+  AllocateRequest request;
+  request.fleet = FleetQuery::decode(in);
+  request.allocator = in.read_u64();
+  request.method = in.read_u64();
+  request.max_slots = in.read_u64();
+  in.expect_end();
+  return request;
+}
+
+void AllocateResponse::encode(util::BinaryWriter& out) const {
+  out.write_u64(feasible);
+  out.write_u64(slot_count);
+  out.write_u64(all_schedulable);
+  out.write_u64(slots.size());
+  for (const auto& slot : slots) {
+    out.write_u64(slot.size());
+    for (const auto& name : slot) out.write_string(name);
+  }
+}
+
+AllocateResponse AllocateResponse::decode(util::BinaryReader& in) {
+  AllocateResponse response;
+  response.feasible = in.read_u64();
+  response.slot_count = in.read_u64();
+  response.all_schedulable = in.read_u64();
+  const auto n_slots = in.read_u64();
+  response.slots.resize(static_cast<std::size_t>(n_slots));
+  for (auto& slot : response.slots) {
+    const auto n_apps = in.read_u64();
+    slot.reserve(static_cast<std::size_t>(n_apps));
+    for (std::uint64_t i = 0; i < n_apps; ++i) slot.push_back(in.read_string());
+  }
+  in.expect_end();
+  return response;
+}
+
+void SchedCheckRequest::encode(util::BinaryWriter& out) const {
+  fleet.encode(out);
+  out.write_u64(method);
+}
+
+SchedCheckRequest SchedCheckRequest::decode(util::BinaryReader& in) {
+  SchedCheckRequest request;
+  request.fleet = FleetQuery::decode(in);
+  request.method = in.read_u64();
+  in.expect_end();
+  return request;
+}
+
+void SchedCheckResponse::encode(util::BinaryWriter& out) const {
+  out.write_u64(all_schedulable);
+  out.write_u64(apps.size());
+  for (const auto& app : apps) {
+    out.write_string(app.name);
+    out.write_double(app.response);
+    out.write_double(app.deadline);
+    out.write_u64(app.schedulable);
+  }
+}
+
+SchedCheckResponse SchedCheckResponse::decode(util::BinaryReader& in) {
+  SchedCheckResponse response;
+  response.all_schedulable = in.read_u64();
+  const auto n_apps = in.read_u64();
+  response.apps.reserve(static_cast<std::size_t>(n_apps));
+  for (std::uint64_t i = 0; i < n_apps; ++i) {
+    SchedCheckResponse::App app;
+    app.name = in.read_string();
+    app.response = in.read_double();
+    app.deadline = in.read_double();
+    app.schedulable = in.read_u64();
+    response.apps.push_back(std::move(app));
+  }
+  in.expect_end();
+  return response;
+}
+
+void StatsResponse::encode(util::BinaryWriter& out) const {
+  out.write_u64(counters.size());
+  for (const auto& [name, value] : counters) {
+    out.write_string(name);
+    out.write_u64(value);
+  }
+}
+
+StatsResponse StatsResponse::decode(util::BinaryReader& in) {
+  StatsResponse response;
+  const auto n = in.read_u64();
+  response.counters.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto name = in.read_string();
+    const auto value = in.read_u64();
+    response.counters.emplace_back(std::move(name), value);
+  }
+  in.expect_end();
+  return response;
+}
+
+QueryResult dispatch(Opcode opcode, std::string_view payload, const QueryContext& context) {
+  try {
+    util::BinaryReader in(payload);
+    std::string response;
+    switch (opcode) {
+      case Opcode::kPing: response = handle_ping(in, context); break;
+      case Opcode::kCurve: response = handle_curve(in); break;
+      case Opcode::kLoopDesign: response = handle_loop_design(in); break;
+      case Opcode::kAllocate: response = handle_allocate(in, context); break;
+      case Opcode::kSchedCheck: response = handle_sched_check(in, context); break;
+      case Opcode::kStats: response = handle_stats(in, context); break;
+      default:
+        return error_result(Status::kBadRequest,
+                            "unknown opcode " +
+                                std::to_string(static_cast<unsigned>(opcode)));
+    }
+    return QueryResult{Status::kOk, std::move(response)};
+  } catch (const CancelledError& error) {
+    return error_result(Status::kDeadlineExceeded, error.what());
+  } catch (const util::SerializeError& error) {
+    return error_result(Status::kBadRequest, std::string("undecodable payload: ") + error.what());
+  } catch (const InvalidArgument& error) {
+    return error_result(Status::kBadRequest, error.what());
+  } catch (const std::exception& error) {
+    return error_result(Status::kInternalError, error.what());
+  }
+}
+
+std::string decode_error_payload(std::string_view payload) {
+  try {
+    util::BinaryReader in(payload);
+    auto text = in.read_string();
+    in.expect_end();
+    return text;
+  } catch (const util::SerializeError&) {
+    return std::string(payload);  // best effort for malformed error frames
+  }
+}
+
+}  // namespace cps::serve

@@ -45,6 +45,15 @@ class InfeasibleError : public Error {
   explicit InfeasibleError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a long-running computation observes that its caller asked
+/// it to stop (cooperative cancellation: a deadline expired, a server is
+/// draining).  Carries no partial result — the computation was abandoned,
+/// not completed.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_ensure_failure(const char* expr, const char* file, int line,
                                               const std::string& msg) {

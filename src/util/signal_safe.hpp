@@ -1,0 +1,71 @@
+// Async-signal-safe diagnostics.
+//
+// Code that runs in a signal handler or in the child of a fork() from a
+// multithreaded process may only call async-signal-safe functions
+// (POSIX.1, signal-safety(7)).  stdio is NOT on that list: another
+// thread may hold the stream lock at fork time, so a post-fork
+// fprintf(stderr, ...) can deadlock the child, and a fprintf from a
+// handler can corrupt the stream state it interrupted.  These helpers
+// format into stack buffers and emit with plain ::write (which IS
+// async-signal-safe), so teardown paths — the supervisor's exec-failure
+// report in the forked child, crash_point's kill notice, the serve
+// daemon's drain logging — can stay loud without stdio.
+//
+// All functions here are lock-free, allocation-free and reentrant.
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+
+namespace cps::util {
+
+/// write(2) the whole NUL-terminated string, retrying on EINTR.  Returns
+/// false when the descriptor rejects the bytes (best effort: diagnostics
+/// must never turn into a second failure).
+inline bool safe_write_str(int fd, const char* text) {
+  std::size_t length = 0;
+  while (text[length] != '\0') ++length;
+  std::size_t written = 0;
+  while (written < length) {
+    const ::ssize_t n = ::write(fd, text + written, length - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Decimal-format `value` into `buffer` (no allocation, no locale);
+/// returns `buffer`.  The buffer must hold >= 21 bytes (LLONG_MIN plus
+/// the NUL).
+inline const char* safe_format_dec(long long value, char* buffer) {
+  char digits[24];
+  std::size_t count = 0;
+  const bool negative = value < 0;
+  // Negate digit by digit so LLONG_MIN does not overflow.
+  unsigned long long magnitude =
+      negative ? ~static_cast<unsigned long long>(value) + 1ULL
+               : static_cast<unsigned long long>(value);
+  do {
+    digits[count++] = static_cast<char>('0' + magnitude % 10);
+    magnitude /= 10;
+  } while (magnitude != 0);
+  char* out = buffer;
+  if (negative) *out++ = '-';
+  while (count != 0) *out++ = digits[--count];
+  *out = '\0';
+  return buffer;
+}
+
+/// safe_write_str of a decimal number.
+inline bool safe_write_dec(int fd, long long value) {
+  char buffer[24];
+  return safe_write_str(fd, safe_format_dec(value, buffer));
+}
+
+}  // namespace cps::util

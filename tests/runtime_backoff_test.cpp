@@ -1,0 +1,98 @@
+// runtime/backoff.hpp: the deterministic jittered exponential backoff
+// extracted from the PR-8 campaign supervisor.  The extraction contract
+// is BIT-IDENTITY: supervisor retry schedules must not move.
+
+#include "runtime/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/supervisor.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using cps::runtime::backoff_delay;
+using cps::runtime::BackoffPolicy;
+
+TEST(RuntimeBackoffTest, DeterministicAcrossCalls) {
+  BackoffPolicy policy;
+  for (int attempt = 1; attempt <= 8; ++attempt)
+    EXPECT_DOUBLE_EQ(backoff_delay(policy, 3, attempt), backoff_delay(policy, 3, attempt));
+}
+
+TEST(RuntimeBackoffTest, JitterStaysWithinHalfToOneAndAHalf) {
+  BackoffPolicy policy;
+  policy.base_seconds = 1.0;
+  policy.factor = 1.0;  // isolate the jitter term
+  policy.max_seconds = 100.0;
+  for (std::size_t stream = 0; stream < 50; ++stream) {
+    for (int attempt = 1; attempt <= 6; ++attempt) {
+      const double delay = backoff_delay(policy, stream, attempt);
+      EXPECT_GE(delay, 0.5);
+      EXPECT_LT(delay, 1.5);
+    }
+  }
+}
+
+TEST(RuntimeBackoffTest, GrowsGeometricallyUntilTheCap) {
+  BackoffPolicy policy;
+  policy.base_seconds = 0.5;
+  policy.factor = 2.0;
+  policy.max_seconds = 4.0;
+  // Strip the jitter by dividing it back out: jitter = delay / raw.
+  auto raw = [&](int attempt) {
+    double delay = policy.base_seconds;
+    for (int i = 1; i < attempt; ++i) delay *= policy.factor;
+    return std::min(delay, policy.max_seconds);
+  };
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    const double jitter = backoff_delay(policy, 0, attempt) / raw(attempt);
+    EXPECT_GE(jitter, 0.5);
+    EXPECT_LT(jitter, 1.5);
+  }
+  // Far past the cap the un-jittered part must stay pinned at max.
+  EXPECT_DOUBLE_EQ(raw(30), policy.max_seconds);
+}
+
+TEST(RuntimeBackoffTest, StreamsDecorrelate) {
+  BackoffPolicy policy;
+  // Same attempt, different streams: the jitter must differ (that is
+  // the point — shards/clients retrying in lockstep would thundering-
+  // herd the very resource that shed them).
+  bool any_differ = false;
+  const double first = backoff_delay(policy, 0, 1);
+  for (std::size_t stream = 1; stream < 8; ++stream)
+    if (backoff_delay(policy, stream, 1) != first) any_differ = true;
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(RuntimeBackoffTest, NeedsAtLeastOneFailedAttempt) {
+  EXPECT_THROW(backoff_delay(BackoffPolicy{}, 0, 0), cps::InvalidArgument);
+}
+
+// The extraction's bit-identity contract: the supervisor's wrapper must
+// produce EXACTLY the schedule the library computes from the equivalent
+// policy — byte-for-byte equal doubles, every (shard, attempt).
+TEST(RuntimeBackoffTest, SupervisorWrapperIsBitIdentical) {
+  cps::runtime::SupervisorOptions options;
+  options.backoff_base_seconds = 0.25;
+  options.backoff_factor = 3.0;
+  options.backoff_max_seconds = 10.0;
+  options.backoff_seed = 1234567;
+
+  BackoffPolicy policy;
+  policy.base_seconds = options.backoff_base_seconds;
+  policy.factor = options.backoff_factor;
+  policy.max_seconds = options.backoff_max_seconds;
+  policy.seed = options.backoff_seed;
+
+  for (std::size_t shard = 0; shard < 6; ++shard)
+    for (int attempt = 1; attempt <= 12; ++attempt)
+      EXPECT_DOUBLE_EQ(cps::runtime::backoff_delay_seconds(options, shard, attempt),
+                       backoff_delay(policy, shard, attempt))
+          << "shard " << shard << " attempt " << attempt;
+}
+
+}  // namespace
